@@ -1,0 +1,53 @@
+"""Shared machinery for the experiment benchmarks.
+
+Each bench regenerates one table/figure-equivalent of the paper (see
+DESIGN.md section 4 and EXPERIMENTS.md).  Reports are written to
+``results/<experiment>.txt`` so the regenerated numbers survive the
+pytest output capture, and the headline values are asserted against
+the paper's expected *shape*.
+
+Set ``REPRO_FAST=1`` to shrink campaign sizes for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+FAST = os.environ.get("REPRO_FAST", "") not in ("", "0")
+
+#: Noise level shared by every side-channel bench (the virtual scope).
+NOISE_SIGMA = 38.0
+
+
+def scaled(full: int, fast: int) -> int:
+    """Campaign size: full scale, or the fast value under REPRO_FAST."""
+    return fast if FAST else full
+
+
+def write_report(name: str, lines: list) -> str:
+    """Write (and echo) an experiment report; returns the text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(text)
+    return text
+
+
+def protocol_points(domain, count, rng):
+    """Random prime-order-subgroup points with x != 0."""
+    curve = domain.curve
+    points = []
+    while len(points) < count:
+        p = curve.double(curve.random_point(rng))
+        if not p.is_infinity and p.x != 0:
+            points.append(p)
+    return points
+
+
+def fresh_rng(seed: int) -> random.Random:
+    """A deterministic RNG for reproducible experiments."""
+    return random.Random(seed)

@@ -1,0 +1,89 @@
+"""A2 (extension) — low power vs low energy: the V/f design space.
+
+Section 3 distinguishes design for low *power* from design for low
+*energy* ("skipping one optimization step ... merely reduces the
+battery lifetime").  The calibrated model makes the distinction
+quantitative:
+
+* frequency scaling changes power linearly but leaves energy per
+  operation untouched (each toggle costs the same charge);
+* voltage scaling cuts energy quadratically — the lever that actually
+  buys battery life;
+* the battery table translates each operating point into affordable
+  protocol runs per day on the paper's pacemaker budget.
+"""
+
+from _helpers import write_report
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.energy import PACEMAKER_BUDGET
+from repro.power import OperatingPoint, calibrate_energy_model
+
+FREQUENCIES_HZ = (100e3, 847.5e3, 4e6)
+VOLTAGES = (0.8, 1.0, 1.2)
+
+
+def run_experiment():
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    model = calibrate_energy_model(coprocessor)
+    execution = coprocessor.point_multiply(
+        coprocessor.domain.order // 3, coprocessor.domain.generator,
+        initial_z=1,
+    )
+    grid = []
+    for vdd in VOLTAGES:
+        for freq in FREQUENCIES_HZ:
+            report = model.report(execution, OperatingPoint(freq, vdd))
+            # Tag protocol run = 2 point multiplications (Figure 2).
+            run_energy = 2 * report.energy_joules
+            grid.append({
+                "vdd": vdd,
+                "freq": freq,
+                "power_uw": report.power_watts * 1e6,
+                "energy_uj": report.energy_joules * 1e6,
+                "latency_ms": report.duration_seconds * 1e3,
+                "runs_per_day": PACEMAKER_BUDGET.operations_per_day(
+                    run_energy
+                ),
+            })
+    return grid
+
+
+def test_a2_voltage_frequency(benchmark):
+    grid = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        "A2  Low power vs low energy: voltage/frequency scaling",
+        "-" * 76,
+        f"{'Vdd':>5}{'freq':>10}{'power':>12}{'energy/PM':>12}"
+        f"{'latency':>12}{'protocol runs/day':>19}",
+    ]
+    for row in grid:
+        lines.append(
+            f"{row['vdd']:>5.1f}{row['freq'] / 1e3:>8.1f}kHz"
+            f"{row['power_uw']:>10.1f}uW{row['energy_uj']:>10.2f}uJ"
+            f"{row['latency_ms']:>10.1f}ms{row['runs_per_day']:>19,.0f}"
+        )
+    lines += [
+        "-" * 76,
+        "frequency moves power and latency, not energy; voltage moves",
+        "energy quadratically — the design-for-low-energy lever.",
+    ]
+    write_report("a2_voltage_frequency", lines)
+
+    by = {(round(r["vdd"], 1), r["freq"]): r for r in grid}
+    # Frequency scaling at 1 V: power linear, energy flat.
+    slow, mid, fast = (by[(1.0, f)] for f in FREQUENCIES_HZ)
+    assert fast["power_uw"] > mid["power_uw"] > slow["power_uw"]
+    assert abs(fast["energy_uj"] - slow["energy_uj"]) < 1e-9
+    # Voltage scaling at the paper's frequency: quadratic energy.
+    low, nom, high = (by[(v, 847.5e3)] for v in VOLTAGES)
+    assert low["energy_uj"] / nom["energy_uj"] == pytest_approx(0.64)
+    assert high["energy_uj"] / nom["energy_uj"] == pytest_approx(1.44)
+    # Battery: lower voltage buys proportionally more protocol runs.
+    assert low["runs_per_day"] > nom["runs_per_day"] > high["runs_per_day"]
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

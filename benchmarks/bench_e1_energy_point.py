@@ -1,0 +1,63 @@
+"""E1 — the chip's operating point (Section 6).
+
+Paper: "At the operating frequency of 847.5 kHz and core voltage
+Vdd = 1 V, the processor consumes 50.4 uW and uses only 5.1 uJ for one
+point multiplication.  At this frequency, the throughput is 9.8 point
+multiplications per second."
+
+The bench runs one full K-163 point multiplication on the default
+(protected) coprocessor, calibrates the energy model against the
+published power, and reports all three figures plus the cycle count
+they imply.
+"""
+
+from _helpers import fresh_rng, write_report
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.power import (
+    PAPER_ENERGY_PER_PM_JOULES,
+    PAPER_POWER_WATTS,
+    PAPER_THROUGHPUT_PM_PER_S,
+    calibrate_energy_model,
+)
+
+
+def run_experiment():
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    model = calibrate_energy_model(coprocessor)
+    rng = fresh_rng(1)
+    key = coprocessor.domain.scalar_ring.random_scalar(rng)
+    execution = coprocessor.point_multiply(key, coprocessor.domain.generator,
+                                           rng=rng)
+    report = model.report(execution)
+    return coprocessor, report
+
+
+def test_e1_operating_point(benchmark):
+    coprocessor, report = benchmark.pedantic(run_experiment, rounds=1,
+                                             iterations=1)
+    rows = [
+        "E1  Chip operating point (Section 6)",
+        "-" * 64,
+        f"{'metric':<28}{'paper':>16}{'measured':>18}",
+        f"{'power @ 847.5 kHz, 1 V':<28}{'50.4 uW':>16}"
+        f"{report.power_watts * 1e6:>15.1f} uW",
+        f"{'energy / point mult':<28}{'5.1 uJ':>16}"
+        f"{report.energy_joules * 1e6:>15.2f} uJ",
+        f"{'throughput':<28}{'9.8 PM/s':>16}"
+        f"{report.operations_per_second:>13.2f} PM/s",
+        f"{'cycles / point mult':<28}{'(not given)':>16}"
+        f"{report.cycles:>18}",
+        "-" * 64,
+        "registers in the secure zone: "
+        f"{coprocessor.config.core_register_count} x 163 bits "
+        "(paper: six 163-bit registers)",
+    ]
+    write_report("e1_energy_point", rows)
+
+    assert abs(report.power_watts - PAPER_POWER_WATTS) / PAPER_POWER_WATTS < 0.02
+    assert abs(report.energy_joules - PAPER_ENERGY_PER_PM_JOULES) \
+        / PAPER_ENERGY_PER_PM_JOULES < 0.02
+    assert abs(report.operations_per_second - PAPER_THROUGHPUT_PM_PER_S) \
+        / PAPER_THROUGHPUT_PM_PER_S < 0.02
+    assert coprocessor.config.core_register_count == 6

@@ -1,0 +1,87 @@
+"""E2 — the digit-size design-space sweep (Section 5, ref [16]).
+
+Paper: "in our ECC co-processor, a digit-serial multiplier for F_2^163
+is used.  The choice of the digit-size determines the power needed for
+the computation, as well as the latency and area.  By using a digit
+serial multiplication with a 163x4 modular multiplier we achieve the
+optimal area-energy product within the given latency constraints."
+
+The bench sweeps d over {1, 2, 4, 8, 16}, reports area (GE), cycles
+and latency per point multiplication, average power and energy at the
+paper's clock, and the area-energy product — and checks that d = 4 is
+the optimum among the design points that meet the latency constraint
+(one point multiplication in at most ~105 ms, i.e. the d = 4 latency
+with ~5% headroom at 847.5 kHz).
+"""
+
+from _helpers import write_report
+
+from repro.arch import CoprocessorConfig, EccCoprocessor, ecc_core_area
+from repro.power import PAPER_OPERATING_POINT, calibrate_energy_model
+
+DIGIT_SIZES = (1, 2, 4, 8, 16)
+LATENCY_LIMIT_S = 0.105
+
+
+def run_experiment():
+    # Calibrate energy-per-toggle once, on the paper's d = 4 design.
+    reference = EccCoprocessor(CoprocessorConfig(digit_size=4))
+    model = calibrate_energy_model(reference)
+    rows = []
+    for d in DIGIT_SIZES:
+        coprocessor = EccCoprocessor(CoprocessorConfig(digit_size=d))
+        execution = coprocessor.point_multiply(
+            coprocessor.domain.order // 3,
+            coprocessor.domain.generator,
+            initial_z=1,
+        )
+        report = model.report(execution, PAPER_OPERATING_POINT)
+        area = ecc_core_area(digit_size=d).total
+        rows.append({
+            "d": d,
+            "area_ge": area,
+            "cycles": report.cycles,
+            "latency_s": report.duration_seconds,
+            "power_uw": report.power_watts * 1e6,
+            "energy_uj": report.energy_joules * 1e6,
+            "area_energy": area * report.energy_joules * 1e6,
+        })
+    return rows
+
+
+def test_e2_digit_size_sweep(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        "E2  Digit-serial multiplier design space (Section 5 / [16])",
+        "-" * 78,
+        f"{'d':>3}{'area (GE)':>12}{'cycles/PM':>12}{'latency':>12}"
+        f"{'power':>12}{'energy/PM':>12}{'area x energy':>15}",
+    ]
+    for r in rows:
+        meets = " " if r["latency_s"] <= LATENCY_LIMIT_S else "*"
+        lines.append(
+            f"{r['d']:>3}{r['area_ge']:>12.0f}{r['cycles']:>12}"
+            f"{r['latency_s'] * 1e3:>9.1f} ms"
+            f"{r['power_uw']:>9.1f} uW"
+            f"{r['energy_uj']:>9.2f} uJ"
+            f"{r['area_energy']:>15.0f}{meets}"
+        )
+    lines.append("-" * 78)
+    lines.append("* fails the latency constraint "
+                 f"(> {LATENCY_LIMIT_S * 1e3:.0f} ms per point mult)")
+
+    feasible = [r for r in rows if r["latency_s"] <= LATENCY_LIMIT_S]
+    optimum = min(feasible, key=lambda r: r["area_energy"])
+    lines.append(
+        f"optimal area-energy product within the latency constraint: "
+        f"d = {optimum['d']} (paper: d = 4)"
+    )
+    write_report("e2_digit_sweep", lines)
+
+    # Shape assertions: area grows with d, cycles shrink with d, and
+    # the paper's d = 4 choice wins the constrained optimization.
+    areas = [r["area_ge"] for r in rows]
+    cycles = [r["cycles"] for r in rows]
+    assert areas == sorted(areas)
+    assert cycles == sorted(cycles, reverse=True)
+    assert optimum["d"] == 4

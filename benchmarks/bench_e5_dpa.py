@@ -1,0 +1,120 @@
+"""E5 — DPA vs randomized projective coordinates (Section 7).
+
+Paper: "When the countermeasure is disabled, a DPA attack succeeds
+with as low as 200 traces.  When the countermeasure is enabled, but
+the randomness is known, the attack also succeeds.  ...  When the
+countermeasure is enabled, and the randomness is unknown, the attack
+does not succeed.  Even 20000 traces are not enough to reveal a single
+key bit."
+
+The bench reproduces all three scenarios with the difference-of-means
+DPA.  Scale note: the paper's failure case used 20 000 full-length
+traces; simulating that many coprocessor runs is wall-clock
+prohibitive in pure Python, so the protected campaign here uses
+~8x the unprotected disclosure budget (same conclusion: zero key bits
+come out, statistics sit at the noise floor).  CPA (the stronger
+correlation distinguisher) is reported alongside.
+"""
+
+from _helpers import NOISE_SIGMA, fresh_rng, protocol_points, scaled, \
+    write_report
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.power import PowerTraceSimulator
+from repro.sca import LadderCpa, LadderDpa
+
+N_BITS = 2          # bits attacked in the success scenarios
+N_BITS_PROTECTED = 4  # more bits: a lucky all-correct coin-flip run is implausible
+GRID = (50, 100, 150, 200, 300)
+
+
+def run_experiment():
+    n_unprotected = scaled(300, 80)
+    n_protected = scaled(1500, 120)
+    n_known = scaled(200, 60)
+
+    unprotected_cop = EccCoprocessor(CoprocessorConfig(randomize_z=False))
+    protected_cop = EccCoprocessor(CoprocessorConfig(randomize_z=True))
+    ring = unprotected_cop.domain.scalar_ring
+    key = ring.random_scalar(fresh_rng(50))
+    points = protocol_points(unprotected_cop.domain,
+                             max(n_unprotected, n_protected, n_known),
+                             fresh_rng(51))
+    sim = PowerTraceSimulator(noise_sigma=NOISE_SIGMA, seed=52)
+    rng = fresh_rng(53)
+
+    results = {}
+
+    # Scenario 1: countermeasure off.
+    traces = sim.campaign(unprotected_cop, key, points[:n_unprotected],
+                          scenario="unprotected", max_iterations=N_BITS + 1)
+    dpa = LadderDpa(unprotected_cop)
+    grid = [g for g in GRID if g <= n_unprotected]
+    results["disclosure_dom"] = dpa.traces_to_disclosure(traces, N_BITS, grid)
+    cpa = LadderCpa(unprotected_cop)
+    results["disclosure_cpa"] = cpa.traces_to_disclosure(traces, N_BITS, grid)
+    results["unprotected_result"] = dpa.recover_bits(traces, N_BITS)
+
+    # Scenario 2: countermeasure on, randomness known (white-box).
+    traces_known = sim.campaign(protected_cop, key, points[:n_known],
+                                rng=rng, scenario="known_randomness",
+                                max_iterations=N_BITS + 1)
+    dpa_p = LadderDpa(protected_cop)
+    results["known_result"] = dpa_p.recover_bits(
+        traces_known, N_BITS, z_values=traces_known.known_randomness
+    )
+
+    # Scenario 3: countermeasure on, randomness secret.
+    traces_protected = sim.campaign(protected_cop, key,
+                                    points[:n_protected], rng=rng,
+                                    scenario="protected",
+                                    max_iterations=N_BITS_PROTECTED + 1)
+    results["protected_result"] = dpa_p.recover_bits(traces_protected,
+                                                     N_BITS_PROTECTED)
+    results["n_protected"] = n_protected
+    results["n_known"] = n_known
+    return results
+
+
+def test_e5_dpa(benchmark):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    unp = r["unprotected_result"]
+    known = r["known_result"]
+    prot = r["protected_result"]
+    lines = [
+        "E5  DPA vs randomized projective coordinates (Section 7)",
+        "-" * 74,
+        f"{'scenario':<42}{'paper':>14}{'measured':>16}",
+        f"{'countermeasure OFF: traces to disclose':<42}{'~200':>14}"
+        f"{str(r['disclosure_dom']):>16}",
+        f"{'  (CPA, stronger distinguisher)':<42}{'-':>14}"
+        f"{str(r['disclosure_cpa']):>16}",
+        f"{'countermeasure ON + randomness known':<42}{'succeeds':>14}"
+        f"{('succeeds' if known.success else 'fails'):>16}",
+        f"{'countermeasure ON, randomness secret':<42}{'fails @20k':>14}"
+        f"{('fails @' + str(r['n_protected'])):>16}",
+        "-" * 74,
+        f"unprotected: {unp.num_correct}/{N_BITS} bits "
+        f"(margins {[round(d.margin, 2) for d in unp.decisions]})",
+        f"known-randomness: {known.num_correct}/{N_BITS} bits",
+        f"protected: {prot.num_correct}/{N_BITS_PROTECTED} bits matched "
+        "(chance level); statistics at the noise floor "
+        f"({[round(max(d.statistic_zero, d.statistic_one), 2) for d in prot.decisions]})",
+    ]
+    write_report("e5_dpa", lines)
+
+    assert r["disclosure_dom"] is not None
+    assert r["disclosure_dom"] <= 300          # paper band: "as low as 200"
+    assert r["disclosure_cpa"] is not None
+    assert r["disclosure_cpa"] <= 300
+    assert known.success                        # white-box soundness check
+    assert not prot.success                     # countermeasure holds
+    # The protected statistics sit at the max-over-columns noise floor,
+    # far below the unprotected decision margins.
+    protected_peak = max(
+        max(d.statistic_zero, d.statistic_one) for d in prot.decisions
+    )
+    unprotected_peak = max(
+        max(d.statistic_zero, d.statistic_one) for d in unp.decisions
+    )
+    assert protected_peak < unprotected_peak

@@ -1,0 +1,77 @@
+"""E6 — the Peeters–Hermans protocol and the privacy game (Fig. 2, Sec. 4).
+
+Paper: "the main operation on the tag is two point multiplications
+(namely r*P and r*Y), and one modular multiplication (namely e*r)";
+Schnorr-identification tags "can be easily traced" while Peeters–
+Hermans achieves wide-forward-insider privacy.
+
+The bench runs full identification sessions (correctness + workload +
+wire accounting, printing the Figure 2 message flow), then plays the
+transcript-linkage tracking game against both protocols.
+"""
+
+from _helpers import fresh_rng, scaled, write_report
+
+from repro.ec import NIST_K163
+from repro.protocols import (
+    PeetersHermansReader,
+    PeetersHermansTag,
+    peeters_hermans_linkage_game,
+    run_identification,
+    schnorr_linkage_game,
+)
+
+
+def run_experiment():
+    rng = fresh_rng(60)
+    ring = NIST_K163.scalar_ring
+    reader = PeetersHermansReader(NIST_K163, ring.random_scalar(rng))
+    tag = PeetersHermansTag(NIST_K163, ring.random_scalar(rng), reader.public)
+    reader.register(1, tag.identity_point)
+    session = run_identification(tag, reader, rng)
+
+    trials = scaled(16, 6)
+    schnorr_game = schnorr_linkage_game(NIST_K163, fresh_rng(61), trials)
+    ph_game = peeters_hermans_linkage_game(NIST_K163, fresh_rng(62), trials)
+    return session, schnorr_game, ph_game, trials
+
+
+def test_e6_protocol(benchmark):
+    session, schnorr_game, ph_game, trials = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    lines = [
+        "E6  Peeters-Hermans identification (Figure 2) + privacy game",
+        "-" * 70,
+        "message flow (one session):",
+    ]
+    for message in session.transcript.messages:
+        lines.append(f"  {message.sender:>7} -> {message.label:<3} "
+                     f"({message.bits} bits)")
+    lines += [
+        f"accepted: {session.accepted}, identity: {session.identity}",
+        "",
+        f"{'tag workload':<36}{'paper':>12}{'measured':>12}",
+        f"{'  point multiplications':<36}{'2':>12}"
+        f"{session.tag_ops.point_multiplications:>12}",
+        f"{'  modular multiplications':<36}{'1':>12}"
+        f"{session.tag_ops.modular_multiplications:>12}",
+        f"{'reader point multiplications':<36}{'heavy':>12}"
+        f"{session.reader_ops.point_multiplications:>12}",
+        f"{'total communication (bits)':<36}{'-':>12}"
+        f"{session.transcript.total_bits:>12}",
+        "",
+        f"tracking game ({trials} trials each):",
+        f"  Schnorr adversary advantage:          "
+        f"{schnorr_game.advantage:.2f}  (traceable)",
+        f"  Peeters-Hermans adversary advantage:  "
+        f"{ph_game.advantage:.2f}  (private)",
+    ]
+    write_report("e6_protocol", lines)
+
+    assert session.accepted
+    assert session.tag_ops.point_multiplications == 2
+    assert session.tag_ops.modular_multiplications == 1
+    assert session.reader_ops.point_multiplications > 2
+    assert schnorr_game.advantage == 1.0
+    assert ph_game.advantage < schnorr_game.advantage

@@ -1,0 +1,54 @@
+"""F1 — the security pyramid (Figure 1).
+
+Paper: countermeasures live at four abstraction levels; "skipping a
+countermeasure means opening the door for a possible attack".
+
+The bench renders the coverage matrix for the paper's full design and
+then strips countermeasures one configuration at a time, showing which
+threats each omission re-opens — Figure 1 turned into an executable
+checklist.
+"""
+
+from _helpers import write_report
+
+from repro.arch import (
+    ClockGatingPolicy,
+    CoprocessorConfig,
+    UnbalancedEncoding,
+)
+from repro.security import AbstractionLevel, default_pyramid, \
+    pyramid_for_config
+
+
+def run_experiment():
+    full = default_pyramid()
+    variants = {
+        "full design": CoprocessorConfig(),
+        "no Z randomization": CoprocessorConfig(randomize_z=False),
+        "unbalanced mux encoding": CoprocessorConfig(
+            mux_encoding=UnbalancedEncoding()
+        ),
+        "data-dependent clock gating": CoprocessorConfig(
+            clock_gating=ClockGatingPolicy.DATA_DEPENDENT
+        ),
+    }
+    open_doors = {
+        name: [t.name for t in pyramid_for_config(cfg).uncovered_threats()]
+        for name, cfg in variants.items()
+    }
+    return full, open_doors
+
+
+def test_f1_pyramid(benchmark):
+    full, open_doors = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    lines = [full.report(), "", "configuration ablation (open doors):"]
+    for name, doors in open_doors.items():
+        lines.append(f"  {name:<32} -> {', '.join(doors) or 'none'}")
+    write_report("f1_pyramid", lines)
+
+    assert full.uncovered_threats() == []
+    assert len(full.levels_used()) == 4
+    assert full.levels_used()[0] is AbstractionLevel.PROTOCOL
+    assert open_doors["full design"] == []
+    assert "dpa" in open_doors["no Z randomization"]

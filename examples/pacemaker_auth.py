@@ -1,0 +1,100 @@
+"""Scenario: a pacemaker authenticating to the patient's phone.
+
+The paper's Section 2 use case end-to-end:
+
+1. the implant and the mini-server (phone) mutually authenticate with
+   the AES protocol — server first, so a fake programmer is rejected
+   after a single MAC check;
+2. vital signs flow encrypted and authenticated;
+3. for location privacy, the implant also runs the Peeters–Hermans
+   ECC identification (an eavesdropper cannot link sessions);
+4. every step is charged against the pacemaker's 10-year battery
+   budget.
+
+Run:  python examples/pacemaker_auth.py
+"""
+
+import random
+
+from repro.ec import NIST_K163
+from repro.energy import (
+    ComputeEnergyTable,
+    PACEMAKER_BUDGET,
+    RadioModel,
+    protocol_energy,
+)
+from repro.primitives import AesCtrDrbg
+from repro.protocols import (
+    PeetersHermansReader,
+    PeetersHermansTag,
+    SymmetricDevice,
+    SymmetricServer,
+    run_identification,
+    run_mutual_authentication,
+)
+
+DISTANCE_M = 1.5  # phone in the patient's pocket
+
+drbg = AesCtrDrbg(b"implant serial 0x4711")
+shared_key = bytes(range(16))
+
+# ------------------------------------------------------- mutual auth
+print("=== 1. AES mutual authentication (server first) ===")
+implant = SymmetricDevice(shared_key, device_id=b"pacemaker")
+phone = SymmetricServer(shared_key)
+session = run_mutual_authentication(
+    implant, phone, drbg, payload=b"hr=072bpm spo2=98% lead_ok=1"
+)
+print(f"authenticated: {session.authenticated}")
+print(f"telemetry delivered: {session.payload_delivered}")
+for message in session.transcript.messages:
+    print(f"  {message.sender:>7} -> {message.label:<9} {message.bits:>5} bits")
+
+print("\n=== 2. A fake programmer tries to connect ===")
+implant2 = SymmetricDevice(shared_key)
+impostor = SymmetricServer(shared_key)
+attack = run_mutual_authentication(implant2, impostor, drbg,
+                                   server_is_impostor=True)
+print(f"authenticated: {attack.authenticated} "
+      f"(aborted early: {attack.aborted_early})")
+table = ComputeEnergyTable()
+honest_j = table.computation_energy(session.device_ops)
+attack_j = table.computation_energy(attack.device_ops)
+print(f"implant compute spent on the impostor: {attack_j * 1e6:.3f} uJ "
+      f"({attack_j / honest_j:.0%} of an honest session) — the paper's "
+      "server-auth-first rule at work")
+
+# --------------------------------------------------- private identification
+print("\n=== 3. Private identification (Peeters-Hermans, Figure 2) ===")
+rng = random.Random(7)
+ring = NIST_K163.scalar_ring
+hospital_reader = PeetersHermansReader(NIST_K163, ring.random_scalar(rng))
+tag = PeetersHermansTag(NIST_K163, ring.random_scalar(rng),
+                        hospital_reader.public)
+hospital_reader.register(4711, tag.identity_point)
+identification = run_identification(tag, hospital_reader, rng)
+print(f"identified as implant #{identification.identity}")
+print(f"tag workload: {identification.tag_ops.point_multiplications} point "
+      f"multiplications + {identification.tag_ops.modular_multiplications} "
+      "modular multiplication (matches the paper)")
+
+# ------------------------------------------------------------- budget
+print("\n=== 4. The 10-year battery budget ===")
+radio = RadioModel()
+aes_energy = protocol_energy("AES session", session.device_ops, DISTANCE_M,
+                             radio, table)
+ph_energy = protocol_energy("PH identification", identification.tag_ops,
+                            DISTANCE_M, radio, table)
+print(aes_energy)
+print(ph_energy)
+budget = PACEMAKER_BUDGET
+print(f"\nsecurity allowance: {budget.security_joules:.0f} J over "
+      f"{budget.target_lifetime_years:.0f} years "
+      f"({budget.average_security_power_watts * 1e6:.2f} uW average)")
+for name, energy in (("AES sessions", aes_energy.total_j),
+                     ("PH identifications", ph_energy.total_j)):
+    per_day = budget.operations_per_day(energy)
+    print(f"  affordable {name}: {per_day:,.0f} per day")
+print("\nConclusion: even the public-key protocol fits the implant's "
+      "budget thousands of times a day — the paper's 5.1 uJ design "
+      "point makes PKC-grade privacy practical.")

@@ -1,0 +1,86 @@
+"""Scenario: the side-channel lab of Figure 4, on your desk.
+
+Recreates the paper's white-box evaluation workflow against two builds
+of the coprocessor: the unprotected strawman and the full design.
+
+* SPA: read the whole key from ONE power trace of the strawman;
+  watch the balanced encoding shut the channel.
+* DPA: recover ladder key bits from a few dozen traces without the
+  Z-randomization; watch the countermeasure push the statistics to the
+  noise floor.
+
+Run:  python examples/sca_lab.py       (~2 minutes)
+"""
+
+import random
+
+from repro.arch import (
+    BalancedEncoding,
+    CoprocessorConfig,
+    EccCoprocessor,
+    UnbalancedEncoding,
+)
+from repro.power import PowerTraceSimulator
+from repro.sca import LadderDpa, transition_spa
+
+NOISE_SIGMA = 38.0
+rng = random.Random(1)
+
+
+def protocol_points(domain, count):
+    points = []
+    while len(points) < count:
+        p = domain.curve.double(domain.curve.random_point(rng))
+        if not p.is_infinity and p.x != 0:
+            points.append(p)
+    return points
+
+
+# ------------------------------------------------------------------ SPA
+print("=== SPA: one trace, whole key (unbalanced mux encoding) ===")
+strawman = EccCoprocessor(CoprocessorConfig(
+    mux_encoding=UnbalancedEncoding(), randomize_z=True,
+))
+secret = strawman.domain.scalar_ring.random_scalar(rng)
+scope = PowerTraceSimulator(noise_sigma=NOISE_SIGMA, seed=7)
+execution = strawman.point_multiply(secret, strawman.domain.generator,
+                                    rng=rng)
+spa = transition_spa(scope.measure(execution), execution.iteration_slices(),
+                     execution.key_bits)
+print(f"recovered {len(spa.recovered_bits)} ladder bits with "
+      f"{spa.bit_errors} errors from a single trace")
+
+print("\n=== Same attack vs the balanced encoding ===")
+hardened = EccCoprocessor(CoprocessorConfig(
+    mux_encoding=BalancedEncoding(), randomize_z=True,
+))
+execution = hardened.point_multiply(secret, hardened.domain.generator,
+                                    rng=rng)
+spa = transition_spa(scope.measure(execution), execution.iteration_slices(),
+                     execution.key_bits)
+print(f"bit errors: {spa.bit_errors}/{len(spa.true_bits)} "
+      "(~50% = the attacker is guessing)")
+
+# ------------------------------------------------------------------ DPA
+print("\n=== DPA campaign: countermeasure OFF ===")
+unprotected = EccCoprocessor(CoprocessorConfig(randomize_z=False))
+points = protocol_points(unprotected.domain, 120)
+campaign = scope.campaign(unprotected, secret, points,
+                          scenario="unprotected", max_iterations=3)
+dpa = LadderDpa(unprotected)
+result = dpa.recover_bits(campaign, 2)
+print(f"first 2 ladder bits recovered: {result.recovered_bits} "
+      f"(truth {result.true_bits})")
+print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
+      "(> 4.5 = significant)")
+
+print("\n=== DPA campaign: countermeasure ON (randomized Z) ===")
+protected = EccCoprocessor(CoprocessorConfig(randomize_z=True))
+campaign = scope.campaign(protected, secret, points, rng=rng,
+                          scenario="protected", max_iterations=3)
+result = LadderDpa(protected).recover_bits(campaign, 2)
+print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
+      "(noise floor — the attack has nothing to grab)")
+print(f"significant success: {result.significant_success()}")
+print("\nThis is Section 7 in miniature: DPA succeeds without the "
+      "randomized projective coordinates and collapses with them.")

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick access to the library's headline artifacts without writing a
+script:
+
+* ``info``      — design-point summary (curve, registers, cycles),
+* ``energy``    — the calibrated E1 operating-point report,
+* ``area``      — the gate-count table,
+* ``listing``   — the microcode listing of a point multiplication,
+* ``evaluate``  — the white-box attack battery (optionally against the
+  unprotected strawman).
+
+Every command returns its report as a string (and prints it), so the
+CLI is testable without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+__all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
+           "cmd_evaluate"]
+
+
+def cmd_info() -> str:
+    """Design-point summary."""
+    from . import __version__
+    from .arch import CoprocessorConfig, EccCoprocessor
+
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    config = coprocessor.config
+    lines = [
+        f"repro {__version__} — DAC 2013 low-energy ECC coprocessor "
+        "reproduction",
+        f"curve: {coprocessor.domain!r}",
+        f"digit size: {config.digit_size} "
+        f"(multiplication = {coprocessor.malu.mul_cycles} datapath cycles)",
+        f"secure-zone registers: {config.core_register_count} x "
+        f"{coprocessor.domain.field.m} bits",
+        f"ladder iterations per point multiplication: "
+        f"{coprocessor.iterations_per_multiplication}",
+        "countermeasures: randomized projective coordinates, balanced "
+        "mux encoding, constant-cycle ISA, always-on clocks, input "
+        "isolation",
+    ]
+    return "\n".join(lines)
+
+
+def cmd_energy() -> str:
+    """The E1 operating-point report (runs one point multiplication)."""
+    from .arch import CoprocessorConfig, EccCoprocessor
+    from .power import calibrate_energy_model
+
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    model = calibrate_energy_model(coprocessor)
+    rng = random.Random(1)
+    key = coprocessor.domain.scalar_ring.random_scalar(rng)
+    execution = coprocessor.point_multiply(
+        key, coprocessor.domain.generator, rng=rng
+    )
+    report = model.report(execution)
+    return (
+        f"{report}\n"
+        "paper:  50.4 uW, 5.10 uJ, 9.80 op/s (UMC 0.13um, 847.5 kHz, 1 V)"
+    )
+
+
+def cmd_area() -> str:
+    """The gate-count comparison table."""
+    from .arch import AES_ENC_GATES, SHA1_GATES, ecc_core_area
+    from .primitives import PRESENT80_GATES
+
+    ecc = ecc_core_area()
+    rows = [
+        ("PRESENT-80", PRESENT80_GATES),
+        ("AES-128 enc", AES_ENC_GATES),
+        ("SHA-1", SHA1_GATES),
+        ("ECC K-163 core (model)", round(ecc.total)),
+    ]
+    lines = [f"{name:<26}{gates:>8} GE" for name, gates in rows]
+    lines.append("")
+    lines += [f"  {block:<16}{gates:>8.0f} GE"
+              for block, gates in ecc.as_dict().items()]
+    return "\n".join(lines)
+
+
+def cmd_listing(limit: int = 40) -> str:
+    """Microcode listing of (the start of) a point multiplication."""
+    from .arch import CoprocessorConfig, EccCoprocessor
+    from .arch.program import analyze_program, format_listing
+
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    trace = coprocessor.point_multiply(
+        0x1234, coprocessor.domain.generator, initial_z=1, max_iterations=2
+    )
+    stats = analyze_program(trace.instructions,
+                            coprocessor.config.fetch_overhead)
+    return (
+        format_listing(trace.instructions, limit=limit)
+        + "\n\n" + str(stats)
+    )
+
+
+def cmd_evaluate(weak: bool = False, traces: int = 80) -> str:
+    """The white-box attack battery (Figure 4)."""
+    from .arch import CoprocessorConfig, UnbalancedEncoding
+    from .security import WhiteBoxEvaluation
+
+    if weak:
+        config = CoprocessorConfig(randomize_z=False,
+                                   mux_encoding=UnbalancedEncoding())
+    else:
+        config = CoprocessorConfig()
+    report = WhiteBoxEvaluation(config, n_traces=traces, n_bits=2,
+                                seed=2013).run()
+    return report.render()
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC 2013 low-energy ECC coprocessor reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="design-point summary")
+    sub.add_parser("energy", help="calibrated operating-point report")
+    sub.add_parser("area", help="gate-count table")
+    listing = sub.add_parser("listing", help="microcode listing")
+    listing.add_argument("--limit", type=int, default=40)
+    evaluate = sub.add_parser("evaluate", help="white-box attack battery")
+    evaluate.add_argument("--weak", action="store_true",
+                          help="evaluate the unprotected strawman")
+    evaluate.add_argument("--traces", type=int, default=80)
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        output = cmd_info()
+    elif args.command == "energy":
+        output = cmd_energy()
+    elif args.command == "area":
+        output = cmd_area()
+    elif args.command == "listing":
+        output = cmd_listing(limit=args.limit)
+    else:
+        output = cmd_evaluate(weak=args.weak, traces=args.traces)
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+    return 0

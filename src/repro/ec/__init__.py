@@ -1,0 +1,104 @@
+"""Elliptic curves over binary fields.
+
+The algorithm level of the paper's security pyramid: curve arithmetic,
+the Montgomery powering ladder with randomized projective coordinates,
+baseline scalar-multiplication algorithms, Koblitz-curve speed-ups and
+the NIST named curves (K-163 is the paper's design point).
+"""
+
+from .blinding import (
+    blind_scalar,
+    blinded_scalar_multiply,
+    point_blinded_multiply,
+)
+from .curve import BinaryEllipticCurve
+from .encoding import (
+    PointDecodingError,
+    decode_point,
+    encode_point,
+    point_wire_bits,
+)
+from .curves import (
+    CURVE_REGISTRY,
+    NIST_B163,
+    NIST_B233,
+    NIST_K163,
+    NIST_K233,
+    NamedCurve,
+    get_curve,
+)
+from .keys import (
+    KeyPair,
+    ecdh_shared_secret,
+    ecdsa_sign,
+    ecdsa_verify,
+    generate_keypair,
+)
+from .koblitz import frobenius, is_koblitz, tnaf, tnaf_multiply
+from .ladder import (
+    LadderExecution,
+    LadderIteration,
+    ladder_step,
+    montgomery_ladder,
+    montgomery_ladder_full,
+)
+from .memory import (
+    AlgorithmMemory,
+    MEMORY_PROFILES,
+    memory_profile,
+    register_area_ge,
+)
+from .modn import ScalarRing, is_probable_prime
+from .point import AffinePoint, LDProjectivePoint
+from .scalar_mult import (
+    double_and_add,
+    double_and_add_always,
+    non_adjacent_form,
+    width_w_naf,
+    wnaf_multiply,
+)
+
+__all__ = [
+    "AffinePoint",
+    "LDProjectivePoint",
+    "BinaryEllipticCurve",
+    "encode_point",
+    "decode_point",
+    "point_wire_bits",
+    "PointDecodingError",
+    "blind_scalar",
+    "blinded_scalar_multiply",
+    "point_blinded_multiply",
+    "AlgorithmMemory",
+    "MEMORY_PROFILES",
+    "memory_profile",
+    "register_area_ge",
+    "NamedCurve",
+    "NIST_K163",
+    "NIST_B163",
+    "NIST_K233",
+    "NIST_B233",
+    "CURVE_REGISTRY",
+    "get_curve",
+    "KeyPair",
+    "generate_keypair",
+    "ecdh_shared_secret",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "LadderExecution",
+    "LadderIteration",
+    "ladder_step",
+    "montgomery_ladder",
+    "montgomery_ladder_full",
+    "ScalarRing",
+    "is_probable_prime",
+    "double_and_add",
+    "double_and_add_always",
+    "non_adjacent_form",
+    "width_w_naf",
+    "wnaf_multiply",
+    "frobenius",
+    "is_koblitz",
+    "tnaf",
+    "tnaf_multiply",
+]

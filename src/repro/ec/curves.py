@@ -1,0 +1,127 @@
+"""Named NIST binary curves.
+
+The paper's chip implements NIST K-163 ("a Koblitz curve defined over
+F_2^163, which provides 80-bit security, equivalent to 1024-bit RSA",
+Section 4).  B-163 and the 233-bit curves are included for the
+security-scaling benches.
+
+Domain parameters follow FIPS 186 / SEC 2.  Each named curve is
+self-checked at import time: the generator must lie on the curve and
+the order must be prime.  (``n * G = infinity`` is verified in the
+test suite, not at import, to keep import cheap.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gf2m.field import BinaryField
+from ..gf2m.params import reduction_polynomial
+from .curve import BinaryEllipticCurve
+from .modn import ScalarRing, is_probable_prime
+from .point import AffinePoint
+
+__all__ = ["NamedCurve", "NIST_K163", "NIST_B163", "NIST_K233", "NIST_B233",
+           "CURVE_REGISTRY", "get_curve"]
+
+
+@dataclass(frozen=True)
+class NamedCurve:
+    """A standardized curve: the group the protocols run in."""
+
+    name: str
+    curve: BinaryEllipticCurve
+    generator: AffinePoint
+    order: int
+    cofactor: int
+
+    @property
+    def field(self) -> BinaryField:
+        """The underlying binary field."""
+        return self.curve.field
+
+    @property
+    def scalar_ring(self) -> ScalarRing:
+        """Arithmetic modulo the (prime) group order."""
+        return ScalarRing(self.order)
+
+    @property
+    def security_bits(self) -> int:
+        """Approximate symmetric-equivalent security level (Pollard rho)."""
+        return self.order.bit_length() // 2
+
+    def __repr__(self) -> str:
+        return f"NamedCurve({self.name}, {self.security_bits}-bit security)"
+
+
+def _make(name, m, a, b, gx, gy, n, h) -> NamedCurve:
+    field = BinaryField(m, reduction_polynomial(m))
+    curve = BinaryEllipticCurve(field, a, b)
+    generator = AffinePoint(gx, gy)
+    if not curve.is_on_curve(generator):
+        raise AssertionError(f"{name}: generator is not on the curve")
+    if not is_probable_prime(n):
+        raise AssertionError(f"{name}: order is not prime")
+    return NamedCurve(name, curve, generator, n, h)
+
+
+#: NIST K-163 / SEC sect163k1 — the paper's curve.
+NIST_K163 = _make(
+    "K-163",
+    163,
+    a=1,
+    b=1,
+    gx=0x2FE13C0537BBC11ACAA07D793DE4E6D5E5C94EEE8,
+    gy=0x289070FB05D38FF58321F2E800536D538CCDAA3D9,
+    n=0x4000000000000000000020108A2E0CC0D99F8A5EF,
+    h=2,
+)
+
+#: NIST B-163 / SEC sect163r2 — the random curve at the same level.
+NIST_B163 = _make(
+    "B-163",
+    163,
+    a=1,
+    b=0x20A601907B8C953CA1481EB10512F78744A3205FD,
+    gx=0x3F0EBA16286A2D57EA0991168D4994637E8343E36,
+    gy=0x0D51FBC6C71A0094FA2CDD545B11C5C0C797324F1,
+    n=0x40000000000000000000292FE77E70C12A4234C33,
+    h=2,
+)
+
+#: NIST K-233 / SEC sect233k1 — next Koblitz security level.
+NIST_K233 = _make(
+    "K-233",
+    233,
+    a=0,
+    b=1,
+    gx=0x17232BA853A7E731AF129F22FF4149563A419C26BF50A4C9D6EEFAD6126,
+    gy=0x1DB537DECE819B7F70F555A67C427A8CD9BF18AEB9B56E0C11056FAE6A3,
+    n=0x8000000000000000000000000000069D5BB915BCD46EFB1AD5F173ABDF,
+    h=4,
+)
+
+#: NIST B-233 / SEC sect233r1.
+NIST_B233 = _make(
+    "B-233",
+    233,
+    a=1,
+    b=0x066647EDE6C332C7F8C0923BB58213B333B20E9CE4281FE115F7D8F90AD,
+    gx=0x0FAC9DFCBAC8313BB2139F1BB755FEF65BC391F8B36F8F8EB7371FD558B,
+    gy=0x1006A08A41903350678E58528BEBF8A0BEFF867A7CA36716F7E01F81052,
+    n=0x1000000000000000000000000000013E974E72F8A6922031D2603CFE0D7,
+    h=2,
+)
+
+CURVE_REGISTRY = {
+    c.name: c for c in (NIST_K163, NIST_B163, NIST_K233, NIST_B233)
+}
+
+
+def get_curve(name: str) -> NamedCurve:
+    """Look up a named curve ("K-163", "B-163", "K-233", "B-233")."""
+    try:
+        return CURVE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CURVE_REGISTRY))
+        raise KeyError(f"unknown curve {name!r}; known curves: {known}") from None

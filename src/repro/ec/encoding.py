@@ -1,0 +1,88 @@
+"""Point wire encoding (SEC 1-style octet strings).
+
+The protocol messages of Figure 2 carry curve points over the air; a
+tag transmits them *compressed* (x plus one bit selecting y) because
+"the communication should be minimized" (Section 4).  This module is
+the codec: compressed (0x02/0x03), uncompressed (0x04) and the
+identity (a single 0x00), with strict validation on decode — a
+malformed or off-curve point must be rejected at the parser, before it
+reaches the scalar multiplier (the invalid-point defence's first
+line).
+"""
+
+from __future__ import annotations
+
+from .curve import BinaryEllipticCurve
+from .point import AffinePoint
+
+__all__ = ["encode_point", "decode_point", "point_wire_bits",
+           "PointDecodingError"]
+
+
+class PointDecodingError(ValueError):
+    """Raised for malformed or off-curve wire encodings."""
+
+
+def _field_bytes(curve: BinaryEllipticCurve) -> int:
+    return (curve.field.m + 7) // 8
+
+
+def encode_point(curve: BinaryEllipticCurve, point: AffinePoint,
+                 compressed: bool = True) -> bytes:
+    """Serialize a point.
+
+    Compressed: ``02 || x`` or ``03 || x`` (the tag bit is the SEC 1
+    y-selector, ``lsb(y / x)`` for binary curves).  Uncompressed:
+    ``04 || x || y``.  Identity: ``00``.
+    """
+    if point.is_infinity:
+        return b"\x00"
+    if not curve.is_on_curve(point):
+        raise PointDecodingError("refusing to encode an off-curve point")
+    size = _field_bytes(curve)
+    x_bytes = point.x.to_bytes(size, "big")
+    if compressed:
+        __, y_bit = curve.compress(point)
+        return bytes([0x02 | y_bit]) + x_bytes
+    return b"\x04" + x_bytes + point.y.to_bytes(size, "big")
+
+
+def decode_point(curve: BinaryEllipticCurve, data: bytes) -> AffinePoint:
+    """Parse and validate a wire encoding; raises on anything dubious."""
+    if not data:
+        raise PointDecodingError("empty encoding")
+    prefix = data[0]
+    size = _field_bytes(curve)
+    if prefix == 0x00:
+        if len(data) != 1:
+            raise PointDecodingError("identity encoding carries no payload")
+        return AffinePoint.infinity()
+    if prefix in (0x02, 0x03):
+        if len(data) != 1 + size:
+            raise PointDecodingError("bad compressed-point length")
+        x = int.from_bytes(data[1:], "big")
+        if x >= curve.field.order:
+            raise PointDecodingError("x is not a reduced field element")
+        point = curve.lift_x(x, prefix & 1)
+        if point is None:
+            raise PointDecodingError("x has no point on the curve")
+        return point
+    if prefix == 0x04:
+        if len(data) != 1 + 2 * size:
+            raise PointDecodingError("bad uncompressed-point length")
+        x = int.from_bytes(data[1:1 + size], "big")
+        y = int.from_bytes(data[1 + size:], "big")
+        if x >= curve.field.order or y >= curve.field.order:
+            raise PointDecodingError("coordinate is not reduced")
+        point = AffinePoint(x, y)
+        if not curve.is_on_curve(point):
+            raise PointDecodingError("point is not on the curve")
+        return point
+    raise PointDecodingError(f"unknown point prefix {prefix:#04x}")
+
+
+def point_wire_bits(curve: BinaryEllipticCurve,
+                    compressed: bool = True) -> int:
+    """Wire size in bits of a finite point under either encoding."""
+    size = _field_bytes(curve)
+    return 8 * (1 + size if compressed else 1 + 2 * size)

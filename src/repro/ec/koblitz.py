@@ -1,0 +1,103 @@
+"""Koblitz-curve arithmetic: the Frobenius endomorphism and tau-adic NAF.
+
+The paper's chip uses a Koblitz curve over GF(2^163) (Section 4).
+Koblitz curves ``y^2 + xy = x^3 + a*x^2 + 1`` with ``a`` in {0, 1} are
+defined over GF(2), so the Frobenius map ``tau(x, y) = (x^2, y^2)`` is
+a curve endomorphism satisfying ``tau^2 + 2 = mu * tau`` with
+``mu = (-1)^(1 - a)``.  Replacing doublings by (nearly free) squarings
+gives the classic Koblitz speed-up — an optimization the paper's
+design deliberately does NOT use for the secret scalar (the tau-NAF
+digit sequence is key-dependent, i.e. an SPA leak), but which this
+module implements as the efficiency upper bound for the
+algorithm-level benches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .curve import BinaryEllipticCurve
+from .point import AffinePoint
+
+__all__ = ["is_koblitz", "frobenius", "tnaf", "tnaf_multiply"]
+
+
+def is_koblitz(curve: BinaryEllipticCurve) -> bool:
+    """True iff the curve is a Koblitz (anomalous binary) curve."""
+    return curve.b == 1 and curve.a in (0, 1)
+
+
+def _mu(curve: BinaryEllipticCurve) -> int:
+    """The trace of Frobenius sign: mu = (-1)^(1-a)."""
+    return 1 if curve.a == 1 else -1
+
+
+def frobenius(curve: BinaryEllipticCurve, point: AffinePoint) -> AffinePoint:
+    """Apply the Frobenius endomorphism tau(x, y) = (x^2, y^2)."""
+    if point.is_infinity:
+        return point
+    f = curve.field
+    return AffinePoint(f.square_raw(point.x), f.square_raw(point.y))
+
+
+def tnaf(k: int, mu: int) -> list:
+    """tau-adic non-adjacent form of the integer ``k`` (LSD first).
+
+    Repeatedly divides the element ``r0 + r1*tau`` of Z[tau] by tau,
+    choosing digits in {-1, 0, 1} so that no two adjacent digits are
+    non-zero (Solinas' algorithm).  The expansion of a plain integer
+    has roughly twice the length of the scalar; production Koblitz
+    implementations first reduce k modulo (tau^m - 1), which is left
+    as the documented gap between this reference and a deployed one.
+    """
+    if mu not in (1, -1):
+        raise ValueError("mu must be +1 or -1")
+    r0, r1 = k, 0
+    digits = []
+    while r0 != 0 or r1 != 0:
+        if r0 & 1:
+            u = 2 - ((r0 - 2 * r1) % 4)
+            r0 -= u
+        else:
+            u = 0
+        digits.append(u)
+        # divide (r0 + r1*tau) by tau using tau^2 = mu*tau - 2:
+        # (r0 + r1*tau)/tau = (r1 + mu*r0/2) - (r0/2)*tau
+        r0, r1 = r1 + mu * (r0 // 2), -(r0 // 2)
+    return digits
+
+
+def tnaf_multiply(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    operations: Optional[list] = None,
+) -> AffinePoint:
+    """Scalar multiplication via the tau-adic NAF (Koblitz curves only).
+
+    Evaluates ``sum u_i * tau^i (P)`` Horner-style: doublings are
+    replaced by Frobenius applications (two field squarings).  When
+    ``operations`` is a list, appends ``F`` per Frobenius and ``A``/
+    ``S`` per add/subtract — a visibly key-dependent sequence.
+    """
+    if not is_koblitz(curve):
+        raise ValueError("tau-adic multiplication requires a Koblitz curve")
+    if k == 0 or point.is_infinity:
+        return AffinePoint.infinity()
+    if k < 0:
+        return tnaf_multiply(curve, -k, curve.negate(point), operations)
+    digits = tnaf(k, _mu(curve))
+    result = AffinePoint.infinity()
+    for u in reversed(digits):
+        result = frobenius(curve, result)
+        if operations is not None:
+            operations.append("F")
+        if u == 1:
+            result = curve.add(result, point)
+            if operations is not None:
+                operations.append("A")
+        elif u == -1:
+            result = curve.subtract(result, point)
+            if operations is not None:
+                operations.append("S")
+    return result

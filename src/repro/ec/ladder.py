@@ -1,0 +1,246 @@
+"""Montgomery powering ladder for binary curves (Algorithm 1 of the paper).
+
+The paper's coprocessor computes every point multiplication with the
+Montgomery powering ladder (MPL) in x-only López–Dahab coordinates:
+
+* the same two operations (one differential addition, one doubling)
+  run in every iteration regardless of the key bit — the algorithm-level
+  timing/SPA countermeasure;
+* only x-coordinates are carried (one coordinate = 163 bits of
+  storage), so the whole multiplication fits in six 163-bit registers;
+* the initial projective representation is randomized with a fresh
+  ``Z = r`` (``R <- (x*r : r)`` in Algorithm 1) — the DPA
+  countermeasure evaluated in Section 7.
+
+:func:`montgomery_ladder_full` additionally returns a
+:class:`LadderExecution` record with the per-iteration register values,
+which the side-channel layer uses both to *generate* leakage and to
+*predict* intermediates during DPA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from .curve import BinaryEllipticCurve
+from .point import AffinePoint
+
+__all__ = [
+    "LadderIteration",
+    "LadderExecution",
+    "montgomery_ladder",
+    "montgomery_ladder_full",
+    "ladder_step",
+]
+
+#: Field-operation cost of one ladder iteration (Madd + Mdouble):
+#: 6 multiplications and 4 squarings.
+MULS_PER_ITERATION = 6
+SQUARES_PER_ITERATION = 4
+
+
+@dataclass(frozen=True)
+class LadderIteration:
+    """Register state after one ladder iteration.
+
+    ``(X1, Z1)`` tracks ``prefix * P`` and ``(X2, Z2)`` tracks
+    ``(prefix + 1) * P`` where ``prefix`` is the key prefix consumed so
+    far — the Montgomery ladder invariant.
+    """
+
+    key_bit: int
+    X1: int
+    Z1: int
+    X2: int
+    Z2: int
+
+
+@dataclass
+class LadderExecution:
+    """Complete record of one Montgomery-ladder point multiplication."""
+
+    scalar: int
+    base: AffinePoint
+    initial_z: int
+    iterations: list = dataclass_field(default_factory=list)
+    result: Optional[AffinePoint] = None
+
+    @property
+    def num_iterations(self) -> int:
+        """Ladder iterations executed (bit length of the scalar minus 1)."""
+        return len(self.iterations)
+
+    @property
+    def field_multiplications(self) -> int:
+        """Total field multiplications in the ladder loop."""
+        return MULS_PER_ITERATION * self.num_iterations
+
+    @property
+    def field_squarings(self) -> int:
+        """Total field squarings in the ladder loop."""
+        return SQUARES_PER_ITERATION * self.num_iterations
+
+
+def _madd(f, x_base: int, x1: int, z1: int, x2: int, z2: int) -> tuple[int, int]:
+    """Differential addition: x(P1 + P2) from x(P1), x(P2), x(P1 - P2).
+
+    López–Dahab formulas, 4 multiplications + 1 squaring.
+    """
+    t1 = f.mul_raw(x1, z2)
+    t2 = f.mul_raw(x2, z1)
+    z3 = f.square_raw(t1 ^ t2)
+    x3 = f.mul_raw(x_base, z3) ^ f.mul_raw(t1, t2)
+    return x3, z3
+
+
+def _mdouble(f, sqrt_b: int, x: int, z: int) -> tuple[int, int]:
+    """Doubling: x(2P) from x(P).  2 multiplications + 3 squarings."""
+    x_sq = f.square_raw(x)
+    z_sq = f.square_raw(z)
+    x3 = f.square_raw(x_sq ^ f.mul_raw(sqrt_b, z_sq))
+    z3 = f.mul_raw(x_sq, z_sq)
+    return x3, z3
+
+
+def ladder_step(
+    curve: BinaryEllipticCurve,
+    x_base: int,
+    key_bit: int,
+    x1: int,
+    z1: int,
+    x2: int,
+    z2: int,
+) -> tuple[int, int, int, int]:
+    """One MPL iteration: swap-by-key-bit, then Madd + Mdouble.
+
+    The *same* two operations execute for either key bit; only the
+    operand routing (the multiplexer control of Figure 3) differs.
+    Returns the new ``(X1, Z1, X2, Z2)``.
+    """
+    f = curve.field
+    if key_bit:
+        x1, z1 = _madd(f, x_base, x1, z1, x2, z2)
+        x2, z2 = _mdouble(f, curve._sqrt_b, x2, z2)
+    else:
+        x2, z2 = _madd(f, x_base, x2, z2, x1, z1)
+        x1, z1 = _mdouble(f, curve._sqrt_b, x1, z1)
+    return x1, z1, x2, z2
+
+
+def _recover_y(
+    curve: BinaryEllipticCurve,
+    base: AffinePoint,
+    x1: int,
+    z1: int,
+    x2: int,
+    z2: int,
+) -> AffinePoint:
+    """López–Dahab y-recovery from the two final ladder x-coordinates."""
+    f = curve.field
+    if z1 == 0:
+        return AffinePoint.infinity()
+    if z2 == 0:
+        # (k+1)P = infinity, so kP = -P.
+        return curve.negate(base)
+    x, y = base.x, base.y
+    xa = f.mul_raw(x1, f.inverse_raw(z1))  # affine x of kP
+    xb = f.mul_raw(x2, f.inverse_raw(z2))  # affine x of (k+1)P
+    # y_k = (x_k + x) * [ (x_k + x)(x_{k+1} + x) + x^2 + y ] / x + y
+    t = f.mul_raw(xa ^ x, xb ^ x) ^ f.square_raw(x) ^ y
+    y_k = f.mul_raw(f.mul_raw(xa ^ x, t), f.inverse_raw(x)) ^ y
+    return AffinePoint(xa, y_k)
+
+
+def montgomery_ladder_full(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    rng=None,
+    randomize_z: bool = True,
+    initial_z: Optional[int] = None,
+) -> LadderExecution:
+    """Run the Montgomery powering ladder and record every iteration.
+
+    Parameters
+    ----------
+    curve, k, point:
+        The scalar multiplication ``k * point`` to compute (``k >= 0``).
+    rng:
+        Randomness source for the projective-coordinate randomization
+        (``random.Random``-compatible).  Required when ``randomize_z``
+        is True and ``initial_z`` is not given.
+    randomize_z:
+        The paper's DPA countermeasure.  When False, ``Z`` starts at 1
+        and every intermediate is a deterministic function of the key
+        and base point — the configuration in which Section 7's DPA
+        succeeds with ~200 traces.
+    initial_z:
+        Explicit randomization value; used by the white-box
+        "randomness known to the adversary" evaluation scenario.
+
+    Returns
+    -------
+    LadderExecution
+        With per-iteration ``(X1, Z1, X2, Z2)`` states and the affine
+        result (y recovered).
+    """
+    if k < 0:
+        raise ValueError("the ladder expects a non-negative scalar")
+    f = curve.field
+    if point.is_infinity or k == 0:
+        execution = LadderExecution(scalar=k, base=point, initial_z=1)
+        execution.result = AffinePoint.infinity()
+        return execution
+    if point.x == 0:
+        # The 2-torsion point; the x-only formulas degenerate (x_base
+        # appears as a multiplicand).  Fall back to the reference law.
+        execution = LadderExecution(scalar=k, base=point, initial_z=1)
+        execution.result = curve.multiply_naive(k, point)
+        return execution
+
+    if initial_z is not None:
+        z0 = initial_z
+    elif randomize_z:
+        if rng is None:
+            raise ValueError("randomize_z=True requires an rng (or initial_z)")
+        z0 = 0
+        while z0 == 0:
+            z0 = rng.getrandbits(f.m) & (f.order - 1)
+    else:
+        z0 = 1
+    if z0 == 0 or z0 >= f.order:
+        raise ValueError("initial Z must be a non-zero reduced field value")
+
+    execution = LadderExecution(scalar=k, base=point, initial_z=z0)
+    x = point.x
+    # R <- (x*r : r), Q <- 2P (Algorithm 1, projective randomization).
+    x1, z1 = f.mul_raw(x, z0), z0
+    x2, z2 = _mdouble(f, curve._sqrt_b, x1, z1)
+    t = k.bit_length()
+    for i in range(t - 2, -1, -1):
+        bit = (k >> i) & 1
+        x1, z1, x2, z2 = ladder_step(curve, x, bit, x1, z1, x2, z2)
+        execution.iterations.append(
+            LadderIteration(key_bit=bit, X1=x1, Z1=z1, X2=x2, Z2=z2)
+        )
+    execution.result = _recover_y(curve, point, x1, z1, x2, z2)
+    return execution
+
+
+def montgomery_ladder(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    rng=None,
+    randomize_z: bool = True,
+    initial_z: Optional[int] = None,
+) -> AffinePoint:
+    """Compute ``k * point`` with the Montgomery powering ladder.
+
+    Convenience wrapper around :func:`montgomery_ladder_full` that
+    discards the execution record.
+    """
+    return montgomery_ladder_full(
+        curve, k, point, rng=rng, randomize_z=randomize_z, initial_z=initial_z
+    ).result

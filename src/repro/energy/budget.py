@@ -1,0 +1,76 @@
+"""Device energy budgets: what security may cost an implant.
+
+Section 1: "the battery of a pacemaker will last for 5 to 15 years
+before it is replaced" — security operations must fit inside a small
+fraction of that budget.  This module turns battery capacity, expected
+lifetime and a security-budget fraction into the number the designer
+actually needs: how many cryptographic operations per day the device
+can afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceBudget", "PACEMAKER_BUDGET"]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class DeviceBudget:
+    """Battery-backed device energy envelope.
+
+    Parameters
+    ----------
+    battery_joules:
+        Usable battery energy (a pacemaker cell ~ 1.5 Ah at 2.8 V with
+        ~80% usable is roughly 12 kJ).
+    target_lifetime_years:
+        The replacement interval the therapy demands.
+    security_fraction:
+        Share of the total budget the security subsystem may consume.
+    """
+
+    battery_joules: float = 12_000.0
+    target_lifetime_years: float = 10.0
+    security_fraction: float = 0.05
+
+    def __post_init__(self):
+        if self.battery_joules <= 0 or self.target_lifetime_years <= 0:
+            raise ValueError("battery and lifetime must be positive")
+        if not 0 < self.security_fraction <= 1:
+            raise ValueError("security fraction must be in (0, 1]")
+
+    @property
+    def security_joules(self) -> float:
+        """Lifetime energy allowance of the security subsystem."""
+        return self.battery_joules * self.security_fraction
+
+    @property
+    def average_security_power_watts(self) -> float:
+        """Average power the allowance sustains over the lifetime."""
+        return self.security_joules / (
+            self.target_lifetime_years * _SECONDS_PER_YEAR
+        )
+
+    def operations_per_day(self, energy_per_operation_joules: float) -> float:
+        """How many operations/day the allowance supports."""
+        if energy_per_operation_joules <= 0:
+            raise ValueError("per-operation energy must be positive")
+        per_day = self.security_joules / (
+            energy_per_operation_joules * self.target_lifetime_years * 365.25
+        )
+        return per_day
+
+    def lifetime_years_at(self, operations_per_day: float,
+                          energy_per_operation_joules: float) -> float:
+        """Security-budget lifetime under a given usage rate."""
+        if operations_per_day <= 0:
+            raise ValueError("operation rate must be positive")
+        daily = operations_per_day * energy_per_operation_joules
+        return self.security_joules / (daily * 365.25)
+
+
+#: The paper's motivating device.
+PACEMAKER_BUDGET = DeviceBudget()

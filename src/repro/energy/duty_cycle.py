@@ -1,0 +1,77 @@
+"""Duty-cycle modelling: what the device does between protocol runs.
+
+The implant spends almost all of its life asleep; the average power
+that determines battery life is dominated by sleep current plus the
+duty-cycled bursts of sensing, crypto and radio.  This model turns a
+daily activity schedule into average power and battery-lifetime
+figures, closing the loop between the paper's per-operation energies
+and its "5 to 15 years" battery requirement (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+__all__ = ["Activity", "DutyCycleModel"]
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One recurring task: energy per occurrence and daily frequency."""
+
+    name: str
+    energy_joules: float
+    times_per_day: float
+
+    def __post_init__(self):
+        if self.energy_joules < 0 or self.times_per_day < 0:
+            raise ValueError("energy and frequency must be non-negative")
+
+    @property
+    def daily_joules(self) -> float:
+        """Energy per day for this activity."""
+        return self.energy_joules * self.times_per_day
+
+
+@dataclass
+class DutyCycleModel:
+    """Sleep floor plus a schedule of recurring activities."""
+
+    sleep_power_watts: float = 1e-6  # pacemaker-class sleep current
+    activities: list = dataclass_field(default_factory=list)
+
+    def add(self, name: str, energy_joules: float,
+            times_per_day: float) -> "DutyCycleModel":
+        """Add a recurring activity (chainable)."""
+        self.activities.append(Activity(name, energy_joules, times_per_day))
+        return self
+
+    @property
+    def daily_active_joules(self) -> float:
+        """Energy per day spent on the scheduled activities."""
+        return sum(a.daily_joules for a in self.activities)
+
+    @property
+    def average_power_watts(self) -> float:
+        """Sleep floor plus amortized activity power."""
+        return self.sleep_power_watts + \
+            self.daily_active_joules / _SECONDS_PER_DAY
+
+    def lifetime_years(self, battery_joules: float) -> float:
+        """Battery life under this schedule."""
+        if battery_joules <= 0:
+            raise ValueError("battery energy must be positive")
+        seconds = battery_joules / self.average_power_watts
+        return seconds / (365.25 * 24 * 3600)
+
+    def breakdown(self) -> dict:
+        """Share of the average power per contributor (incl. sleep)."""
+        total = self.average_power_watts
+        shares = {"sleep": self.sleep_power_watts / total}
+        for activity in self.activities:
+            shares[activity.name] = (
+                activity.daily_joules / _SECONDS_PER_DAY / total
+            )
+        return shares

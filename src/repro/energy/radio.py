@@ -1,0 +1,66 @@
+"""Radio energy model: the cost of moving bits over the air.
+
+Section 4: "the communication should be minimized since wireless
+communication is power-hungry", and the secret-key vs public-key
+comparison "depends on the cryptographic algorithm, the digital
+platform and the wireless distance over which the communication occurs"
+[4, 5].  The standard first-order radio model makes the distance
+dependence explicit:
+
+    E_tx(bits, d) = bits * (e_elec + e_amp * d^gamma)
+    E_rx(bits)    = bits * e_elec
+
+with ``gamma = 2`` free-space loss for short ranges.  Defaults follow
+the wireless-sensor-network literature the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RadioModel", "BAN_RADIO"]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """First-order transceiver energy model.
+
+    Parameters
+    ----------
+    electronics_j_per_bit:
+        Energy of the TX/RX circuitry per bit (e_elec).
+    amplifier_j_per_bit_m2:
+        Amplifier energy per bit per m^gamma (e_amp).
+    path_loss_exponent:
+        gamma; 2 for free space, up to ~4 around the human body.
+    """
+
+    electronics_j_per_bit: float = 50e-9
+    amplifier_j_per_bit_m2: float = 100e-12
+    path_loss_exponent: float = 2.0
+
+    def __post_init__(self):
+        if self.electronics_j_per_bit < 0 or self.amplifier_j_per_bit_m2 < 0:
+            raise ValueError("energy coefficients must be non-negative")
+        if self.path_loss_exponent < 1:
+            raise ValueError("path-loss exponent must be >= 1")
+
+    def transmit_energy(self, bits: int, distance_m: float) -> float:
+        """Joules to transmit ``bits`` over ``distance_m`` meters."""
+        if bits < 0 or distance_m < 0:
+            raise ValueError("bits and distance must be non-negative")
+        return bits * (
+            self.electronics_j_per_bit
+            + self.amplifier_j_per_bit_m2
+            * distance_m ** self.path_loss_exponent
+        )
+
+    def receive_energy(self, bits: int) -> float:
+        """Joules to receive ``bits``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits * self.electronics_j_per_bit
+
+
+#: Body-area-network radio with a lossier around-the-body channel.
+BAN_RADIO = RadioModel(path_loss_exponent=3.0)

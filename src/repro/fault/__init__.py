@@ -1,0 +1,44 @@
+"""Fault attacks and countermeasures (the active-adversary dimension).
+
+Fault injection into ladder / double-and-add-always executions, the
+safe-error and invalid-curve attacks, and the validation
+countermeasures that stop them.
+"""
+
+from .attacks import (
+    InvalidCurvePoint,
+    count_points,
+    find_small_order_invalid_point,
+    invalid_curve_residue,
+    quadratic_twist,
+    safe_error_attack,
+)
+from .countermeasures import (
+    FaultDetectedError,
+    HardenedMultiplier,
+    validate_input_point,
+)
+from .injector import (
+    FaultKind,
+    FaultSpec,
+    faulty_double_and_add_always,
+    faulty_montgomery_ladder,
+    flip_bit,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "flip_bit",
+    "faulty_montgomery_ladder",
+    "faulty_double_and_add_always",
+    "safe_error_attack",
+    "find_small_order_invalid_point",
+    "invalid_curve_residue",
+    "InvalidCurvePoint",
+    "quadratic_twist",
+    "count_points",
+    "FaultDetectedError",
+    "validate_input_point",
+    "HardenedMultiplier",
+]

@@ -1,0 +1,152 @@
+"""Fault injection into point-multiplication executions.
+
+The paper requires the co-processor operations to be "protected
+against side-channel attacks and fault attacks" (Section 4).  The
+active-adversary half of that sentence: a glitch or laser pulse flips
+state bits mid-computation.  This module injects such faults into the
+algorithm-level ladder and into double-and-add-always, producing the
+(possibly invalid) outputs that :mod:`repro.fault.attacks` exploits
+and :mod:`repro.fault.countermeasures` must catch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ec.curve import BinaryEllipticCurve
+from ..ec.ladder import _madd, _mdouble
+from ..ec.point import AffinePoint
+
+__all__ = ["FaultKind", "FaultSpec", "flip_bit", "faulty_montgomery_ladder",
+           "faulty_double_and_add_always"]
+
+
+class FaultKind(enum.Enum):
+    """Supported physical fault models."""
+
+    BIT_FLIP = "bit_flip"          # transient single-bit upset
+    STUCK_AT_ZERO = "stuck_zero"   # register cleared
+    SKIP = "skip"                  # operation not executed
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Where and what to inject.
+
+    ``iteration`` indexes ladder iterations (0-based); ``target`` names
+    the ladder register ("X1", "Z1", "X2", "Z2"); ``bit`` selects the
+    flipped bit for BIT_FLIP.
+    """
+
+    iteration: int
+    target: str = "X1"
+    bit: int = 0
+    kind: FaultKind = FaultKind.BIT_FLIP
+
+    def __post_init__(self):
+        if self.iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        if self.target not in ("X1", "Z1", "X2", "Z2"):
+            raise ValueError("target must be one of X1, Z1, X2, Z2")
+        if self.bit < 0:
+            raise ValueError("bit index must be non-negative")
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Flip one bit of a value."""
+    return value ^ (1 << bit)
+
+
+def _apply(spec: FaultSpec, state: dict) -> None:
+    if spec.kind is FaultKind.BIT_FLIP:
+        state[spec.target] = flip_bit(state[spec.target], spec.bit)
+    elif spec.kind is FaultKind.STUCK_AT_ZERO:
+        state[spec.target] = 0
+    # SKIP is handled at the call site (the operation is not executed).
+
+
+def faulty_montgomery_ladder(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    fault: Optional[FaultSpec] = None,
+) -> AffinePoint:
+    """Montgomery ladder (x-only, Z = 1) with an optional injected fault.
+
+    Returns whatever the corrupted datapath produces — typically a
+    point that is NOT on the curve or not the correct multiple.  Runs
+    without the Z-randomization so fault effects are repeatable (the
+    attacker triggers at a fixed cycle).
+    """
+    if k < 1 or point.is_infinity or point.x == 0:
+        raise ValueError("faulty ladder expects k >= 1 and a generic point")
+    f = curve.field
+    x = point.x
+    state = {"X1": x, "Z1": 1}
+    state["X2"], state["Z2"] = _mdouble(f, curve._sqrt_b, state["X1"], state["Z1"])
+    t = k.bit_length()
+    for index, i in enumerate(range(t - 2, -1, -1)):
+        skip = (
+            fault is not None
+            and fault.kind is FaultKind.SKIP
+            and fault.iteration == index
+        )
+        if not skip:
+            bit = (k >> i) & 1
+            if bit:
+                state["X1"], state["Z1"] = _madd(
+                    f, x, state["X1"], state["Z1"], state["X2"], state["Z2"]
+                )
+                state["X2"], state["Z2"] = _mdouble(
+                    f, curve._sqrt_b, state["X2"], state["Z2"]
+                )
+            else:
+                state["X2"], state["Z2"] = _madd(
+                    f, x, state["X2"], state["Z2"], state["X1"], state["Z1"]
+                )
+                state["X1"], state["Z1"] = _mdouble(
+                    f, curve._sqrt_b, state["X1"], state["Z1"]
+                )
+        if fault is not None and fault.iteration == index and not skip:
+            _apply(fault, state)
+    if state["Z1"] == 0:
+        return AffinePoint.infinity()
+    # x-only output lifted with an arbitrary y-bit: faults corrupt x,
+    # which is what the attacks inspect.
+    x_out = f.mul_raw(state["X1"], f.inverse_raw(state["Z1"]))
+    lifted = curve.lift_x(x_out)
+    if lifted is None:
+        # The corrupted x has no point on the curve at all; surface it
+        # as a raw (off-curve) coordinate pair.
+        return AffinePoint(x_out, 0)
+    return lifted
+
+
+def faulty_double_and_add_always(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    fault_iteration: Optional[int] = None,
+) -> AffinePoint:
+    """Double-and-add-always with a fault in one iteration's *addition*.
+
+    The C safe-error model: the addition result is corrupted in
+    iteration ``fault_iteration``.  If that addition was the dummy
+    (key bit 0), the fault vanishes from the output — the attacker
+    learns the key bit by checking whether the result changed.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    result = point
+    for index, i in enumerate(range(k.bit_length() - 2, -1, -1)):
+        result = curve.double(result)
+        real = curve.add(result, point)
+        if fault_iteration is not None and index == fault_iteration:
+            # Corrupt the adder's output register.
+            if not real.is_infinity:
+                real = AffinePoint(flip_bit(real.x, 0), real.y)
+        if (k >> i) & 1:
+            result = real
+    return result

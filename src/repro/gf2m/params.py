@@ -1,0 +1,38 @@
+"""Standard reduction polynomials for NIST binary fields.
+
+The paper's coprocessor works over GF(2^163) with the NIST K-163/B-163
+reduction pentanomial.  The other NIST binary-field sizes are included
+so the library scales beyond the 80-bit security level the paper
+targets (Section 1 argues medical data needs security levels that last
+many years, which eventually forces larger fields).
+"""
+
+from __future__ import annotations
+
+from .polynomial import poly_from_coefficients
+
+__all__ = ["NIST_REDUCTION_POLYNOMIALS", "reduction_polynomial"]
+
+# Degree -> exponent list of the NIST-recommended irreducible polynomial
+# (FIPS 186, appendix D.4): trinomials where they exist, pentanomials
+# otherwise.
+_NIST_EXPONENTS = {
+    163: [163, 7, 6, 3, 0],
+    233: [233, 74, 0],
+    283: [283, 12, 7, 5, 0],
+    409: [409, 87, 0],
+    571: [571, 10, 5, 2, 0],
+}
+
+NIST_REDUCTION_POLYNOMIALS = {
+    m: poly_from_coefficients(exps) for m, exps in _NIST_EXPONENTS.items()
+}
+
+
+def reduction_polynomial(m: int) -> int:
+    """Return the NIST reduction polynomial for GF(2^m).
+
+    Raises ``KeyError`` for non-NIST degrees; callers with custom
+    fields should pass their own polynomial to ``BinaryField``.
+    """
+    return NIST_REDUCTION_POLYNOMIALS[m]

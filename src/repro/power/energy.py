@@ -1,0 +1,143 @@
+"""The calibrated energy model: watts, joules and throughput.
+
+The chip's published operating point (Section 6) —
+
+    50.4 uW at 847.5 kHz and Vdd = 1 V; 5.1 uJ per point
+    multiplication; 9.8 point multiplications per second
+
+— is reproduced by calibrating a single constant, the energy per
+toggle-unit, against one simulated execution.  Everything else
+(energy/PM, throughput, digit-size and voltage/frequency scaling)
+follows from the cycle counts and activity the architecture model
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.coprocessor import EccCoprocessor
+from ..arch.trace import ExecutionTrace
+from .models import CmosLeakageModel, LeakageModel
+from .technology import (
+    OperatingPoint,
+    PAPER_OPERATING_POINT,
+    PAPER_POWER_WATTS,
+    TechnologyParams,
+    UMC_130NM,
+)
+
+__all__ = ["EnergyModel", "EnergyReport", "calibrate_energy_model"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Power/energy/throughput of one operation at one operating point."""
+
+    cycles: int
+    frequency_hz: float
+    power_watts: float
+    energy_joules: float
+    duration_seconds: float
+
+    @property
+    def operations_per_second(self) -> float:
+        """Throughput, assuming back-to-back operations."""
+        return 1.0 / self.duration_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cycles} cycles @ {self.frequency_hz / 1e3:.1f} kHz: "
+            f"{self.power_watts * 1e6:.1f} uW, "
+            f"{self.energy_joules * 1e6:.2f} uJ, "
+            f"{self.operations_per_second:.2f} op/s"
+        )
+
+
+class EnergyModel:
+    """Converts switching activity into electrical units.
+
+    Parameters
+    ----------
+    energy_per_toggle:
+        Joules consumed per toggle-unit at the nominal voltage — the
+        calibration constant.
+    technology:
+        Process parameters (voltage scaling, leakage share).
+    leakage_model:
+        Electrical style used to turn activity into consumed charge.
+    """
+
+    def __init__(self, energy_per_toggle: float,
+                 technology: TechnologyParams = UMC_130NM,
+                 leakage_model: Optional[LeakageModel] = None):
+        if energy_per_toggle <= 0:
+            raise ValueError("energy per toggle must be positive")
+        self.energy_per_toggle = energy_per_toggle
+        self.technology = technology
+        self.leakage_model = leakage_model or CmosLeakageModel()
+
+    def _dynamic_energy(self, execution: ExecutionTrace,
+                        point: OperatingPoint) -> float:
+        consumed = float(self.leakage_model.consumed(execution).sum())
+        return (
+            consumed
+            * self.energy_per_toggle
+            * self.technology.dynamic_scale(point)
+        )
+
+    def report(self, execution: ExecutionTrace,
+               point: OperatingPoint = PAPER_OPERATING_POINT) -> EnergyReport:
+        """Full electrical characterization of one execution."""
+        duration = execution.cycles / point.frequency_hz
+        dynamic = self._dynamic_energy(execution, point)
+        # Static power is a fixed fraction of total at the calibration
+        # point: total = dynamic / (1 - static_fraction).
+        total_energy = dynamic / (1.0 - self.technology.static_fraction)
+        power = total_energy / duration
+        return EnergyReport(
+            cycles=execution.cycles,
+            frequency_hz=point.frequency_hz,
+            power_watts=power,
+            energy_joules=total_energy,
+            duration_seconds=duration,
+        )
+
+    def energy_per_operation(self, execution: ExecutionTrace,
+                             point: OperatingPoint = PAPER_OPERATING_POINT) -> float:
+        """Joules for one execution of the given trace."""
+        return self.report(execution, point).energy_joules
+
+
+def calibrate_energy_model(
+    coprocessor: EccCoprocessor,
+    target_power_watts: float = PAPER_POWER_WATTS,
+    point: OperatingPoint = PAPER_OPERATING_POINT,
+    technology: TechnologyParams = UMC_130NM,
+    leakage_model: Optional[LeakageModel] = None,
+) -> EnergyModel:
+    """Fit ``energy_per_toggle`` so average power matches the paper.
+
+    Runs one representative point multiplication and solves for the
+    per-toggle energy that makes the average power at the paper's
+    operating point equal ``target_power_watts`` (50.4 uW).  The
+    energy per point multiplication and the throughput then follow
+    from the simulated cycle count — landing at ~5.1 uJ and ~9.8 PM/s,
+    the paper's numbers.
+    """
+    model = leakage_model or CmosLeakageModel()
+    execution = coprocessor.point_multiply(
+        coprocessor.domain.order // 3,  # a typical dense scalar
+        coprocessor.domain.generator,
+        initial_z=1,
+        recover_y=True,
+    )
+    consumed = float(model.consumed(execution).sum())
+    duration = execution.cycles / point.frequency_hz
+    target_energy = target_power_watts * duration
+    dynamic_target = target_energy * (1.0 - technology.static_fraction)
+    energy_per_toggle = dynamic_target / (
+        consumed * technology.dynamic_scale(point)
+    )
+    return EnergyModel(energy_per_toggle, technology, model)

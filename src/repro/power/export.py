@@ -1,0 +1,92 @@
+"""Trace export and aggregation utilities.
+
+The glue between the virtual oscilloscope and external analysis
+tooling (MATLAB in the paper's Figure 4; numpy/CSV here): persist
+campaigns to ``.npz``, dump single traces to CSV, and compute averaged
+per-iteration profiles — the "power signature" plots the SPA
+discussion reasons about.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .simulator import TraceSet
+
+__all__ = ["save_traceset", "load_traceset", "trace_to_csv",
+           "iteration_profile"]
+
+
+def save_traceset(traces: TraceSet, path) -> None:
+    """Persist a campaign to a ``.npz`` archive.
+
+    Inputs are stored as (x, y) coordinate pairs; ground-truth key bits
+    travel with the archive because the format serves *evaluation*
+    campaigns (a real adversary's capture obviously has no such field).
+    """
+    path = pathlib.Path(path)
+    arrays = {
+        "samples": traces.samples,
+        "inputs_x": np.array([p.x for p in traces.inputs], dtype=object),
+        "inputs_y": np.array([p.y for p in traces.inputs], dtype=object),
+        "iteration_slices": np.asarray(traces.iteration_slices,
+                                       dtype=np.int64),
+        "key_bits": np.asarray(traces.key_bits, dtype=np.int8),
+    }
+    if traces.known_randomness is not None:
+        arrays["known_randomness"] = np.array(traces.known_randomness,
+                                              dtype=object)
+    np.savez_compressed(path, **arrays)
+
+
+def load_traceset(path) -> TraceSet:
+    """Load a campaign saved by :func:`save_traceset`."""
+    from ..ec.point import AffinePoint
+
+    with np.load(pathlib.Path(path), allow_pickle=True) as archive:
+        inputs = [
+            AffinePoint(int(x), int(y))
+            for x, y in zip(archive["inputs_x"], archive["inputs_y"])
+        ]
+        known = None
+        if "known_randomness" in archive:
+            known = [int(z) for z in archive["known_randomness"]]
+        return TraceSet(
+            samples=archive["samples"],
+            inputs=inputs,
+            iteration_slices=[tuple(map(int, row))
+                              for row in archive["iteration_slices"]],
+            key_bits=[int(b) for b in archive["key_bits"]],
+            known_randomness=known,
+        )
+
+
+def trace_to_csv(samples: np.ndarray, path) -> None:
+    """Write one trace (or a matrix of traces) as CSV, one row per trace."""
+    matrix = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    np.savetxt(pathlib.Path(path), matrix, delimiter=",", fmt="%.6f")
+
+
+def iteration_profile(samples: np.ndarray, iteration_slices: list,
+                      width: int = None) -> np.ndarray:
+    """Average power profile of a ladder iteration.
+
+    Aligns every iteration window (they all have the same schedule —
+    the device is constant-time), truncates to the shortest (or the
+    given ``width``) and averages across iterations and traces.  The
+    result is the per-cycle "signature" of one ladder step.
+    """
+    matrix = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    if not iteration_slices:
+        raise ValueError("no iteration windows supplied")
+    min_width = min(end - start for start, end in iteration_slices)
+    if width is not None:
+        if width < 1 or width > min_width:
+            raise ValueError("width out of range for these windows")
+        min_width = width
+    windows = [
+        matrix[:, start:start + min_width] for start, __ in iteration_slices
+    ]
+    return np.mean(np.stack(windows), axis=(0, 1))

@@ -1,0 +1,65 @@
+"""CMOS technology parameters and scaling laws.
+
+The paper's chip is fabricated in UMC 0.13 um and characterized at one
+operating point: 847.5 kHz, Vdd = 1 V, 50.4 uW, 5.1 uJ per point
+multiplication (Section 6).  We have no silicon, so the technology
+model is *calibrated* to that point and used to extrapolate along the
+standard first-order laws: dynamic power ~ C * Vdd^2 * f * activity,
+static power ~ Vdd * I_leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParams", "UMC_130NM", "PAPER_OPERATING_POINT",
+           "OperatingPoint"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair the chip is characterized at."""
+
+    frequency_hz: float
+    vdd: float
+
+    def __post_init__(self):
+        if self.frequency_hz <= 0 or self.vdd <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A CMOS process node, as seen by the energy model.
+
+    ``nominal_vdd`` anchors the voltage-scaling law; ``static_fraction``
+    is the share of total power that is leakage at the calibration
+    point (small for 0.13 um at ~1 MHz).
+    """
+
+    name: str
+    feature_size_nm: float
+    nominal_vdd: float
+    static_fraction: float = 0.02
+
+    def __post_init__(self):
+        if not 0.0 <= self.static_fraction < 1.0:
+            raise ValueError("static fraction must be in [0, 1)")
+
+    def dynamic_scale(self, point: OperatingPoint) -> float:
+        """Dynamic-energy-per-toggle multiplier vs the nominal voltage."""
+        return (point.vdd / self.nominal_vdd) ** 2
+
+
+#: The paper's process.
+UMC_130NM = TechnologyParams(
+    name="UMC 0.13um CMOS", feature_size_nm=130.0, nominal_vdd=1.0
+)
+
+#: The paper's measured operating point (Section 6).
+PAPER_OPERATING_POINT = OperatingPoint(frequency_hz=847_500.0, vdd=1.0)
+
+#: Published measurements at that point, used for calibration.
+PAPER_POWER_WATTS = 50.4e-6
+PAPER_ENERGY_PER_PM_JOULES = 5.1e-6
+PAPER_THROUGHPUT_PM_PER_S = 9.8

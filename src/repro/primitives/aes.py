@@ -1,0 +1,213 @@
+"""AES-128 from scratch.
+
+The paper's protocol discussion (Section 4) uses AES as the canonical
+secret-key algorithm: "protocols based on secret key algorithms, like
+AES, are often cheaper in computation cost but not necessarily in
+communication cost".  This implementation is the functional substrate
+of the symmetric mutual-authentication baseline protocol and of the
+AES-CTR DRBG.
+
+The S-box is derived algebraically (inversion in GF(2^8) followed by
+the affine transform) rather than hard-coded — the same GF(2^m)
+machinery that powers the ECC side, at m = 8.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Aes128", "SBOX", "INV_SBOX"]
+
+_AES_MODULUS = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def _gf256_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) with the AES reduction polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _AES_MODULUS
+        b >>= 1
+    return result
+
+
+def _gf256_inverse(a: int) -> int:
+    """Inverse in GF(2^8); 0 maps to 0 by AES convention."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254
+    result = 1
+    base = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf256_mul(result, base)
+        base = _gf256_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    sbox = []
+    for value in range(256):
+        inv = _gf256_inverse(value)
+        out = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            out |= b << bit
+        sbox.append(out)
+    return tuple(sbox)
+
+
+SBOX = _build_sbox()
+INV_SBOX = tuple(SBOX.index(i) for i in range(256))
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+class Aes128:
+    """AES with a 128-bit key (10 rounds), block encrypt/decrypt + CTR.
+
+    Examples
+    --------
+    >>> key = bytes(range(16))
+    >>> aes = Aes128(key)
+    >>> block = b"sixteen byte msg"
+    >>> aes.decrypt_block(aes.encrypt_block(block)) == block
+    True
+    """
+
+    block_size = 16
+    key_size = 16
+    rounds = 10
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list:
+        words = [list(key[4 * i: 4 * i + 4]) for i in range(4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for r in range(11):
+            flat = []
+            for w in words[4 * r: 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    # State layout: flat list of 16 bytes, column-major as in FIPS 197
+    # (byte i of the input is state[i], rows are i % 4).
+
+    @staticmethod
+    def _sub_bytes(state: list) -> list:
+        return [SBOX[b] for b in state]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list) -> list:
+        return [INV_SBOX[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state: list) -> list:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list) -> list:
+        out = [0] * 16
+        for col in range(4):
+            for row in range(4):
+                out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+        return out
+
+    @staticmethod
+    def _mix_single_column(col: list, matrix: tuple) -> list:
+        rows = (matrix[0:4], matrix[4:8], matrix[8:12], matrix[12:16])
+        return [
+            _gf256_mul(row[0], col[0])
+            ^ _gf256_mul(row[1], col[1])
+            ^ _gf256_mul(row[2], col[2])
+            ^ _gf256_mul(row[3], col[3])
+            for row in rows
+        ]
+
+    _MIX = (2, 3, 1, 1, 1, 2, 3, 1, 1, 1, 2, 3, 3, 1, 1, 2)
+    _INV_MIX = (14, 11, 13, 9, 9, 14, 11, 13, 13, 9, 14, 11, 11, 13, 9, 14)
+
+    @classmethod
+    def _mix_columns(cls, state: list, matrix: tuple) -> list:
+        out = []
+        for col in range(4):
+            column = state[4 * col: 4 * col + 4]
+            out.extend(cls._mix_single_column(column, matrix))
+        return out
+
+    @staticmethod
+    def _add_round_key(state: list, round_key: list) -> list:
+        return [s ^ k for s, k in zip(state, round_key)]
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(plaintext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = self._add_round_key(list(plaintext), self._round_keys[0])
+        for r in range(1, 10):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state, self._MIX)
+            state = self._add_round_key(state, self._round_keys[r])
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = self._add_round_key(list(ciphertext), self._round_keys[10])
+        for r in range(9, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._inv_sub_bytes(state)
+            state = self._add_round_key(state, self._round_keys[r])
+            state = self._mix_columns(state, self._INV_MIX)
+        state = self._inv_shift_rows(state)
+        state = self._inv_sub_bytes(state)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    def ctr_keystream(self, nonce: bytes, length: int) -> bytes:
+        """CTR-mode keystream: E(nonce || counter) blocks, big-endian counter."""
+        if len(nonce) != 8:
+            raise ValueError("CTR nonce must be 8 bytes (8-byte counter follows)")
+        stream = bytearray()
+        counter = 0
+        while len(stream) < length:
+            block = nonce + counter.to_bytes(8, "big")
+            stream.extend(self.encrypt_block(block))
+            counter += 1
+        return bytes(stream[:length])
+
+    def ctr_encrypt(self, nonce: bytes, data: bytes) -> bytes:
+        """CTR encryption (and decryption — it is an involution)."""
+        stream = self.ctr_keystream(nonce, len(data))
+        return bytes(d ^ s for d, s in zip(data, stream))

@@ -1,0 +1,108 @@
+"""PRESENT-80: the ultra-lightweight block cipher (from scratch).
+
+Section 4's implementation-size discussion is about what a tag can
+afford; PRESENT (Bogdanov et al., CHES 2007) is the era's canonical
+answer on the symmetric side at ~1570 GE — less than a third of the
+smallest SHA-1 and an order of magnitude below the ECC core.  It is
+included so the gate-count bench (E8) and the protocol baselines can
+quote a genuinely tag-sized cipher next to AES.
+
+64-bit blocks, 80-bit keys, 31 rounds of addRoundKey / sBoxLayer /
+pLayer plus a final key addition (the original PRESENT-80 as
+specified, matching the published test vectors).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Present80", "PRESENT80_GATES"]
+
+#: Published gate count of the original PRESENT-80 implementation.
+PRESENT80_GATES = 1570
+
+_SBOX = (0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+         0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2)
+_INV_SBOX = tuple(_SBOX.index(i) for i in range(16))
+
+_ROUNDS = 31
+_MASK64 = (1 << 64) - 1
+_MASK80 = (1 << 80) - 1
+
+
+def _permute(state: int, inverse: bool = False) -> int:
+    """The pLayer: bit i moves to position 16*i mod 63 (63 fixed)."""
+    out = 0
+    for i in range(64):
+        if inverse:
+            target = i
+            source = (16 * i) % 63 if i != 63 else 63
+        else:
+            source = i
+            target = (16 * i) % 63 if i != 63 else 63
+        out |= ((state >> source) & 1) << target
+    return out
+
+
+def _sbox_layer(state: int, box) -> int:
+    out = 0
+    for nibble in range(16):
+        value = (state >> (4 * nibble)) & 0xF
+        out |= box[value] << (4 * nibble)
+    return out
+
+
+class Present80:
+    """PRESENT with an 80-bit key.
+
+    Examples
+    --------
+    >>> cipher = Present80(bytes(10))
+    >>> cipher.encrypt_block(bytes(8)).hex()
+    '5579c1387b228445'
+    """
+
+    block_size = 8
+    key_size = 10
+    rounds = _ROUNDS
+
+    def __init__(self, key: bytes):
+        if len(key) != 10:
+            raise ValueError("PRESENT-80 requires a 10-byte key")
+        self._round_keys = self._expand_key(int.from_bytes(key, "big"))
+
+    @staticmethod
+    def _expand_key(key: int) -> list:
+        round_keys = []
+        for round_counter in range(1, _ROUNDS + 2):
+            round_keys.append(key >> 16)  # top 64 bits
+            # 61-bit left rotation of the 80-bit register.
+            key = ((key << 61) | (key >> 19)) & _MASK80
+            # S-box on the top nibble.
+            top = _SBOX[(key >> 76) & 0xF]
+            key = (key & ~(0xF << 76)) | (top << 76)
+            # XOR the round counter into bits 19..15.
+            key ^= round_counter << 15
+        return round_keys
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 8-byte block."""
+        if len(plaintext) != 8:
+            raise ValueError("PRESENT block must be 8 bytes")
+        state = int.from_bytes(plaintext, "big")
+        for round_index in range(_ROUNDS):
+            state ^= self._round_keys[round_index]
+            state = _sbox_layer(state, _SBOX)
+            state = _permute(state)
+        state ^= self._round_keys[_ROUNDS]
+        return state.to_bytes(8, "big")
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 8-byte block."""
+        if len(ciphertext) != 8:
+            raise ValueError("PRESENT block must be 8 bytes")
+        state = int.from_bytes(ciphertext, "big")
+        state ^= self._round_keys[_ROUNDS]
+        for round_index in range(_ROUNDS - 1, -1, -1):
+            state = _permute(state, inverse=True)
+            state = _sbox_layer(state, _INV_SBOX)
+            state ^= self._round_keys[round_index]
+        return state.to_bytes(8, "big")

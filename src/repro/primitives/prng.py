@@ -1,0 +1,92 @@
+"""Deterministic random number generation.
+
+The chip generates its DPA-countermeasure randomness on-die and keeps
+it secret (Section 7).  The simulation needs the same randomness to be
+(a) unpredictable to the modelled adversary in the default scenario and
+(b) *hand-able* to the adversary in the white-box "randomness known"
+scenario.  A seedable AES-CTR DRBG gives both: seed secrecy models the
+chip's TRNG, seed disclosure models the white-box evaluation.
+
+:class:`AesCtrDrbg` implements the ``getrandbits`` / ``randbytes``
+subset of the ``random.Random`` interface that the rest of the library
+uses, so it is a drop-in randomness source everywhere.
+"""
+
+from __future__ import annotations
+
+from .aes import Aes128
+
+__all__ = ["AesCtrDrbg"]
+
+
+class AesCtrDrbg:
+    """A deterministic AES-128-CTR random bit generator.
+
+    Parameters
+    ----------
+    seed:
+        Integer or bytes.  The seed is expanded through SHA-1 into the
+        AES key and nonce, so any seed length works.
+
+    Examples
+    --------
+    >>> a = AesCtrDrbg(42)
+    >>> b = AesCtrDrbg(42)
+    >>> a.getrandbits(163) == b.getrandbits(163)
+    True
+    """
+
+    def __init__(self, seed):
+        from .sha1 import sha1
+
+        if isinstance(seed, int):
+            if seed < 0:
+                raise ValueError("integer seeds must be non-negative")
+            seed_bytes = seed.to_bytes((seed.bit_length() + 7) // 8 or 1, "big")
+        elif isinstance(seed, (bytes, bytearray)):
+            seed_bytes = bytes(seed)
+        else:
+            raise TypeError("seed must be an int or bytes")
+        material = sha1(b"key" + seed_bytes) + sha1(b"nonce" + seed_bytes)
+        self._cipher = Aes128(material[:16])
+        self._nonce = material[20:28]
+        self._counter = 0
+        self._pool = b""
+
+    def randbytes(self, n: int) -> bytes:
+        """Return ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        while len(self._pool) < n:
+            block = self._nonce + self._counter.to_bytes(8, "big")
+            self._pool += self._cipher.encrypt_block(block)
+            self._counter += 1
+        out, self._pool = self._pool[:n], self._pool[n:]
+        return out
+
+    def getrandbits(self, k: int) -> int:
+        """Return a uniform integer with ``k`` random bits."""
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        n_bytes = (k + 7) // 8
+        value = int.from_bytes(self.randbytes(n_bytes), "big")
+        return value >> (8 * n_bytes - k)
+
+    def randrange(self, start: int, stop=None) -> int:
+        """Uniform integer in [start, stop) (or [0, start) with one arg)."""
+        if stop is None:
+            start, stop = 0, start
+        span = stop - start
+        if span <= 0:
+            raise ValueError("empty range")
+        bits = span.bit_length()
+        while True:
+            candidate = self.getrandbits(bits)
+            if candidate < span:
+                return start + candidate
+
+    def random(self) -> float:
+        """A float in [0, 1) with 53 bits of precision."""
+        return self.getrandbits(53) / (1 << 53)

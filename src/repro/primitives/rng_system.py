@@ -1,0 +1,94 @@
+"""The on-chip randomness subsystem: TRNG -> health tests -> DRBG.
+
+Ties the behavioural entropy source (:mod:`repro.primitives.trng`) to
+the deterministic generator (:mod:`repro.primitives.prng`) the way a
+real secure element does: raw bits are conditioned, continuously
+health-tested, and used to (re)seed a DRBG that serves the
+countermeasure and protocol randomness.  A degrading source is caught
+by the health tests *before* weak randomness reaches the Z-
+randomization — the failure mode that would silently void the paper's
+DPA countermeasure.
+"""
+
+from __future__ import annotations
+
+from .prng import AesCtrDrbg
+from .trng import TrngModel, monobit_test, runs_test
+
+__all__ = ["EntropyFailure", "DeviceRandomness"]
+
+#: Raw bits gathered per health assessment and reseed.
+_HEALTH_SAMPLE_BITS = 2048
+_SEED_BITS = 256
+
+
+class EntropyFailure(Exception):
+    """The entropy source failed its health tests; the device must not
+    perform secret-dependent randomized operations."""
+
+
+class DeviceRandomness:
+    """A DRBG continuously fed by a health-checked TRNG.
+
+    Implements the ``getrandbits`` interface used everywhere in the
+    library, so it can replace a bare ``random.Random`` or
+    :class:`AesCtrDrbg` as the coprocessor's randomness source.
+
+    Parameters
+    ----------
+    trng:
+        The physical source model.
+    reseed_interval_bits:
+        Output bits served between reseeds from the source.
+    """
+
+    def __init__(self, trng: TrngModel, reseed_interval_bits: int = 1 << 16):
+        if reseed_interval_bits < _SEED_BITS:
+            raise ValueError("reseed interval too small")
+        self._trng = trng
+        self._reseed_interval_bits = reseed_interval_bits
+        self._bits_served = 0
+        self._drbg = None
+        self.reseeds = 0
+        self._reseed()
+
+    #: False-positive rate of the continuous health tests.  Far
+    #: stricter than an offline assessment's 1% — a deployed implant
+    #: reseeds thousands of times and must not brick itself on
+    #: statistical flukes (cf. SP 800-90B continuous test rates).
+    HEALTH_ALPHA = 1e-6
+
+    def _reseed(self) -> None:
+        raw = self._trng.raw_bits(_HEALTH_SAMPLE_BITS)
+        ok_monobit, __ = monobit_test(raw, alpha=self.HEALTH_ALPHA)
+        ok_runs, __ = runs_test(raw, alpha=self.HEALTH_ALPHA)
+        if not (ok_monobit and ok_runs):
+            raise EntropyFailure(
+                "entropy source failed health tests "
+                f"(monobit={'ok' if ok_monobit else 'FAIL'}, "
+                f"runs={'ok' if ok_runs else 'FAIL'})"
+            )
+        conditioned = self._trng.conditioned_bits(_SEED_BITS)
+        seed = 0
+        for bit in conditioned:
+            seed = (seed << 1) | bit
+        self._drbg = AesCtrDrbg(seed)
+        self._bits_served = 0
+        self.reseeds += 1
+
+    def getrandbits(self, k: int) -> int:
+        """Uniform k-bit integer, reseeding from the TRNG as scheduled."""
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if self._bits_served + k > self._reseed_interval_bits:
+            self._reseed()
+        self._bits_served += k
+        return self._drbg.getrandbits(k)
+
+    def randbytes(self, n: int) -> bytes:
+        """n random bytes."""
+        return self.getrandbits(8 * n).to_bytes(n, "big") if n else b""
+
+    def random(self) -> float:
+        """Float in [0, 1)."""
+        return self.getrandbits(53) / (1 << 53)

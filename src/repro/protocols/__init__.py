@@ -1,0 +1,69 @@
+"""The protocol level of the security pyramid.
+
+Peeters–Hermans private identification (Figure 2), the traceable
+Schnorr baseline, AES-based symmetric mutual authentication with
+server-auth-first early abort, the location-privacy linkage game and
+per-party operation/communication accounting.
+"""
+
+from .mutual_auth import (
+    AuthenticationError,
+    MutualAuthResult,
+    SymmetricDevice,
+    SymmetricServer,
+    run_mutual_authentication,
+)
+from .ops import Message, OperationCount, Transcript
+from .peeters_hermans import (
+    IdentificationResult,
+    PeetersHermansReader,
+    PeetersHermansTag,
+    run_identification,
+)
+from .privacy import (
+    LinkageGameResult,
+    peeters_hermans_linkage_game,
+    schnorr_linkage_game,
+)
+from .key_management import KeyServer, diversify_key, fleet_exposure
+from .threshold import (
+    Share,
+    ShamirSecretSharing,
+    threshold_point_multiply,
+)
+from .schnorr import (
+    SchnorrSession,
+    SchnorrTag,
+    SchnorrVerifier,
+    extract_public_key,
+    run_schnorr_identification,
+)
+
+__all__ = [
+    "OperationCount",
+    "Transcript",
+    "Message",
+    "PeetersHermansTag",
+    "PeetersHermansReader",
+    "IdentificationResult",
+    "run_identification",
+    "SchnorrTag",
+    "Share",
+    "KeyServer",
+    "diversify_key",
+    "fleet_exposure",
+    "ShamirSecretSharing",
+    "threshold_point_multiply",
+    "SchnorrVerifier",
+    "SchnorrSession",
+    "run_schnorr_identification",
+    "extract_public_key",
+    "SymmetricDevice",
+    "SymmetricServer",
+    "MutualAuthResult",
+    "AuthenticationError",
+    "run_mutual_authentication",
+    "LinkageGameResult",
+    "schnorr_linkage_game",
+    "peeters_hermans_linkage_game",
+]

@@ -1,0 +1,69 @@
+"""Symmetric key management: the cost the paper warns about.
+
+Section 4: "Secret key algorithms have also the problem of key
+distribution and management."  This module implements the standard
+industrial mitigation and its limits, so the secret-key baseline is
+evaluated with its real operational burden:
+
+* **key diversification** — every device gets
+  ``K_dev = CMAC(K_master, device_id)``; the server derives any
+  device's key on the fly and a single stolen *device* only loses its
+  own key;
+* the residual single point of failure — a compromised *master* key
+  reconstructs the whole fleet's keys — is made executable, because it
+  is the argument for public-key enrollment (each device only ever
+  holds its own private scalar).
+"""
+
+from __future__ import annotations
+
+from ..primitives.mac import aes_cmac
+
+__all__ = ["diversify_key", "KeyServer", "fleet_exposure"]
+
+
+def diversify_key(master_key: bytes, device_id: bytes) -> bytes:
+    """Derive a device's individual key from the master key."""
+    if len(master_key) != 16:
+        raise ValueError("master key must be 16 bytes")
+    if not device_id:
+        raise ValueError("device id must be non-empty")
+    return aes_cmac(master_key, b"device-key" + device_id)
+
+
+class KeyServer:
+    """The back-end holding the master key of a device fleet."""
+
+    def __init__(self, master_key: bytes):
+        if len(master_key) != 16:
+            raise ValueError("master key must be 16 bytes")
+        self._master = master_key
+        self.enrolled: set = set()
+
+    def enroll(self, device_id: bytes) -> bytes:
+        """Provision a device: returns the key injected at manufacture."""
+        key = diversify_key(self._master, device_id)
+        self.enrolled.add(bytes(device_id))
+        return key
+
+    def key_for(self, device_id: bytes) -> bytes:
+        """Re-derive any enrolled device's key (no per-device storage)."""
+        if bytes(device_id) not in self.enrolled:
+            raise KeyError("unknown device")
+        return diversify_key(self._master, device_id)
+
+
+def fleet_exposure(server: KeyServer, compromised_master: bytes) -> dict:
+    """What an attacker with a candidate master key can decrypt.
+
+    Returns device_id -> recovered key for every enrolled device whose
+    diversified key the candidate master reproduces — the whole fleet
+    if the master is right, nothing otherwise.  This is the
+    quantitative version of the paper's key-management warning.
+    """
+    exposure = {}
+    for device_id in server.enrolled:
+        candidate = diversify_key(compromised_master, device_id)
+        if candidate == server.key_for(device_id):
+            exposure[device_id] = candidate
+    return exposure

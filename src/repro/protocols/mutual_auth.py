@@ -1,0 +1,199 @@
+"""Symmetric (AES-based) mutual authentication — the secret-key baseline.
+
+Section 4: "protocols based on secret key algorithms, like AES, are
+often cheaper in computation cost but not necessarily in communication
+cost", and they carry the key-distribution burden.  This module
+implements the comparison protocol for the energy benches (E7):
+challenge-response mutual authentication with AES-CMAC, honouring the
+paper's ordering rule — *server authentication first*, so a failed or
+fake server costs the implant one MAC check instead of a whole session
+("the protocol session stops immediately on the device when the server
+authentication fails").
+
+After mutual authentication a session key is derived and patient data
+flows encrypted (AES-CTR) and authenticated (AES-CMAC), covering the
+confidentiality + data-authentication requirements of Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..primitives.aes import Aes128
+from ..primitives.mac import aes_cmac, constant_time_equal
+from .ops import OperationCount, Transcript
+
+__all__ = ["SymmetricDevice", "SymmetricServer", "MutualAuthResult",
+           "run_mutual_authentication", "AuthenticationError"]
+
+NONCE_BYTES = 16
+MAC_BYTES = 16
+
+
+class AuthenticationError(Exception):
+    """Raised when a party rejects its peer."""
+
+
+def _cmac_blocks(message_len: int) -> int:
+    """AES invocations of one CMAC over ``message_len`` bytes."""
+    return max(1, (message_len + 15) // 16) + 1  # +1 for the subkey step
+
+
+@dataclass
+class MutualAuthResult:
+    """Outcome of a mutual-authentication (+ optional data) session."""
+
+    authenticated: bool
+    aborted_early: bool
+    transcript: Transcript
+    device_ops: OperationCount
+    server_ops: OperationCount
+    payload_delivered: Optional[bytes] = None
+
+
+class SymmetricDevice:
+    """The implant: pre-shared key, minimal computation."""
+
+    def __init__(self, key: bytes, device_id: bytes = b"dev"):
+        if len(key) != 16:
+            raise ValueError("pre-shared key must be 16 bytes")
+        self._key = key
+        self.device_id = device_id
+        self.ops = OperationCount()
+        self._nonce: Optional[bytes] = None
+        self._session_key: Optional[bytes] = None
+
+    def hello(self, rng) -> bytes:
+        """Round 1: a fresh device nonce."""
+        self._nonce = rng.randbytes(NONCE_BYTES)
+        self.ops.random_bits += NONCE_BYTES * 8
+        return self._nonce
+
+    def verify_server(self, server_nonce: bytes, server_mac: bytes) -> bytes:
+        """Round 2: check the server FIRST; abort cheaply on failure.
+
+        Returns the device's own authentication MAC on success.
+        """
+        if self._nonce is None:
+            raise RuntimeError("verify_server() before hello()")
+        expected = aes_cmac(self._key, b"srv" + self._nonce + server_nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        if not constant_time_equal(expected, server_mac):
+            raise AuthenticationError("server authentication failed")
+        response = aes_cmac(self._key, b"dev" + server_nonce + self._nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        self._session_key = aes_cmac(self._key,
+                                     b"key" + self._nonce + server_nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        return response
+
+    def send_telemetry(self, payload: bytes, rng) -> tuple:
+        """Encrypt-then-MAC a data frame under the session key."""
+        if self._session_key is None:
+            raise RuntimeError("no session established")
+        nonce = rng.randbytes(8)
+        self.ops.random_bits += 64
+        cipher = Aes128(self._session_key)
+        ciphertext = cipher.ctr_encrypt(nonce, payload)
+        self.ops.aes_blocks += (len(payload) + 15) // 16
+        tag = aes_cmac(self._session_key, nonce + ciphertext)
+        self.ops.aes_blocks += _cmac_blocks(8 + len(ciphertext))
+        return nonce, ciphertext, tag
+
+
+class SymmetricServer:
+    """The energy-rich mini-server (phone / base station)."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("pre-shared key must be 16 bytes")
+        self._key = key
+        self.ops = OperationCount()
+        self._device_nonce: Optional[bytes] = None
+        self._nonce: Optional[bytes] = None
+        self._session_key: Optional[bytes] = None
+
+    def respond(self, device_nonce: bytes, rng,
+                corrupt: bool = False) -> tuple:
+        """Round 1 response: server nonce + server-authentication MAC.
+
+        ``corrupt=True`` simulates an impersonator with a wrong key
+        (for the early-abort energy experiment).
+        """
+        self._device_nonce = device_nonce
+        self._nonce = rng.randbytes(NONCE_BYTES)
+        self.ops.random_bits += NONCE_BYTES * 8
+        key = bytes(16) if corrupt else self._key
+        mac = aes_cmac(key, b"srv" + device_nonce + self._nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        return self._nonce, mac
+
+    def verify_device(self, device_mac: bytes) -> bool:
+        """Round 2: authenticate the device and derive the session key."""
+        if self._nonce is None or self._device_nonce is None:
+            raise RuntimeError("verify_device() before respond()")
+        expected = aes_cmac(self._key,
+                            b"dev" + self._nonce + self._device_nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        if not constant_time_equal(expected, device_mac):
+            return False
+        self._session_key = aes_cmac(self._key,
+                                     b"key" + self._device_nonce + self._nonce)
+        self.ops.aes_blocks += _cmac_blocks(3 + 2 * NONCE_BYTES)
+        return True
+
+    def receive_telemetry(self, nonce: bytes, ciphertext: bytes,
+                          tag: bytes) -> bytes:
+        """Verify-then-decrypt a data frame."""
+        if self._session_key is None:
+            raise RuntimeError("no session established")
+        expected = aes_cmac(self._session_key, nonce + ciphertext)
+        self.ops.aes_blocks += _cmac_blocks(8 + len(ciphertext))
+        if not constant_time_equal(expected, tag):
+            raise AuthenticationError("telemetry tag mismatch")
+        cipher = Aes128(self._session_key)
+        self.ops.aes_blocks += (len(ciphertext) + 15) // 16
+        return cipher.ctr_encrypt(nonce, ciphertext)
+
+
+def run_mutual_authentication(
+    device: SymmetricDevice,
+    server: SymmetricServer,
+    rng,
+    payload: Optional[bytes] = None,
+    server_is_impostor: bool = False,
+) -> MutualAuthResult:
+    """Run the full session (optionally delivering one telemetry frame)."""
+    transcript = Transcript()
+    device_nonce = device.hello(rng)
+    transcript.record("device", "Nd", NONCE_BYTES * 8)
+    server_nonce, server_mac = server.respond(
+        device_nonce, rng, corrupt=server_is_impostor
+    )
+    transcript.record("server", "Ns||MACs", (NONCE_BYTES + MAC_BYTES) * 8)
+    try:
+        device_mac = device.verify_server(server_nonce, server_mac)
+    except AuthenticationError:
+        _settle_bits(device, server, transcript)
+        return MutualAuthResult(False, True, transcript, device.ops,
+                                server.ops)
+    transcript.record("device", "MACd", MAC_BYTES * 8)
+    authenticated = server.verify_device(device_mac)
+    delivered = None
+    if authenticated and payload is not None:
+        nonce, ciphertext, tag = device.send_telemetry(payload, rng)
+        transcript.record("device", "frame",
+                          (8 + len(ciphertext) + MAC_BYTES) * 8)
+        delivered = server.receive_telemetry(nonce, ciphertext, tag)
+    _settle_bits(device, server, transcript)
+    return MutualAuthResult(authenticated, False, transcript, device.ops,
+                            server.ops, delivered)
+
+
+def _settle_bits(device: SymmetricDevice, server: SymmetricServer,
+                 transcript: Transcript) -> None:
+    device.ops.tx_bits += transcript.bits_from("device")
+    device.ops.rx_bits += transcript.bits_from("server")
+    server.ops.tx_bits += transcript.bits_from("server")
+    server.ops.rx_bits += transcript.bits_from("device")

@@ -1,0 +1,193 @@
+"""The Peeters–Hermans private RFID identification protocol (Figure 2).
+
+The paper's protocol-level exemplar [14]: an ECC-based identification
+scheme achieving wide-forward-insider privacy.  Roles and flow, exactly
+as in Figure 2:
+
+* Tag state: secret ``x`` (its identity scalar) and the reader's
+  public key ``Y = y * P``.
+* Reader state: secret ``y`` and a database ``{X_i = x_i * P}``.
+
+::
+
+    Tag                              Reader
+    r <-R Z*_l,  R = r*P   --R-->
+                           <--e--   e <-R Z*_l
+    d = xcoord(r*Y)
+    s = d + x + e*r        --s-->   d' = xcoord(y*R)
+                                    X' = s*P - d'*P - e*R  in DB?
+
+The tag computes **two point multiplications and one modular
+multiplication** (Section 4) — the workload the coprocessor exists to
+run within the power budget.  The reader carries the heavy
+verification, honouring the asymmetry rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ec.curves import NamedCurve
+from ..ec.ladder import montgomery_ladder
+from ..ec.point import AffinePoint
+from .ops import OperationCount, Transcript
+
+__all__ = ["PeetersHermansTag", "PeetersHermansReader", "IdentificationResult",
+           "run_identification"]
+
+
+def _point_bits(domain: NamedCurve) -> int:
+    """Wire size of a compressed point: x plus the y-select bit."""
+    return domain.field.m + 1
+
+
+def _scalar_bits(domain: NamedCurve) -> int:
+    return domain.order.bit_length()
+
+
+@dataclass
+class IdentificationResult:
+    """Outcome of one identification session."""
+
+    accepted: bool
+    identity: Optional[int]
+    transcript: Transcript
+    tag_ops: OperationCount
+    reader_ops: OperationCount
+
+
+class PeetersHermansTag:
+    """The resource-constrained prover.
+
+    ``multiplier(k, point, rng)`` performs the tag's point
+    multiplications; it defaults to the randomized Montgomery ladder,
+    and the examples swap in the coprocessor model to attach cycle and
+    energy figures to each protocol run.
+    """
+
+    def __init__(self, domain: NamedCurve, secret_x: int,
+                 reader_public: AffinePoint,
+                 multiplier: Optional[Callable] = None):
+        ring = domain.scalar_ring
+        if not 1 <= secret_x < ring.n:
+            raise ValueError("tag secret out of range")
+        if not domain.curve.is_on_curve(reader_public):
+            raise ValueError("reader public key not on the curve")
+        self.domain = domain
+        self._x = secret_x
+        self.reader_public = reader_public
+        self._multiplier = multiplier or (
+            lambda k, point, rng: montgomery_ladder(domain.curve, k, point,
+                                                    rng=rng)
+        )
+        self._r: Optional[int] = None
+        self.ops = OperationCount()
+
+    @property
+    def identity_point(self) -> AffinePoint:
+        """X = x * P, the entry the reader's database stores."""
+        return self.domain.curve.multiply_naive(self._x, self.domain.generator)
+
+    def commit(self, rng) -> AffinePoint:
+        """Round 1: draw r and send R = r * P."""
+        ring = self.domain.scalar_ring
+        self._r = ring.random_scalar(rng)
+        self.ops.random_bits += ring.n.bit_length()
+        commitment = self._multiplier(self._r, self.domain.generator, rng)
+        self.ops.point_multiplications += 1
+        return commitment
+
+    def respond(self, challenge: int, rng) -> int:
+        """Round 2: receive e, send s = d + x + e*r with d = xcoord(r*Y)."""
+        if self._r is None:
+            raise RuntimeError("respond() called before commit()")
+        ring = self.domain.scalar_ring
+        if not 1 <= challenge < ring.n:
+            raise ValueError("challenge out of range")
+        shared = self._multiplier(self._r, self.reader_public, rng)
+        self.ops.point_multiplications += 1
+        d = ring.reduce(shared.x)
+        er = ring.mul(challenge, self._r)
+        self.ops.modular_multiplications += 1
+        s = ring.add(ring.add(d, self._x), er)
+        self._r = None  # single-use nonce
+        return s
+
+
+class PeetersHermansReader:
+    """The energy-rich verifier with the tag database."""
+
+    def __init__(self, domain: NamedCurve, secret_y: int):
+        ring = domain.scalar_ring
+        if not 1 <= secret_y < ring.n:
+            raise ValueError("reader secret out of range")
+        self.domain = domain
+        self._y = secret_y
+        self.public = domain.curve.multiply_naive(secret_y, domain.generator)
+        # Database maps the x-coordinate of X_i to the tag identity i.
+        self._database: dict = {}
+        self.ops = OperationCount()
+
+    def register(self, identity: int, tag_public: AffinePoint) -> None:
+        """Enroll a tag's X = x * P."""
+        if not self.domain.curve.is_on_curve(tag_public):
+            raise ValueError("tag public key not on the curve")
+        self._database[(tag_public.x, tag_public.y)] = identity
+
+    def challenge(self, rng) -> int:
+        """Round 1 response: a fresh scalar challenge e."""
+        ring = self.domain.scalar_ring
+        e = ring.random_scalar(rng)
+        self.ops.random_bits += ring.n.bit_length()
+        return e
+
+    def identify(self, commitment: AffinePoint, e: int, s: int) -> Optional[int]:
+        """Round 2 verification: X' = s*P - d'*P - e*R, looked up in DB."""
+        curve = self.domain.curve
+        ring = self.domain.scalar_ring
+        if not curve.is_on_curve(commitment) or commitment.is_infinity:
+            return None
+        shared = curve.multiply_naive(self._y, commitment)
+        self.ops.point_multiplications += 1
+        d = ring.reduce(shared.x)
+        s_minus_d = ring.sub(s, d)
+        term1 = curve.multiply_naive(s_minus_d, self.domain.generator)
+        term2 = curve.multiply_naive(e, commitment)
+        self.ops.point_multiplications += 2
+        candidate = curve.subtract(term1, term2)
+        self.ops.point_additions += 1
+        if candidate.is_infinity:
+            return None
+        return self._database.get((candidate.x, candidate.y))
+
+
+def run_identification(
+    tag: PeetersHermansTag,
+    reader: PeetersHermansReader,
+    rng,
+) -> IdentificationResult:
+    """Execute one full identification session, with accounting."""
+    domain = tag.domain
+    transcript = Transcript()
+    tag_tx_before = tag.ops.tx_bits
+
+    commitment = tag.commit(rng)
+    transcript.record("tag", "R", _point_bits(domain))
+    e = reader.challenge(rng)
+    transcript.record("reader", "e", _scalar_bits(domain))
+    s = tag.respond(e, rng)
+    transcript.record("tag", "s", _scalar_bits(domain))
+    identity = reader.identify(commitment, e, s)
+
+    tag.ops.tx_bits = tag_tx_before + transcript.bits_from("tag")
+    tag.ops.rx_bits += transcript.bits_from("reader")
+    reader.ops.tx_bits += transcript.bits_from("reader")
+    reader.ops.rx_bits += transcript.bits_from("tag")
+    return IdentificationResult(
+        accepted=identity is not None,
+        identity=identity,
+        transcript=transcript,
+        tag_ops=tag.ops,
+        reader_ops=reader.ops,
+    )

@@ -1,0 +1,133 @@
+"""Threshold cryptography for cooperating lightweight devices.
+
+Section 4: "Other options are specific for the interaction of
+light-weight internet-of-things devices and are based on threshold
+cryptography [18]" (Simoens–Peeters–Preneel).  The idea: no single
+body-area node holds the whole secret; any ``t`` of ``n`` nodes
+cooperate to act as the key holder, and losing (or compromising) up to
+``t - 1`` nodes reveals nothing.
+
+Building blocks:
+
+* :class:`ShamirSecretSharing` — (t, n) sharing of a scalar over the
+  prime group order;
+* :func:`threshold_point_multiply` — any qualified set computes
+  ``x * P`` from shares *in the exponent* (each node contributes
+  ``lambda_i * x_i * P``; the secret is never reassembled anywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ec.curve import BinaryEllipticCurve
+from ..ec.ladder import montgomery_ladder
+from ..ec.modn import ScalarRing
+from ..ec.point import AffinePoint
+
+__all__ = ["Share", "ShamirSecretSharing", "threshold_point_multiply"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One participant's share: the evaluation of the polynomial at x."""
+
+    index: int
+    value: int
+
+    def __post_init__(self):
+        if self.index < 1:
+            raise ValueError("share indices start at 1 (0 is the secret)")
+
+
+class ShamirSecretSharing:
+    """(t, n) Shamir sharing over Z_n for a prime group order.
+
+    Examples
+    --------
+    >>> import random
+    >>> ring = ScalarRing(2**127 - 1)
+    >>> sss = ShamirSecretSharing(ring, threshold=2, participants=3)
+    >>> shares = sss.split(42, random.Random(0))
+    >>> sss.reconstruct(shares[:2])
+    42
+    """
+
+    def __init__(self, ring: ScalarRing, threshold: int, participants: int):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if participants < threshold:
+            raise ValueError("need at least `threshold` participants")
+        if participants >= ring.n:
+            raise ValueError("too many participants for the field")
+        self.ring = ring
+        self.threshold = threshold
+        self.participants = participants
+
+    def split(self, secret: int, rng) -> list:
+        """Produce one share per participant."""
+        ring = self.ring
+        secret = ring.reduce(secret)
+        coefficients = [secret] + [
+            ring.random_scalar(rng) for __ in range(self.threshold - 1)
+        ]
+        shares = []
+        for index in range(1, self.participants + 1):
+            value = 0
+            for power, coefficient in enumerate(coefficients):
+                value = ring.add(value,
+                                 ring.mul(coefficient,
+                                          ring.pow(index, power)))
+            shares.append(Share(index, value))
+        return shares
+
+    def lagrange_coefficient(self, index: int, indices: list) -> int:
+        """lambda_i for interpolation at zero over the given index set."""
+        ring = self.ring
+        numerator, denominator = 1, 1
+        for other in indices:
+            if other == index:
+                continue
+            numerator = ring.mul(numerator, other)
+            denominator = ring.mul(denominator, ring.sub(other, index))
+        return ring.mul(numerator, ring.inverse(denominator))
+
+    def reconstruct(self, shares: list) -> int:
+        """Interpolate the secret from >= threshold distinct shares."""
+        indices = [s.index for s in shares]
+        if len(set(indices)) < self.threshold:
+            raise ValueError("not enough distinct shares")
+        ring = self.ring
+        secret = 0
+        for share in shares:
+            lam = self.lagrange_coefficient(share.index, indices)
+            secret = ring.add(secret, ring.mul(lam, share.value))
+        return secret
+
+
+def threshold_point_multiply(
+    curve: BinaryEllipticCurve,
+    sharing: ShamirSecretSharing,
+    shares: list,
+    point: AffinePoint,
+    rng,
+) -> AffinePoint:
+    """Compute ``secret * P`` cooperatively from a qualified share set.
+
+    Each participant computes its partial ``(lambda_i * x_i mod n) * P``
+    with its *own* side-channel-hardened ladder; the combiner only adds
+    points.  The secret scalar never exists in any single device.
+    """
+    indices = [s.index for s in shares]
+    if len(set(indices)) < sharing.threshold:
+        raise ValueError("not enough distinct shares")
+    ring = sharing.ring
+    result = AffinePoint.infinity()
+    for share in shares:
+        lam = sharing.lagrange_coefficient(share.index, indices)
+        scaled = ring.mul(lam, share.value)
+        if scaled == 0:
+            continue
+        partial = montgomery_ladder(curve, scaled, point, rng=rng)
+        result = curve.add(result, partial)
+    return result

@@ -1,0 +1,117 @@
+"""Attacker-side activity prediction (the hypothesis engine of DPA/CPA).
+
+DPA "recovers the key in a divide-and-conquer fashion by comparing the
+measured power consumption with several hypothesized power
+consumptions, one for each sub-key hypothesis" (Section 7).  Here the
+sub-key is one ladder key bit, and the hypothesized power consumption
+comes from replaying the coprocessor's *public* microcode
+(:meth:`~repro.arch.coprocessor.EccCoprocessor.replay_padded`) under a
+guessed key prefix and an assumed randomization value.
+
+When Z-randomization is off (or its value is known, the white-box
+scenario), the replay under the correct hypothesis predicts the
+device's data-dependent activity exactly.  When the randomization is
+on and unknown, the replay is computed under a wrong Z and the
+predictions decorrelate from the measurements — which is precisely why
+the countermeasure works.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..arch.coprocessor import EccCoprocessor
+from ..ec.point import AffinePoint
+
+__all__ = ["ActivityPredictor", "bits_to_int"]
+
+
+def bits_to_int(bits: list) -> int:
+    """Pack a most-significant-first bit list into an integer."""
+    value = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError("bits must be 0 or 1")
+        value = (value << 1) | b
+    return value
+
+
+class ActivityPredictor:
+    """Predicts per-cycle data-dependent activity for key hypotheses.
+
+    Parameters
+    ----------
+    coprocessor:
+        A coprocessor with the *same configuration* as the device under
+        attack (the white-box assumption: the netlist is known).
+    """
+
+    def __init__(self, coprocessor: EccCoprocessor):
+        self.coprocessor = coprocessor
+
+    def padded_length(self) -> int:
+        """Bit length of recoded scalars on this device (public)."""
+        return self.coprocessor.domain.order.bit_length() + 1
+
+    def predict_iteration(
+        self,
+        point: AffinePoint,
+        known_prefix: list,
+        hypothesis: int,
+        iteration_index: int,
+        z0: int,
+    ) -> np.ndarray:
+        """Predicted activity over one iteration's cycle window.
+
+        ``known_prefix`` holds the already-recovered key bits (after
+        the implicit leading 1); ``hypothesis`` is the guess for bit
+        ``iteration_index``.  Returns the predicted datapath+register
+        activity for the cycles of that iteration.
+        """
+        if len(known_prefix) != iteration_index:
+            raise ValueError("prefix length must equal the target iteration")
+        if hypothesis not in (0, 1):
+            raise ValueError("hypothesis must be a bit")
+        bits = [1] + list(known_prefix) + [hypothesis]
+        # Pad with zeros to full length; iterations beyond the target
+        # are never executed thanks to max_iterations.
+        padding = self.padded_length() - len(bits)
+        scalar = bits_to_int(bits) << padding
+        replay = self.coprocessor.replay_padded(
+            scalar, point, initial_z=z0, max_iterations=iteration_index + 1
+        )
+        span = replay.iterations[iteration_index]
+        datapath = np.asarray(
+            replay.datapath[span.start:span.end], dtype=np.float64
+        )
+        register = np.asarray(
+            replay.register[span.start:span.end], dtype=np.float64
+        )
+        return datapath + register
+
+    def prediction_matrix(
+        self,
+        points: list,
+        known_prefix: list,
+        hypothesis: int,
+        iteration_index: int,
+        z_values: Optional[list] = None,
+    ) -> np.ndarray:
+        """Predictions for a whole campaign: (n_traces, window) matrix.
+
+        ``z_values`` supplies the per-trace randomization when it is
+        known to the adversary; otherwise Z = 1 is assumed (correct for
+        the unprotected device, wrong — and fatally so — for the
+        protected one).
+        """
+        rows = []
+        for index, point in enumerate(points):
+            z0 = 1 if z_values is None else z_values[index]
+            rows.append(
+                self.predict_iteration(
+                    point, known_prefix, hypothesis, iteration_index, z0
+                )
+            )
+        return np.vstack(rows)

@@ -1,0 +1,114 @@
+"""Gaussian template attacks: the strongest profiled adversary.
+
+The natural escalation of :class:`~repro.sca.spa.ProfiledSpa`: instead
+of one scalar feature per iteration, the adversary models the joint
+distribution of several points of interest (POIs) per class with
+Gaussian templates — the standard formalization of "a complex
+profiling phase with an identical device under his total control"
+(Section 7).
+
+Profiling: choose the POI cycles with the largest between-class mean
+separation (normalized by the pooled deviation), then estimate a class
+mean vector and a pooled diagonal covariance.  Attack: classify each
+ladder iteration of the target traces by Gaussian log-likelihood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .spa import SpaResult
+
+__all__ = ["GaussianTemplateAttack"]
+
+
+class GaussianTemplateAttack:
+    """Per-iteration two-class Gaussian templates over POI cycles.
+
+    Parameters
+    ----------
+    poi_count:
+        Number of points of interest per iteration window.
+    window:
+        Leading cycles of each iteration considered for POI selection
+        (the control spike and the first datapath cycles live there).
+    """
+
+    def __init__(self, poi_count: int = 3, window: int = 12):
+        if poi_count < 1 or window < poi_count:
+            raise ValueError("need 1 <= poi_count <= window")
+        self.poi_count = poi_count
+        self.window = window
+        self._pois: Optional[np.ndarray] = None
+        self._means: Optional[dict] = None
+        self._variances: Optional[np.ndarray] = None
+
+    @property
+    def is_profiled(self) -> bool:
+        """True once :meth:`profile` has run."""
+        return self._pois is not None
+
+    def _iteration_features(self, samples: np.ndarray,
+                            iteration_slices: list) -> np.ndarray:
+        """(n_traces * n_iterations, window) matrix of window cuts."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+        rows = []
+        for start, end in iteration_slices:
+            width = min(self.window, end - start)
+            cut = samples[:, start:start + width]
+            if width < self.window:
+                pad = np.zeros((cut.shape[0], self.window - width))
+                cut = np.hstack([cut, pad])
+            rows.append(cut)
+        # Shape: (n_iterations, n_traces, window) -> flatten later.
+        return np.stack(rows)
+
+    def profile(self, samples: np.ndarray, iteration_slices: list,
+                known_bits: list) -> None:
+        """Build the two class templates from a known-key device."""
+        cuts = self._iteration_features(samples, iteration_slices)
+        if cuts.shape[0] != len(known_bits):
+            raise ValueError("one known bit per iteration is required")
+        bits = np.asarray(known_bits)
+        class_rows = {
+            b: cuts[bits == b].reshape(-1, self.window) for b in (0, 1)
+        }
+        if any(rows.shape[0] < 2 for rows in class_rows.values()):
+            raise ValueError("profiling key must exercise both bit values")
+        mean0 = class_rows[0].mean(axis=0)
+        mean1 = class_rows[1].mean(axis=0)
+        pooled = np.sqrt(
+            0.5 * (class_rows[0].var(axis=0) + class_rows[1].var(axis=0))
+        )
+        pooled[pooled == 0] = 1.0
+        separation = np.abs(mean1 - mean0) / pooled
+        self._pois = np.argsort(separation)[::-1][: self.poi_count]
+        self._means = {b: class_rows[b].mean(axis=0)[self._pois]
+                       for b in (0, 1)}
+        variances = 0.5 * (
+            class_rows[0].var(axis=0) + class_rows[1].var(axis=0)
+        )[self._pois]
+        variances[variances == 0] = 1.0
+        self._variances = variances
+
+    def _log_likelihood(self, vector: np.ndarray, bit: int) -> float:
+        delta = vector - self._means[bit]
+        return float(-0.5 * np.sum(delta * delta / self._variances))
+
+    def attack(self, samples: np.ndarray, iteration_slices: list,
+               true_bits: list) -> SpaResult:
+        """Classify each iteration of (averaged) target traces."""
+        if not self.is_profiled:
+            raise RuntimeError("profile() must be called before attack()")
+        cuts = self._iteration_features(samples, iteration_slices)
+        averaged = cuts.mean(axis=1)  # average the traces per iteration
+        recovered = []
+        for row in averaged:
+            vector = row[self._pois]
+            recovered.append(
+                1 if self._log_likelihood(vector, 1)
+                > self._log_likelihood(vector, 0) else 0
+            )
+        return SpaResult(recovered_bits=recovered, true_bits=list(true_bits))

@@ -1,0 +1,75 @@
+"""TVLA leakage assessment: Welch's t-test, fixed vs random inputs.
+
+The modern screening companion to the attacks of Section 7: instead of
+mounting a specific key-recovery, compare the trace population for a
+*fixed* input against the population for *random* inputs.  Any
+per-sample |t| beyond the conventional 4.5 threshold certifies
+data-dependent leakage (it does not by itself give the key, but a
+clean pass is strong evidence the DPA channel is closed).
+
+Used by the circuit-level bench (E9) to score clock gating, input
+isolation and glitches, and by the evaluation harness (F4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["welch_t_statistic", "TvlaReport", "tvla_fixed_vs_random"]
+
+#: The conventional TVLA decision threshold.
+TVLA_THRESHOLD = 4.5
+
+
+def welch_t_statistic(group_a: np.ndarray, group_b: np.ndarray) -> np.ndarray:
+    """Per-sample Welch t statistic between two trace populations."""
+    a = np.atleast_2d(np.asarray(group_a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(group_b, dtype=np.float64))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("trace lengths differ between the groups")
+    if a.shape[0] < 2 or b.shape[0] < 2:
+        raise ValueError("each group needs at least two traces")
+    mean_diff = a.mean(axis=0) - b.mean(axis=0)
+    var_term = a.var(axis=0, ddof=1) / a.shape[0] + b.var(axis=0, ddof=1) / b.shape[0]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(var_term > 0, mean_diff / np.sqrt(var_term), 0.0)
+    return t
+
+
+@dataclass(frozen=True)
+class TvlaReport:
+    """Outcome of a fixed-vs-random t-test."""
+
+    max_abs_t: float
+    num_leaky_samples: int
+    n_samples: int
+    threshold: float = TVLA_THRESHOLD
+
+    @property
+    def leaks(self) -> bool:
+        """True when any sample exceeds the threshold."""
+        return self.max_abs_t > self.threshold
+
+    def __str__(self) -> str:
+        verdict = "LEAKS" if self.leaks else "clean"
+        return (
+            f"TVLA: max|t| = {self.max_abs_t:.2f} "
+            f"({self.num_leaky_samples}/{self.n_samples} samples over "
+            f"{self.threshold}) -> {verdict}"
+        )
+
+
+def tvla_fixed_vs_random(fixed_traces: np.ndarray,
+                         random_traces: np.ndarray,
+                         threshold: float = TVLA_THRESHOLD) -> TvlaReport:
+    """Run the fixed-vs-random test and summarize it."""
+    t = welch_t_statistic(fixed_traces, random_traces)
+    abs_t = np.abs(t)
+    return TvlaReport(
+        max_abs_t=float(abs_t.max()),
+        num_leaky_samples=int((abs_t > threshold).sum()),
+        n_samples=int(t.shape[0]),
+        threshold=threshold,
+    )

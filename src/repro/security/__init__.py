@@ -1,0 +1,24 @@
+"""The security-pyramid model (Figure 1) and the white-box evaluation
+harness (Section 7 / Figure 4)."""
+
+from .evaluation import AttackFinding, EvaluationReport, WhiteBoxEvaluation
+from .pyramid import (
+    AbstractionLevel,
+    Countermeasure,
+    SecurityPyramid,
+    Threat,
+    default_pyramid,
+    pyramid_for_config,
+)
+
+__all__ = [
+    "AbstractionLevel",
+    "Threat",
+    "Countermeasure",
+    "SecurityPyramid",
+    "default_pyramid",
+    "pyramid_for_config",
+    "AttackFinding",
+    "EvaluationReport",
+    "WhiteBoxEvaluation",
+]

@@ -1,0 +1,60 @@
+"""Tests for the instruction set and its constant-time timing."""
+
+import pytest
+
+from repro.arch import Instruction, InstructionTiming, Opcode
+
+
+class TestTimingTable:
+    def test_paper_design_point(self):
+        timing = InstructionTiming(m=163, digit_size=4)
+        assert timing.mul_datapath_cycles == 41
+        assert timing.cycles(Opcode.MUL) == 41 + timing.fetch_overhead
+
+    def test_squaring_on_multiplier(self):
+        timing = InstructionTiming(m=163, digit_size=4, dedicated_squarer=False)
+        assert timing.cycles(Opcode.SQR) == timing.cycles(Opcode.MUL)
+
+    def test_dedicated_squarer(self):
+        timing = InstructionTiming(m=163, digit_size=4, dedicated_squarer=True)
+        assert timing.cycles(Opcode.SQR) == 1 + timing.fetch_overhead
+        assert timing.cycles(Opcode.SQR) < timing.cycles(Opcode.MUL)
+
+    def test_single_cycle_ops(self):
+        timing = InstructionTiming(m=163, digit_size=4, fetch_overhead=2)
+        for op in (Opcode.ADD, Opcode.MOV, Opcode.LDI):
+            assert timing.cycles(op) == 3
+
+    @pytest.mark.parametrize("d,expected", [(1, 163), (2, 82), (4, 41), (8, 21)])
+    def test_digit_size_scaling(self, d, expected):
+        assert InstructionTiming(m=163, digit_size=d).mul_datapath_cycles == expected
+
+    def test_timing_is_data_independent(self):
+        """The timing table has no operand inputs at all — the
+        architecture-level constant-time property by construction."""
+        timing = InstructionTiming(m=163, digit_size=4)
+        import inspect
+
+        signature = inspect.signature(timing.cycles)
+        assert list(signature.parameters) == ["opcode"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            InstructionTiming(m=163, digit_size=0)
+        with pytest.raises(ValueError):
+            InstructionTiming(m=163, digit_size=200)
+        with pytest.raises(ValueError):
+            InstructionTiming(m=163, digit_size=4, fetch_overhead=-1)
+
+
+class TestInstruction:
+    def test_repr(self):
+        instr = Instruction(Opcode.MUL, rd=0, ra=1, rb=2, cycles=49)
+        assert "mul" in repr(instr)
+        assert "r0" in repr(instr)
+        assert "49" in repr(instr)
+
+    def test_repr_without_operands(self):
+        instr = Instruction(Opcode.LDI, rd=4, cycles=9)
+        assert "r4" in repr(instr)
+        assert "r-1" not in repr(instr)

@@ -1,0 +1,122 @@
+"""Tests for microcode analysis and the equivalence testbench."""
+
+import random
+
+import pytest
+
+from repro.arch import (
+    CoprocessorConfig,
+    EccCoprocessor,
+    EquivalenceTestbench,
+    Opcode,
+    analyze_program,
+    format_listing,
+)
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    coprocessor = EccCoprocessor(CoprocessorConfig())
+    return coprocessor, coprocessor.point_multiply(
+        0x1357, coprocessor.domain.generator, initial_z=1, max_iterations=3
+    )
+
+
+class TestProgramAnalysis:
+    def test_statistics_totals(self, short_trace):
+        coprocessor, trace = short_trace
+        stats = analyze_program(trace.instructions,
+                                coprocessor.config.fetch_overhead)
+        assert stats.instruction_count == len(trace.instructions)
+        assert stats.total_cycles == trace.cycles
+        assert sum(stats.opcode_histogram.values()) == stats.instruction_count
+        assert sum(stats.opcode_cycles.values()) == stats.total_cycles
+
+    def test_malu_occupancy_in_range(self, short_trace):
+        coprocessor, trace = short_trace
+        stats = analyze_program(trace.instructions,
+                                coprocessor.config.fetch_overhead)
+        # MUL/SQR dominate a ladder iteration (9 of 12 instructions).
+        assert 0.5 < stats.malu_occupancy < 1.0
+
+    def test_ladder_opcode_mix(self, short_trace):
+        __, trace = short_trace
+        stats = analyze_program(trace.instructions)
+        assert stats.opcode_histogram["mul"] >= 3 * 5  # 5 MULs/iteration
+        assert stats.opcode_histogram["sqr"] >= 3 * 4
+        assert "ldi" in stats.opcode_histogram  # prologue loads
+
+    def test_str_rendering(self, short_trace):
+        coprocessor, trace = short_trace
+        text = str(analyze_program(trace.instructions,
+                                   coprocessor.config.fetch_overhead))
+        assert "MALU occupancy" in text
+        assert "mul" in text
+
+    def test_listing_symbolic_names(self, short_trace):
+        __, trace = short_trace
+        listing = format_listing(trace.instructions, limit=10)
+        assert "XB" in listing
+        assert "mul" in listing or "ldi" in listing
+        assert "... (" in listing  # truncation marker
+
+    def test_listing_full(self, short_trace):
+        __, trace = short_trace
+        listing = format_listing(trace.instructions)
+        assert len(listing.splitlines()) == len(trace.instructions)
+
+    def test_listing_identical_for_different_keys(self):
+        """The constant-time property at the listing level: opcode and
+        cycle columns match for any key (operands differ via the mux)."""
+        coprocessor = EccCoprocessor(CoprocessorConfig())
+
+        def opcode_cycle_columns(k):
+            trace = coprocessor.point_multiply(
+                k, coprocessor.domain.generator, initial_z=1,
+                max_iterations=4,
+            )
+            return [(i.opcode, i.cycles, i.start_cycle)
+                    for i in trace.instructions]
+
+        assert opcode_cycle_columns(0x3A7) == opcode_cycle_columns(0x155)
+
+
+class TestEquivalenceTestbench:
+    def test_campaign_passes_on_default_design(self):
+        bench = EquivalenceTestbench()
+        report = bench.run_campaign(runs=3, rng=random.Random(1))
+        assert report.all_passed
+        assert report.runs == 3 + 6  # corners included
+
+    def test_coverage_goals_hit(self):
+        bench = EquivalenceTestbench()
+        report = bench.run_campaign(runs=2, rng=random.Random(2))
+        points = report.coverage_points
+        assert points["bit_zero"] and points["bit_one"]
+        assert points["min_scalar"] and points["max_scalar"]
+        assert points["sparse_key"]
+        assert report.coverage >= 5 / 6
+
+    def test_opcodes_covered(self):
+        bench = EquivalenceTestbench()
+        report = bench.run_campaign(runs=1, rng=random.Random(3),
+                                    include_corners=False)
+        assert {Opcode.MUL, Opcode.SQR, Opcode.ADD, Opcode.LDI} <= \
+            report.opcodes_seen
+
+    def test_report_str(self):
+        bench = EquivalenceTestbench()
+        report = bench.run_campaign(runs=1, rng=random.Random(4),
+                                    include_corners=False)
+        assert "PASS" in str(report)
+
+    def test_mismatch_detection(self):
+        """A corrupted golden comparison is reported, not swallowed."""
+        bench = EquivalenceTestbench()
+        # Sabotage: make the golden model lie.
+        bench._golden = lambda k, p: p
+        rng = random.Random(5)
+        ok = bench.check(12345, bench.dut.domain.generator, rng)
+        assert not ok
+        assert not bench.report.all_passed
+        assert "FAIL" in str(bench.report)

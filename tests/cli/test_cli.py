@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import (
+    cmd_area,
+    cmd_energy,
+    cmd_evaluate,
+    cmd_info,
+    cmd_listing,
+    main,
+)
+
+
+class TestCommands:
+    def test_info(self):
+        text = cmd_info()
+        assert "K-163" in text
+        assert "6 x 163" in text
+
+    def test_area(self):
+        text = cmd_area()
+        assert "PRESENT-80" in text
+        assert "ECC K-163" in text
+        assert "registers" in text
+
+    def test_energy(self):
+        text = cmd_energy()
+        assert "uW" in text and "uJ" in text
+        assert "paper" in text
+
+    def test_listing(self):
+        text = cmd_listing(limit=15)
+        assert "ldi" in text
+        assert "MALU occupancy" in text
+
+    def test_evaluate_weak(self):
+        text = cmd_evaluate(weak=True, traces=40)
+        assert "VULNERABLE" in text
+
+
+class TestMain:
+    def test_info_exit_code(self, capsys):
+        assert main(["info"]) == 0
+        assert "K-163" in capsys.readouterr().out
+
+    def test_area_exit_code(self, capsys):
+        assert main(["area"]) == 0
+        assert "GE" in capsys.readouterr().out
+
+    def test_listing_with_limit(self, capsys):
+        assert main(["listing", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

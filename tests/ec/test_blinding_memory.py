@@ -1,0 +1,129 @@
+"""Tests for scalar/point blinding and the register-usage profiles."""
+
+import random
+
+import pytest
+
+from repro.ec import (
+    MEMORY_PROFILES,
+    NIST_K163,
+    blind_scalar,
+    blinded_scalar_multiply,
+    memory_profile,
+    montgomery_ladder_full,
+    point_blinded_multiply,
+    register_area_ge,
+)
+
+CURVE, G, ORDER = NIST_K163.curve, NIST_K163.generator, NIST_K163.order
+
+
+class TestScalarBlinding:
+    def test_blinded_scalar_is_congruent(self):
+        rng = random.Random(1)
+        k = NIST_K163.scalar_ring.random_scalar(rng)
+        blinded = blind_scalar(k, ORDER, rng)
+        assert blinded % ORDER == k
+        assert blinded > ORDER  # actually blinded
+
+    def test_blinding_varies_per_call(self):
+        rng = random.Random(2)
+        k = 12345
+        assert blind_scalar(k, ORDER, rng) != blind_scalar(k, ORDER, rng)
+
+    def test_result_unchanged(self):
+        rng = random.Random(3)
+        k = NIST_K163.scalar_ring.random_scalar(rng)
+        expected = CURVE.multiply_naive(k, G)
+        for __ in range(3):
+            assert blinded_scalar_multiply(CURVE, k, G, ORDER, rng) == expected
+
+    def test_ladder_bit_pattern_changes(self):
+        """The countermeasure's point: the bits the ladder consumes
+        differ run to run."""
+        rng = random.Random(4)
+        k = 0xABCDE
+        b1 = blind_scalar(k, ORDER, rng)
+        b2 = blind_scalar(k, ORDER, rng)
+        run1 = montgomery_ladder_full(CURVE, b1, G, randomize_z=False)
+        run2 = montgomery_ladder_full(CURVE, b2, G, randomize_z=False)
+        bits1 = [it.key_bit for it in run1.iterations]
+        bits2 = [it.key_bit for it in run2.iterations]
+        assert bits1 != bits2
+        assert run1.result == run2.result
+
+    def test_validation(self):
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            blind_scalar(0, ORDER, rng)
+        with pytest.raises(ValueError):
+            blind_scalar(ORDER, ORDER, rng)
+        with pytest.raises(ValueError):
+            blind_scalar(5, ORDER, rng, blinding_bits=0)
+
+
+class TestPointBlinding:
+    def test_result_unchanged(self):
+        rng = random.Random(6)
+        k = NIST_K163.scalar_ring.random_scalar(rng)
+        expected = CURVE.multiply_naive(k, G)
+        for __ in range(2):
+            assert point_blinded_multiply(CURVE, k, G, rng) == expected
+
+    def test_small_scalars(self):
+        rng = random.Random(7)
+        for k in (1, 2, 3, 17):
+            assert point_blinded_multiply(CURVE, k, G, rng) == \
+                CURVE.multiply_naive(k, G)
+
+    def test_zero_scalar(self):
+        rng = random.Random(8)
+        assert point_blinded_multiply(CURVE, 0, G, rng).is_infinity
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            point_blinded_multiply(CURVE, -1, G, random.Random(9))
+
+
+class TestMemoryProfiles:
+    def test_paper_claim_six_vs_eight(self):
+        """Section 4: the x-only ladder fits six m-bit registers, 'the
+        best known algorithm for ECPM over a prime field uses 8'."""
+        ours = memory_profile("mpl-xonly-koblitz")
+        prime = memory_profile("coz-prime-field")
+        assert ours.registers == 6
+        assert prime.registers == 8
+
+    def test_coprocessor_matches_profile(self):
+        from repro.arch import CoprocessorConfig
+
+        assert CoprocessorConfig().core_register_count == \
+            memory_profile("mpl-xonly-koblitz").registers
+
+    def test_generic_b_needs_seven(self):
+        from repro.arch import CoprocessorConfig
+        from repro.ec import NIST_B163
+
+        profile = memory_profile("mpl-xonly-generic")
+        config = CoprocessorConfig(domain=NIST_B163)
+        assert config.core_register_count == profile.registers == 7
+
+    def test_storage_and_area(self):
+        profile = memory_profile("mpl-xonly-koblitz")
+        assert profile.storage_bits(163) == 6 * 163
+        assert register_area_ge("mpl-xonly-koblitz") == 6 * 163 * 6.0
+
+    def test_register_saving_in_ge(self):
+        """The two saved registers are worth ~2 kGE of silicon."""
+        saving = register_area_ge("coz-prime-field") - register_area_ge(
+            "mpl-xonly-koblitz"
+        )
+        assert 1800 < saving < 2200
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="known profiles"):
+            memory_profile("magic")
+
+    def test_profiles_consistent(self):
+        for profile in MEMORY_PROFILES.values():
+            assert profile.registers == len(profile.live_values)

@@ -1,0 +1,67 @@
+"""Tests for the named-curve registry and domain parameters."""
+
+import pytest
+
+from repro.ec import (
+    CURVE_REGISTRY,
+    NIST_B163,
+    NIST_B233,
+    NIST_K163,
+    NIST_K233,
+    get_curve,
+    is_probable_prime,
+    montgomery_ladder,
+)
+
+ALL_CURVES = [NIST_K163, NIST_B163, NIST_K233, NIST_B233]
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(CURVE_REGISTRY) == {"K-163", "B-163", "K-233", "B-233"}
+
+    def test_get_curve(self):
+        assert get_curve("K-163") is NIST_K163
+
+    def test_unknown_curve(self):
+        with pytest.raises(KeyError, match="known curves"):
+            get_curve("P-256")
+
+
+class TestDomainParameters:
+    @pytest.mark.parametrize("domain", ALL_CURVES, ids=lambda d: d.name)
+    def test_generator_on_curve(self, domain):
+        assert domain.curve.is_on_curve(domain.generator)
+
+    @pytest.mark.parametrize("domain", ALL_CURVES, ids=lambda d: d.name)
+    def test_order_is_prime(self, domain):
+        assert is_probable_prime(domain.order)
+
+    @pytest.mark.parametrize("domain", ALL_CURVES, ids=lambda d: d.name)
+    def test_generator_has_stated_order(self, domain):
+        result = montgomery_ladder(
+            domain.curve, domain.order, domain.generator, randomize_z=False
+        )
+        assert result.is_infinity
+
+    @pytest.mark.parametrize("domain", ALL_CURVES, ids=lambda d: d.name)
+    def test_hasse_bound(self, domain):
+        """#E = h*n must lie within the Hasse interval around 2^m + 1."""
+        m = domain.field.m
+        group_size = domain.cofactor * domain.order
+        center = (1 << m) + 1
+        half_width = 2 * (1 << (m // 2 + 1))  # loose bound on 2*sqrt(q)
+        assert abs(group_size - center) <= half_width
+
+    def test_k163_matches_paper(self):
+        """The paper's curve: Koblitz over F_2^163, ~80-bit security."""
+        assert NIST_K163.field.m == 163
+        assert NIST_K163.curve.a == 1
+        assert NIST_K163.curve.b == 1
+        assert NIST_K163.security_bits == 81  # "80-bit security" in the paper
+
+    def test_scalar_ring_modulus(self):
+        assert NIST_K163.scalar_ring.n == NIST_K163.order
+
+    def test_repr(self):
+        assert "K-163" in repr(NIST_K163)

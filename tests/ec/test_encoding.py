@@ -1,0 +1,130 @@
+"""Tests for the SEC1-style point wire codec."""
+
+import random
+
+import pytest
+
+from repro.ec import (
+    AffinePoint,
+    NIST_B163,
+    NIST_K163,
+    PointDecodingError,
+    decode_point,
+    encode_point,
+    point_wire_bits,
+)
+
+CURVE, G = NIST_K163.curve, NIST_K163.generator
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("compressed", [True, False])
+    def test_generator(self, compressed):
+        data = encode_point(CURVE, G, compressed=compressed)
+        assert decode_point(CURVE, data) == G
+
+    @pytest.mark.parametrize("compressed", [True, False])
+    def test_random_points(self, compressed):
+        rng = random.Random(1)
+        for __ in range(6):
+            point = CURVE.random_point(rng)
+            data = encode_point(CURVE, point, compressed=compressed)
+            assert decode_point(CURVE, data) == point
+
+    def test_identity(self):
+        data = encode_point(CURVE, AffinePoint.infinity())
+        assert data == b"\x00"
+        assert decode_point(CURVE, data).is_infinity
+
+    def test_other_curve(self):
+        data = encode_point(NIST_B163.curve, NIST_B163.generator)
+        assert decode_point(NIST_B163.curve, data) == NIST_B163.generator
+
+    def test_two_torsion_point(self):
+        point = CURVE.lift_x(0)
+        data = encode_point(CURVE, point)
+        assert decode_point(CURVE, data) == point
+
+
+class TestWireFormat:
+    def test_prefixes(self):
+        rng = random.Random(2)
+        point = CURVE.random_point(rng)
+        compressed = encode_point(CURVE, point, compressed=True)
+        uncompressed = encode_point(CURVE, point, compressed=False)
+        assert compressed[0] in (0x02, 0x03)
+        assert uncompressed[0] == 0x04
+
+    def test_sizes(self):
+        point = G
+        assert len(encode_point(CURVE, point, True)) == 1 + 21  # 163 bits
+        assert len(encode_point(CURVE, point, False)) == 1 + 42
+        assert point_wire_bits(CURVE, True) == 8 * 22
+        assert point_wire_bits(CURVE, False) == 8 * 43
+
+    def test_compression_halves_the_payload(self):
+        assert point_wire_bits(CURVE, True) < point_wire_bits(CURVE, False) / 1.8
+
+    def test_y_bit_distinguishes_negatives(self):
+        rng = random.Random(3)
+        point = CURVE.random_point(rng)
+        negated = CURVE.negate(point)
+        a = encode_point(CURVE, point)
+        b = encode_point(CURVE, negated)
+        assert a[1:] == b[1:]      # same x
+        assert a[0] != b[0]        # different selector
+
+
+class TestRejection:
+    def test_empty(self):
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"")
+
+    def test_unknown_prefix(self):
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x05" + bytes(21))
+
+    def test_bad_lengths(self):
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x02" + bytes(5))
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x04" + bytes(21))
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x00\x00")
+
+    def test_off_curve_uncompressed_rejected(self):
+        data = b"\x04" + (123).to_bytes(21, "big") + (456).to_bytes(21, "big")
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, data)
+
+    def test_x_without_point_rejected(self):
+        rng = random.Random(4)
+        while True:
+            x = rng.getrandbits(163)
+            if x and CURVE.lift_x(x) is None:
+                break
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x02" + x.to_bytes(21, "big"))
+
+    def test_unreduced_coordinate_rejected(self):
+        big = (1 << 167) - 1
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x02" + big.to_bytes(21, "big"))
+
+    def test_encoding_off_curve_rejected(self):
+        with pytest.raises(PointDecodingError):
+            encode_point(CURVE, AffinePoint(1, 2))
+
+    def test_twist_x_rejected_at_the_parser(self):
+        """The parser is the first line of the invalid-point defence:
+        a quadratic-twist x never reaches the multiplier."""
+        from repro.fault import quadratic_twist
+
+        twist = quadratic_twist(CURVE)
+        rng = random.Random(5)
+        while True:
+            x = rng.getrandbits(163) & ((1 << 163) - 1)
+            if x and CURVE.lift_x(x) is None and twist.lift_x(x) is not None:
+                break
+        with pytest.raises(PointDecodingError):
+            decode_point(CURVE, b"\x02" + x.to_bytes(21, "big"))

@@ -1,0 +1,134 @@
+"""Tests for Koblitz-curve Frobenius arithmetic and tau-adic NAF."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ec import (
+    NIST_B163,
+    NIST_K163,
+    NIST_K233,
+    frobenius,
+    is_koblitz,
+    tnaf,
+    tnaf_multiply,
+)
+
+small_scalars = st.integers(min_value=1, max_value=1_000_000)
+
+
+class TestClassification:
+    def test_k163_is_koblitz(self):
+        assert is_koblitz(NIST_K163.curve)
+
+    def test_k233_is_koblitz(self):
+        assert is_koblitz(NIST_K233.curve)
+
+    def test_b163_is_not(self):
+        assert not is_koblitz(NIST_B163.curve)
+
+
+class TestFrobenius:
+    def test_maps_curve_to_curve(self):
+        curve = NIST_K163.curve
+        rng = random.Random(4)
+        for _ in range(5):
+            p = curve.random_point(rng)
+            assert curve.is_on_curve(frobenius(curve, p))
+
+    def test_fixes_infinity(self):
+        from repro.ec import AffinePoint
+
+        assert frobenius(NIST_K163.curve, AffinePoint.infinity()).is_infinity
+
+    def test_characteristic_equation(self):
+        """tau^2(P) + 2P = mu * tau(P) with mu = +1 for a = 1 (K-163)."""
+        curve = NIST_K163.curve
+        rng = random.Random(12)
+        for _ in range(3):
+            p = curve.random_point(rng)
+            tau_p = frobenius(curve, p)
+            tau2_p = frobenius(curve, tau_p)
+            lhs = curve.add(tau2_p, curve.multiply_naive(2, p))
+            assert lhs == tau_p  # mu = 1
+
+    def test_characteristic_equation_mu_minus_one(self):
+        """For K-233 (a = 0): tau^2(P) + 2P = -tau(P)."""
+        curve = NIST_K233.curve
+        rng = random.Random(13)
+        p = curve.random_point(rng)
+        tau_p = frobenius(curve, p)
+        tau2_p = frobenius(curve, tau_p)
+        lhs = curve.add(tau2_p, curve.multiply_naive(2, p))
+        assert lhs == curve.negate(tau_p)
+
+    def test_commutes_with_addition(self):
+        curve = NIST_K163.curve
+        rng = random.Random(14)
+        p, q = curve.random_point(rng), curve.random_point(rng)
+        assert frobenius(curve, curve.add(p, q)) == curve.add(
+            frobenius(curve, p), frobenius(curve, q)
+        )
+
+
+class TestTnaf:
+    @given(small_scalars)
+    @settings(max_examples=40)
+    def test_digits_in_range(self, k):
+        assert set(tnaf(k, 1)) <= {-1, 0, 1}
+
+    @given(small_scalars)
+    @settings(max_examples=40)
+    def test_nonadjacent(self, k):
+        digits = tnaf(k, 1)
+        for a, b in zip(digits, digits[1:]):
+            assert a == 0 or b == 0
+
+    def test_zero(self):
+        assert tnaf(0, 1) == []
+
+    def test_bad_mu(self):
+        with pytest.raises(ValueError):
+            tnaf(5, 2)
+
+    @given(small_scalars)
+    @settings(max_examples=5, deadline=None)
+    def test_tnaf_multiply_matches_reference(self, k):
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        assert tnaf_multiply(curve, k, g) == curve.multiply_naive(k, g)
+
+    def test_tnaf_multiply_large_scalar(self):
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        k = 0xDEADBEEFCAFEBABE1234
+        assert tnaf_multiply(curve, k, g) == curve.multiply_naive(k, g)
+
+    def test_tnaf_multiply_negative_and_zero(self):
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        assert tnaf_multiply(curve, 0, g).is_infinity
+        assert tnaf_multiply(curve, -5, g) == curve.negate(
+            curve.multiply_naive(5, g)
+        )
+
+    def test_rejects_non_koblitz(self):
+        with pytest.raises(ValueError):
+            tnaf_multiply(NIST_B163.curve, 5, NIST_B163.generator)
+
+    def test_operation_sequence_is_key_dependent(self):
+        """The tau-NAF digit pattern leaks through the op sequence —
+        why the paper's secure design does NOT use it for secrets."""
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        ops_a, ops_b = [], []
+        tnaf_multiply(curve, 0b1010101, g, operations=ops_a)
+        tnaf_multiply(curve, 0b1111111, g, operations=ops_b)
+        assert ops_a != ops_b
+
+    def test_frobenius_count_vs_double_count(self):
+        """tau-NAF replaces doublings with Frobenius maps (cheap)."""
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        k = 0xFFFFF
+        ops = []
+        tnaf_multiply(curve, k, g, operations=ops)
+        assert ops.count("F") >= k.bit_length()
+        assert "D" not in ops

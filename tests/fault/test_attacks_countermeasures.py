@@ -1,0 +1,198 @@
+"""Tests for the fault attacks and the countermeasures that stop them."""
+
+import random
+
+import pytest
+
+from repro.ec import AffinePoint, BinaryEllipticCurve, NIST_K163
+from repro.gf2m import BinaryField
+from repro.fault import (
+    FaultDetectedError,
+    FaultSpec,
+    HardenedMultiplier,
+    faulty_double_and_add_always,
+    faulty_montgomery_ladder,
+    find_small_order_invalid_point,
+    invalid_curve_residue,
+    safe_error_attack,
+    validate_input_point,
+)
+
+CURVE, G, ORDER = NIST_K163.curve, NIST_K163.generator, NIST_K163.order
+
+
+class TestSafeErrorAttack:
+    def test_recovers_key_prefix(self):
+        """The safe-error attack reads bits out of double-and-add-always."""
+        k = 0b110100101101
+        correct = CURVE.multiply_naive(k, G)
+
+        def device(fault_iteration):
+            return faulty_double_and_add_always(CURVE, k, G, fault_iteration)
+
+        n_bits = k.bit_length() - 1
+        recovered = safe_error_attack(CURVE, G, device, correct, n_bits)
+        expected = [int(c) for c in bin(k)[3:]]
+        assert recovered == expected
+
+    def test_ladder_is_not_vulnerable_to_this_oracle(self):
+        """The MPL has no dummy operations: every fault changes the
+        output, so the unchanged/changed oracle reads all-ones."""
+        k = 0b110100101101
+        correct_x = CURVE.multiply_naive(k, G).x
+
+        def device(fault_iteration):
+            return faulty_montgomery_ladder(
+                CURVE, k, G, FaultSpec(iteration=fault_iteration, target="X1")
+            )
+
+        readings = [
+            0 if device(i).x == correct_x else 1
+            for i in range(k.bit_length() - 1)
+        ]
+        assert all(readings)  # no information about the key bits
+
+
+class ToyCurve:
+    """GF(2^13) curve small enough to brute-force group structure.
+
+    With a = 0 the quadratic twist is the a = 1 curve, whose order
+    8374 = 2 * 53 * 79 provides the small subgroup the attack needs.
+    """
+
+    FIELD = BinaryField(13, (1 << 13) | 0b11011)  # x^13+x^4+x^3+x+1
+
+    @classmethod
+    def make(cls):
+        return BinaryEllipticCurve(cls.FIELD, 0, 1)
+
+
+def test_toy_field_modulus_is_irreducible():
+    from repro.gf2m import is_irreducible
+
+    assert is_irreducible(ToyCurve.FIELD.modulus)
+
+
+class TestInvalidCurveAttack:
+    def test_end_to_end_residue_recovery(self):
+        """Full invalid-curve attack on a toy unvalidated device."""
+        curve = ToyCurve.make()
+        rng = random.Random(99)
+        attack = find_small_order_invalid_point(curve, max_order=60, rng=rng)
+        assert attack is not None
+        assert 3 <= attack.order <= 60
+
+        secret_k = 1337
+        # Unvalidated device: runs the ladder on whatever point arrives.
+        device_output = faulty_montgomery_ladder(
+            curve, secret_k, attack.point, fault=None
+        )
+        residue = invalid_curve_residue(curve, attack, device_output)
+        assert residue is not None
+        assert residue % attack.order in (
+            secret_k % attack.order,
+            (-secret_k) % attack.order,  # x-only leaks k up to sign
+        )
+
+    def test_attack_point_is_not_on_real_curve(self):
+        curve = ToyCurve.make()
+        rng = random.Random(7)
+        attack = find_small_order_invalid_point(curve, max_order=60, rng=rng)
+        assert attack is not None
+        assert not curve.is_on_curve(attack.point)
+
+    def test_brute_force_guard_on_big_fields(self):
+        with pytest.raises(ValueError):
+            find_small_order_invalid_point(CURVE, 10, random.Random(0))
+
+
+class TestValidation:
+    def test_accepts_good_point(self):
+        validate_input_point(CURVE, G, ORDER)
+
+    def test_rejects_off_curve(self):
+        with pytest.raises(FaultDetectedError):
+            validate_input_point(CURVE, AffinePoint(123, 456))
+
+    def test_rejects_infinity_and_torsion(self):
+        with pytest.raises(FaultDetectedError):
+            validate_input_point(CURVE, AffinePoint.infinity())
+        with pytest.raises(FaultDetectedError):
+            validate_input_point(CURVE, CURVE.lift_x(0))
+
+    def test_rejects_wrong_subgroup(self):
+        rng = random.Random(3)
+        # Find a point of order 2n (full group, cofactor part kept).
+        while True:
+            p = CURVE.random_point(rng)
+            from repro.ec import montgomery_ladder
+
+            if not montgomery_ladder(CURVE, ORDER, p,
+                                     randomize_z=False).is_infinity:
+                break
+        with pytest.raises(FaultDetectedError):
+            validate_input_point(CURVE, p, ORDER)
+
+    def test_validation_stops_invalid_curve_attack(self):
+        """The countermeasure catches the attack point of the toy demo."""
+        curve = ToyCurve.make()
+        rng = random.Random(99)
+        attack = find_small_order_invalid_point(curve, max_order=60, rng=rng)
+        with pytest.raises(FaultDetectedError):
+            validate_input_point(curve, attack.point)
+
+
+class TestHardenedMultiplier:
+    def test_normal_operation(self):
+        rng = random.Random(4)
+        hard = HardenedMultiplier(CURVE, ORDER)
+        assert hard.multiply(0x123, G, rng) == CURVE.multiply_naive(0x123, G)
+
+    def test_scalar_range_enforced(self):
+        rng = random.Random(5)
+        hard = HardenedMultiplier(CURVE, ORDER)
+        with pytest.raises(FaultDetectedError):
+            hard.multiply(0, G, rng)
+        with pytest.raises(FaultDetectedError):
+            hard.multiply(ORDER + 5, G, rng)
+
+    def test_detects_faulty_backend(self):
+        """A backend corrupted by a transient fault is caught by the
+        output curve check."""
+        rng = random.Random(6)
+
+        def faulty_backend(k, point):
+            return faulty_montgomery_ladder(
+                CURVE, k, point, FaultSpec(iteration=5, target="X1", bit=3)
+            )
+
+        hard = HardenedMultiplier(CURVE, ORDER, multiplier=faulty_backend)
+        caught = 0
+        keys = (0x1111, 0x2222, 0x3333, 0x4444, 0x5555,
+                0x6666, 0x7777, 0x8888, 0x9999, 0xAAAA)
+        for k in keys:
+            try:
+                result = hard.multiply(k, G, rng)
+            except FaultDetectedError:
+                caught += 1
+                continue
+            # If the corrupted x happened to lift onto the curve, the
+            # curve check alone cannot catch it — this is exactly why
+            # x-only outputs need the recomputation check for full
+            # fault coverage.
+            assert CURVE.is_on_curve(result)
+        assert caught >= 1
+
+    def test_recomputation_catches_everything(self):
+        rng = random.Random(7)
+
+        def faulty_backend(k, point):
+            return faulty_montgomery_ladder(
+                CURVE, k, point, FaultSpec(iteration=5, target="X1", bit=3)
+            )
+
+        hard = HardenedMultiplier(CURVE, ORDER, verify_by_recomputation=True,
+                                  multiplier=faulty_backend)
+        for k in (0x1111, 0x2222, 0x3333):
+            with pytest.raises(FaultDetectedError):
+                hard.multiply(k, G, rng)

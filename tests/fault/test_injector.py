@@ -1,0 +1,101 @@
+"""Tests for fault injection into scalar multiplications."""
+
+import pytest
+
+from repro.ec import NIST_K163
+from repro.fault import (
+    FaultKind,
+    FaultSpec,
+    faulty_double_and_add_always,
+    faulty_montgomery_ladder,
+    flip_bit,
+)
+
+CURVE, G = NIST_K163.curve, NIST_K163.generator
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(iteration=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(iteration=0, target="X9")
+        with pytest.raises(ValueError):
+            FaultSpec(iteration=0, bit=-1)
+
+    def test_flip_bit(self):
+        assert flip_bit(0b1000, 3) == 0
+        assert flip_bit(0, 5) == 32
+
+
+class TestFaultyLadder:
+    def test_no_fault_is_correct(self):
+        k = 0xABCDE
+        result = faulty_montgomery_ladder(CURVE, k, G, fault=None)
+        assert result.x == CURVE.multiply_naive(k, G).x
+
+    def test_bit_flip_corrupts_output(self):
+        k = 0xABCDE
+        correct = CURVE.multiply_naive(k, G)
+        fault = FaultSpec(iteration=3, target="X1", bit=7)
+        faulted = faulty_montgomery_ladder(CURVE, k, G, fault)
+        assert faulted.x != correct.x
+
+    def test_stuck_at_zero(self):
+        k = 0xABCDE
+        fault = FaultSpec(iteration=2, target="Z1",
+                          kind=FaultKind.STUCK_AT_ZERO)
+        faulted = faulty_montgomery_ladder(CURVE, k, G, fault)
+        assert faulted.x != CURVE.multiply_naive(k, G).x
+
+    def test_skip_iteration_changes_result(self):
+        k = 0xABCDE
+        fault = FaultSpec(iteration=1, kind=FaultKind.SKIP)
+        faulted = faulty_montgomery_ladder(CURVE, k, G, fault)
+        assert faulted.x != CURVE.multiply_naive(k, G).x
+
+    def test_fault_after_last_iteration_is_harmless(self):
+        k = 0b101
+        fault = FaultSpec(iteration=99, target="X1", bit=0)
+        result = faulty_montgomery_ladder(CURVE, k, G, fault)
+        assert result.x == CURVE.multiply_naive(k, G).x
+
+    def test_faulty_output_is_usually_invalid(self):
+        """Most corrupted x-coordinates fail validation — the hook the
+        output-check countermeasure relies on."""
+        invalid = 0
+        for bit in range(10):
+            fault = FaultSpec(iteration=4, target="X2", bit=bit)
+            result = faulty_montgomery_ladder(CURVE, 0xABCDE, G, fault)
+            expected = CURVE.multiply_naive(0xABCDE, G)
+            if result.x != expected.x:
+                invalid += 1
+        assert invalid >= 9
+
+    def test_input_validation(self):
+        from repro.ec import AffinePoint
+
+        with pytest.raises(ValueError):
+            faulty_montgomery_ladder(CURVE, 0, G)
+        with pytest.raises(ValueError):
+            faulty_montgomery_ladder(CURVE, 5, AffinePoint.infinity())
+
+
+class TestFaultyAlwaysAdd:
+    def test_no_fault_is_correct(self):
+        k = 0b110101
+        assert faulty_double_and_add_always(CURVE, k, G) == \
+            CURVE.multiply_naive(k, G)
+
+    def test_fault_on_real_add_corrupts(self):
+        # k = 0b111: iterations process bits 1,1 -> both adds real.
+        k = 0b111
+        correct = CURVE.multiply_naive(k, G)
+        assert faulty_double_and_add_always(CURVE, k, G, 0) != correct
+
+    def test_fault_on_dummy_add_vanishes(self):
+        # k = 0b100: both processed bits are 0 -> dummy adds.
+        k = 0b100
+        correct = CURVE.multiply_naive(k, G)
+        assert faulty_double_and_add_always(CURVE, k, G, 0) == correct
+        assert faulty_double_and_add_always(CURVE, k, G, 1) == correct

@@ -1,0 +1,88 @@
+"""Tests for the calibrated energy model (the paper's E1 numbers)."""
+
+import pytest
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.power import (
+    OperatingPoint,
+    PAPER_ENERGY_PER_PM_JOULES,
+    PAPER_OPERATING_POINT,
+    PAPER_POWER_WATTS,
+    PAPER_THROUGHPUT_PM_PER_S,
+    TechnologyParams,
+    calibrate_energy_model,
+)
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    cop = EccCoprocessor(CoprocessorConfig())
+    model = calibrate_energy_model(cop)
+    execution = cop.point_multiply(0x123456789ABCDEF, cop.domain.generator,
+                                   initial_z=1)
+    return model, execution
+
+
+class TestCalibration:
+    def test_power_matches_paper(self, calibrated):
+        model, execution = calibrated
+        report = model.report(execution)
+        assert report.power_watts == pytest.approx(PAPER_POWER_WATTS, rel=0.02)
+
+    def test_energy_per_pm_matches_paper(self, calibrated):
+        """5.1 uJ per point multiplication."""
+        model, execution = calibrated
+        energy = model.energy_per_operation(execution)
+        assert energy == pytest.approx(PAPER_ENERGY_PER_PM_JOULES, rel=0.02)
+
+    def test_throughput_matches_paper(self, calibrated):
+        """9.8 point multiplications per second at 847.5 kHz."""
+        model, execution = calibrated
+        report = model.report(execution)
+        assert report.operations_per_second == pytest.approx(
+            PAPER_THROUGHPUT_PM_PER_S, rel=0.02
+        )
+
+    def test_report_string(self, calibrated):
+        model, execution = calibrated
+        text = str(model.report(execution))
+        assert "uW" in text and "uJ" in text and "op/s" in text
+
+
+class TestScalingLaws:
+    def test_frequency_scaling_keeps_energy(self, calibrated):
+        """Energy per operation is frequency-independent (CV^2 per toggle);
+        power scales linearly with f."""
+        model, execution = calibrated
+        slow = model.report(execution, OperatingPoint(100e3, 1.0))
+        fast = model.report(execution, OperatingPoint(1e6, 1.0))
+        assert slow.energy_joules == pytest.approx(fast.energy_joules)
+        assert fast.power_watts == pytest.approx(slow.power_watts * 10)
+
+    def test_voltage_scaling_quadratic(self, calibrated):
+        model, execution = calibrated
+        low = model.report(execution, OperatingPoint(847.5e3, 0.8))
+        high = model.report(execution, OperatingPoint(847.5e3, 1.2))
+        assert high.energy_joules / low.energy_joules == pytest.approx(
+            (1.2 / 0.8) ** 2
+        )
+
+    def test_static_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            TechnologyParams("x", 130, 1.0, static_fraction=1.0)
+
+    def test_bad_operating_point(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1e6, -1.0)
+
+    def test_energy_per_toggle_positive(self, calibrated):
+        model, __ = calibrated
+        assert model.energy_per_toggle > 0
+
+    def test_invalid_energy_model(self):
+        from repro.power import EnergyModel
+
+        with pytest.raises(ValueError):
+            EnergyModel(0.0)

@@ -1,0 +1,94 @@
+"""Tests for trace export/import and iteration profiles."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.power import (
+    PowerTraceSimulator,
+    iteration_profile,
+    load_traceset,
+    save_traceset,
+    trace_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    coprocessor = EccCoprocessor(CoprocessorConfig(randomize_z=False))
+    rng = random.Random(1)
+    curve = coprocessor.domain.curve
+    points = []
+    while len(points) < 4:
+        p = curve.double(curve.random_point(rng))
+        if not p.is_infinity and p.x != 0:
+            points.append(p)
+    sim = PowerTraceSimulator(noise_sigma=2.0, seed=1)
+    return sim.campaign(coprocessor, 0x123, points, scenario="unprotected",
+                        max_iterations=3)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, campaign, tmp_path):
+        path = tmp_path / "campaign.npz"
+        save_traceset(campaign, path)
+        loaded = load_traceset(path)
+        assert np.allclose(loaded.samples, campaign.samples)
+        assert loaded.inputs == campaign.inputs
+        assert loaded.iteration_slices == campaign.iteration_slices
+        assert loaded.key_bits == campaign.key_bits
+        assert loaded.known_randomness is None
+
+    def test_roundtrip_with_randomness(self, tmp_path):
+        coprocessor = EccCoprocessor(CoprocessorConfig())
+        rng = random.Random(2)
+        curve = coprocessor.domain.curve
+        point = curve.double(curve.random_point(rng))
+        sim = PowerTraceSimulator(noise_sigma=1.0, seed=2)
+        traces = sim.campaign(coprocessor, 0x55, [point, point], rng=rng,
+                              scenario="known_randomness", max_iterations=2)
+        path = tmp_path / "wb.npz"
+        save_traceset(traces, path)
+        loaded = load_traceset(path)
+        assert loaded.known_randomness == traces.known_randomness
+
+
+class TestCsv:
+    def test_single_trace(self, campaign, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(campaign.samples[0], path)
+        loaded = np.loadtxt(path, delimiter=",")
+        assert np.allclose(loaded, campaign.samples[0], atol=1e-5)
+
+    def test_matrix(self, campaign, tmp_path):
+        path = tmp_path / "traces.csv"
+        trace_to_csv(campaign.samples, path)
+        loaded = np.loadtxt(path, delimiter=",")
+        assert loaded.shape == campaign.samples.shape
+
+
+class TestIterationProfile:
+    def test_shape(self, campaign):
+        profile = iteration_profile(campaign.samples,
+                                    campaign.iteration_slices)
+        min_width = min(e - s for s, e in campaign.iteration_slices)
+        assert profile.shape == (min_width,)
+
+    def test_explicit_width(self, campaign):
+        profile = iteration_profile(campaign.samples,
+                                    campaign.iteration_slices, width=10)
+        assert profile.shape == (10,)
+
+    def test_profile_is_average(self):
+        samples = np.array([[1.0, 2.0, 3.0, 4.0]])
+        profile = iteration_profile(samples, [(0, 2), (2, 4)])
+        assert np.allclose(profile, [2.0, 3.0])
+
+    def test_validation(self, campaign):
+        with pytest.raises(ValueError):
+            iteration_profile(campaign.samples, [])
+        with pytest.raises(ValueError):
+            iteration_profile(campaign.samples, campaign.iteration_slices,
+                              width=10_000)

@@ -1,0 +1,90 @@
+"""Tests for the leakage models (CMOS vs SABL/WDDL)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.power import (
+    ChannelWeights,
+    CmosLeakageModel,
+    SablLeakageModel,
+    WddlLeakageModel,
+)
+
+
+@pytest.fixture(scope="module")
+def executions():
+    cop = EccCoprocessor(CoprocessorConfig(randomize_z=False))
+    g = cop.domain.generator
+    n = cop.domain.order
+    # Keys differing in their HIGH bits: the truncated run only covers
+    # the first ladder iterations, and scalar recoding (k + n / k + 2n)
+    # makes the top bits of small keys identical.
+    return [
+        cop.point_multiply(k, g, max_iterations=3)
+        for k in (n // 2, n // 3, n // 5)
+    ]
+
+
+class TestCmosModel:
+    def test_output_length(self, executions):
+        model = CmosLeakageModel()
+        out = model.consumed(executions[0])
+        assert out.shape == (executions[0].cycles,)
+
+    def test_data_dependence(self, executions):
+        """CMOS leaks: different data -> different consumption."""
+        model = CmosLeakageModel()
+        a = model.consumed(executions[0])
+        b = model.consumed(executions[1])
+        assert not np.allclose(a, b)
+
+    def test_weights_scale_channels(self, executions):
+        light = CmosLeakageModel(ChannelWeights(control=0.0))
+        heavy = CmosLeakageModel(ChannelWeights(control=10.0))
+        assert heavy.consumed(executions[0]).sum() > light.consumed(
+            executions[0]
+        ).sum()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelWeights(datapath=-1.0)
+
+
+class TestDifferentialLogic:
+    def test_sabl_nearly_constant(self, executions):
+        """SABL consumes (almost) the same energy regardless of data."""
+        model = SablLeakageModel()
+        a = model.consumed(executions[0])
+        b = model.consumed(executions[1])
+        # Relative variation across different data is tiny.
+        diff = np.abs(a - b).max()
+        assert diff / a.mean() < 0.15
+
+    def test_residual_ordering(self, executions):
+        """WDDL (std-cell) balances worse than full-custom SABL."""
+        sabl = SablLeakageModel()
+        wddl = WddlLeakageModel()
+        assert wddl.residual_imbalance > sabl.residual_imbalance
+
+    def test_power_overhead(self, executions):
+        """Secure logic styles cost substantially more power."""
+        cmos = CmosLeakageModel().consumed(executions[0]).mean()
+        sabl = SablLeakageModel().consumed(executions[0]).mean()
+        assert sabl > 2 * cmos
+
+    def test_data_dependent_residual(self, executions):
+        """With a nonzero residual, a tiny data dependence remains."""
+        model = WddlLeakageModel(residual_imbalance=0.05)
+        a = model.consumed(executions[0])
+        b = model.consumed(executions[1])
+        assert not np.allclose(a, b)
+        ideal = WddlLeakageModel(residual_imbalance=0.0)
+        assert np.allclose(ideal.consumed(executions[0]),
+                           ideal.consumed(executions[1]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SablLeakageModel(cells_per_cycle=0)
+        with pytest.raises(ValueError):
+            WddlLeakageModel(residual_imbalance=-0.1)

@@ -1,0 +1,95 @@
+"""Tests for the from-scratch AES-128 (FIPS 197 vectors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import Aes128, INV_SBOX, SBOX
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        for v in range(256):
+            assert INV_SBOX[SBOX[v]] == v
+
+    def test_no_fixed_points(self):
+        assert all(SBOX[v] != v for v in range(256))
+
+
+class TestBlockCipher:
+    def test_fips197_vector(self):
+        aes = Aes128(FIPS_KEY)
+        assert aes.encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+    def test_fips197_decrypt(self):
+        aes = Aes128(FIPS_KEY)
+        assert aes.decrypt_block(FIPS_CIPHERTEXT) == FIPS_PLAINTEXT
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20)
+    def test_roundtrip(self, key, block):
+        aes = Aes128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            Aes128(b"short")
+
+    def test_wrong_block_size(self):
+        aes = Aes128(FIPS_KEY)
+        with pytest.raises(ValueError):
+            aes.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            aes.decrypt_block(b"x" * 17)
+
+    def test_key_sensitivity(self):
+        a = Aes128(FIPS_KEY).encrypt_block(FIPS_PLAINTEXT)
+        flipped = bytes([FIPS_KEY[0] ^ 1]) + FIPS_KEY[1:]
+        b = Aes128(flipped).encrypt_block(FIPS_PLAINTEXT)
+        assert a != b
+        # Avalanche: roughly half the bits should differ.
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 30 <= diff <= 98
+
+
+class TestCtrMode:
+    def test_involution(self):
+        aes = Aes128(FIPS_KEY)
+        nonce = b"\x01" * 8
+        data = b"vital signs: hr=72 spo2=98 temp=36.6"
+        assert aes.ctr_encrypt(nonce, aes.ctr_encrypt(nonce, data)) == data
+
+    def test_keystream_length(self):
+        aes = Aes128(FIPS_KEY)
+        for n in (0, 1, 15, 16, 17, 100):
+            assert len(aes.ctr_keystream(b"\x00" * 8, n)) == n
+
+    def test_nonce_matters(self):
+        aes = Aes128(FIPS_KEY)
+        data = b"0123456789abcdef"
+        assert aes.ctr_encrypt(b"\x00" * 8, data) != aes.ctr_encrypt(b"\x01" * 8, data)
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(ValueError):
+            Aes128(FIPS_KEY).ctr_keystream(b"\x00" * 4, 16)
+
+    def test_keystream_matches_encrypt_counter_blocks(self):
+        aes = Aes128(FIPS_KEY)
+        nonce = b"\xaa" * 8
+        stream = aes.ctr_keystream(nonce, 32)
+        block0 = aes.encrypt_block(nonce + (0).to_bytes(8, "big"))
+        block1 = aes.encrypt_block(nonce + (1).to_bytes(8, "big"))
+        assert stream == block0 + block1

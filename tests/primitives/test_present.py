@@ -1,0 +1,76 @@
+"""Tests for PRESENT-80 (published test vectors from the CHES 2007 paper)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import PRESENT80_GATES, Present80
+from repro.arch import AES_ENC_GATES, SHA1_GATES
+
+
+class TestPublishedVectors:
+    @pytest.mark.parametrize(
+        "key,plaintext,ciphertext",
+        [
+            (bytes(10), bytes(8), "5579c1387b228445"),
+            (b"\xff" * 10, bytes(8), "e72c46c0f5945049"),
+            (bytes(10), b"\xff" * 8, "a112ffc72f68417b"),
+            (b"\xff" * 10, b"\xff" * 8, "3333dcd3213210d2"),
+        ],
+    )
+    def test_encrypt(self, key, plaintext, ciphertext):
+        assert Present80(key).encrypt_block(plaintext).hex() == ciphertext
+
+    @pytest.mark.parametrize(
+        "key,plaintext,ciphertext",
+        [
+            (bytes(10), bytes(8), "5579c1387b228445"),
+            (b"\xff" * 10, b"\xff" * 8, "3333dcd3213210d2"),
+        ],
+    )
+    def test_decrypt(self, key, plaintext, ciphertext):
+        assert Present80(key).decrypt_block(bytes.fromhex(ciphertext)) == \
+            plaintext
+
+
+class TestRoundtripAndValidation:
+    @given(st.binary(min_size=10, max_size=10),
+           st.binary(min_size=8, max_size=8))
+    @settings(max_examples=25)
+    def test_roundtrip(self, key, block):
+        cipher = Present80(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_key_size(self):
+        with pytest.raises(ValueError):
+            Present80(bytes(16))
+
+    def test_block_size(self):
+        cipher = Present80(bytes(10))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(4))
+
+    def test_avalanche(self):
+        cipher = Present80(bytes(10))
+        a = cipher.encrypt_block(bytes(8))
+        b = cipher.encrypt_block(b"\x01" + bytes(7))
+        diff = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert 16 <= diff <= 48  # roughly half of 64 bits
+
+    def test_key_sensitivity(self):
+        a = Present80(bytes(10)).encrypt_block(bytes(8))
+        b = Present80(b"\x01" + bytes(9)).encrypt_block(bytes(8))
+        assert a != b
+
+
+class TestGateCountStory:
+    def test_present_is_the_smallest(self):
+        """The Section 4 budget ladder: PRESENT << AES < SHA-1 << ECC."""
+        assert PRESENT80_GATES < AES_ENC_GATES < SHA1_GATES
+
+    def test_present_fraction_of_ecc(self):
+        from repro.arch import ecc_core_area
+
+        assert PRESENT80_GATES < 0.15 * ecc_core_area().total

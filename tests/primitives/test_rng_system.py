@@ -1,0 +1,95 @@
+"""Tests for the TRNG -> health tests -> DRBG randomness subsystem."""
+
+import random
+
+import pytest
+
+from repro.primitives import DeviceRandomness, EntropyFailure, TrngModel
+
+
+class TestHealthySource:
+    def test_serves_bits(self):
+        device = DeviceRandomness(TrngModel(random.Random(1)))
+        for k in (1, 8, 163, 256):
+            value = device.getrandbits(k)
+            assert 0 <= value < (1 << k)
+
+    def test_randbytes(self):
+        device = DeviceRandomness(TrngModel(random.Random(2)))
+        assert len(device.randbytes(20)) == 20
+        assert device.randbytes(0) == b""
+
+    def test_random_unit_interval(self):
+        device = DeviceRandomness(TrngModel(random.Random(3)))
+        assert 0.0 <= device.random() < 1.0
+
+    def test_reseeds_on_schedule(self):
+        device = DeviceRandomness(TrngModel(random.Random(4)),
+                                  reseed_interval_bits=512)
+        assert device.reseeds == 1
+        for __ in range(10):
+            device.getrandbits(128)
+        assert device.reseeds >= 3
+
+    def test_deterministic_given_seeded_trng(self):
+        a = DeviceRandomness(TrngModel(random.Random(5)))
+        b = DeviceRandomness(TrngModel(random.Random(5)))
+        assert a.getrandbits(163) == b.getrandbits(163)
+
+    def test_output_statistics(self):
+        device = DeviceRandomness(TrngModel(random.Random(6)))
+        bits = device.getrandbits(8000)
+        ones = bin(bits).count("1")
+        assert 3700 <= ones <= 4300
+
+    def test_usable_as_ladder_rng(self):
+        """Drop-in randomness source for the coprocessor."""
+        from repro.arch import EccCoprocessor
+
+        coprocessor = EccCoprocessor()
+        device = DeviceRandomness(TrngModel(random.Random(7)))
+        trace = coprocessor.point_multiply(
+            0x1234, coprocessor.domain.generator, rng=device
+        )
+        expected = coprocessor.domain.curve.multiply_naive(
+            0x1234, coprocessor.domain.generator
+        )
+        assert trace.result == expected
+
+
+class TestDegradedSource:
+    def test_biased_source_caught_at_construction(self):
+        with pytest.raises(EntropyFailure):
+            DeviceRandomness(TrngModel(random.Random(8), bias=0.8))
+
+    def test_correlated_source_caught(self):
+        with pytest.raises(EntropyFailure):
+            DeviceRandomness(TrngModel(random.Random(9), correlation=0.7))
+
+    def test_failure_names_the_failing_test(self):
+        try:
+            DeviceRandomness(TrngModel(random.Random(10), bias=0.9))
+        except EntropyFailure as error:
+            assert "monobit" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected EntropyFailure")
+
+    def test_source_degrading_later_is_caught_at_reseed(self):
+        trng = TrngModel(random.Random(11))
+        device = DeviceRandomness(trng, reseed_interval_bits=512)
+        trng.bias = 0.9  # the oscillator drifts after deployment
+        with pytest.raises(EntropyFailure):
+            for __ in range(20):
+                device.getrandbits(128)
+
+
+class TestValidation:
+    def test_interval_too_small(self):
+        with pytest.raises(ValueError):
+            DeviceRandomness(TrngModel(random.Random(12)),
+                             reseed_interval_bits=8)
+
+    def test_negative_bits(self):
+        device = DeviceRandomness(TrngModel(random.Random(13)))
+        with pytest.raises(ValueError):
+            device.getrandbits(-1)

@@ -1,0 +1,63 @@
+"""Tests for the from-scratch SHA-1 (FIPS 180 vectors)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives import Sha1, sha1
+
+
+class TestVectors:
+    def test_empty(self):
+        assert sha1(b"").hex() == "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+
+    def test_abc(self):
+        assert sha1(b"abc").hex() == "a9993e364706816aba3e25717850c26c9cd0d89d"
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha1(msg).hex() == "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+
+    def test_million_a(self):
+        assert (
+            sha1(b"a" * 1_000_000).hex()
+            == "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        )
+
+    def test_448_bit_boundary(self):
+        # Length that forces padding into a second block.
+        msg = b"x" * 56
+        assert len(sha1(msg)) == 20
+
+
+class TestIncremental:
+    @given(st.binary(max_size=300), st.integers(min_value=0, max_value=300))
+    @settings(max_examples=30)
+    def test_split_update_equals_oneshot(self, data, split):
+        split = min(split, len(data))
+        h = Sha1()
+        h.update(data[:split])
+        h.update(data[split:])
+        assert h.digest() == sha1(data)
+
+    def test_digest_is_idempotent(self):
+        h = Sha1(b"hello")
+        assert h.digest() == h.digest()
+
+    def test_can_continue_after_digest(self):
+        h = Sha1(b"hello ")
+        first = h.digest()
+        h.update(b"world")
+        assert h.digest() == sha1(b"hello world")
+        assert first == sha1(b"hello ")
+
+    def test_hexdigest(self):
+        assert Sha1(b"abc").hexdigest() == sha1(b"abc").hex()
+
+    def test_chaining(self):
+        assert Sha1().update(b"ab").update(b"c").digest() == sha1(b"abc")
+
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    @settings(max_examples=20)
+    def test_distinct_messages_distinct_digests(self, a, b):
+        if a != b:
+            assert sha1(a) != sha1(b)

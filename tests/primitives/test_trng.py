@@ -1,0 +1,82 @@
+"""Tests for the behavioural TRNG model and health tests."""
+
+import random
+
+import pytest
+
+from repro.primitives import (
+    TrngModel,
+    monobit_test,
+    runs_test,
+    von_neumann_debias,
+)
+
+
+class TestModelConstruction:
+    def test_bad_bias(self):
+        with pytest.raises(ValueError):
+            TrngModel(random.Random(0), bias=1.5)
+
+    def test_bad_correlation(self):
+        with pytest.raises(ValueError):
+            TrngModel(random.Random(0), correlation=-0.1)
+
+
+class TestHealthTests:
+    def test_good_source_passes(self):
+        trng = TrngModel(random.Random(1))
+        bits = trng.raw_bits(4000)
+        assert monobit_test(bits)[0]
+        assert runs_test(bits)[0]
+
+    def test_biased_source_fails_monobit(self):
+        trng = TrngModel(random.Random(2), bias=0.7)
+        bits = trng.raw_bits(4000)
+        assert not monobit_test(bits)[0]
+
+    def test_correlated_source_fails_runs(self):
+        trng = TrngModel(random.Random(3), correlation=0.6)
+        bits = trng.raw_bits(4000)
+        assert not runs_test(bits)[0]
+
+    def test_stuck_source_fails_everything(self):
+        trng = TrngModel(random.Random(4), correlation=1.0)
+        bits = trng.raw_bits(1000)
+        assert not monobit_test(bits)[0]
+        assert not runs_test(bits)[0]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            monobit_test([])
+        with pytest.raises(ValueError):
+            runs_test([])
+
+
+class TestDebiasing:
+    def test_von_neumann_removes_bias(self):
+        trng = TrngModel(random.Random(5), bias=0.8)
+        raw = trng.raw_bits(40_000)
+        debiased = von_neumann_debias(raw)
+        assert len(debiased) > 1000
+        assert monobit_test(debiased)[0]
+
+    def test_von_neumann_output_shorter(self):
+        trng = TrngModel(random.Random(6))
+        raw = trng.raw_bits(1000)
+        assert len(von_neumann_debias(raw)) <= len(raw) // 2
+
+    def test_conditioned_bits_pass_health(self):
+        trng = TrngModel(random.Random(7), bias=0.7)
+        bits = trng.conditioned_bits(3000)
+        assert len(bits) == 3000
+        assert monobit_test(bits)[0]
+
+    def test_conditioner_starves_on_stuck_source(self):
+        trng = TrngModel(random.Random(8), correlation=1.0)
+        with pytest.raises(RuntimeError):
+            trng.conditioned_bits(10, max_raw=1000)
+
+    def test_deterministic_given_seeded_rng(self):
+        bits1 = TrngModel(random.Random(9), bias=0.6).raw_bits(100)
+        bits2 = TrngModel(random.Random(9), bias=0.6).raw_bits(100)
+        assert bits1 == bits2

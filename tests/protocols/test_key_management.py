@@ -1,0 +1,86 @@
+"""Tests for symmetric key diversification and fleet exposure."""
+
+import pytest
+
+from repro.protocols import KeyServer, diversify_key, fleet_exposure
+
+MASTER = bytes(range(16))
+
+
+class TestDiversification:
+    def test_deterministic(self):
+        assert diversify_key(MASTER, b"dev-1") == diversify_key(MASTER, b"dev-1")
+
+    def test_distinct_per_device(self):
+        assert diversify_key(MASTER, b"dev-1") != diversify_key(MASTER, b"dev-2")
+
+    def test_distinct_per_master(self):
+        other = bytes(16)
+        assert diversify_key(MASTER, b"dev-1") != diversify_key(other, b"dev-1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diversify_key(b"short", b"dev-1")
+        with pytest.raises(ValueError):
+            diversify_key(MASTER, b"")
+
+    def test_key_is_aes_sized(self):
+        assert len(diversify_key(MASTER, b"dev-1")) == 16
+
+
+class TestKeyServer:
+    def test_enroll_and_rederive(self):
+        server = KeyServer(MASTER)
+        provisioned = server.enroll(b"implant-42")
+        assert server.key_for(b"implant-42") == provisioned
+
+    def test_unknown_device_rejected(self):
+        server = KeyServer(MASTER)
+        with pytest.raises(KeyError):
+            server.key_for(b"ghost")
+
+    def test_provisioned_key_works_for_mutual_auth(self):
+        from repro.primitives import AesCtrDrbg
+        from repro.protocols import (
+            SymmetricDevice,
+            SymmetricServer,
+            run_mutual_authentication,
+        )
+
+        server = KeyServer(MASTER)
+        device_key = server.enroll(b"implant-7")
+        implant = SymmetricDevice(device_key)
+        backend = SymmetricServer(server.key_for(b"implant-7"))
+        result = run_mutual_authentication(implant, backend, AesCtrDrbg(1))
+        assert result.authenticated
+
+    def test_bad_master(self):
+        with pytest.raises(ValueError):
+            KeyServer(b"short")
+
+
+class TestFleetExposure:
+    def test_stolen_device_key_does_not_expose_fleet(self):
+        """One compromised device key reveals nothing about the others
+        (that is the entire point of diversification)."""
+        server = KeyServer(MASTER)
+        for i in range(5):
+            server.enroll(b"dev-%d" % i)
+        stolen_device_key = server.key_for(b"dev-0")
+        # The attacker tries the stolen DEVICE key as a master key.
+        exposure = fleet_exposure(server, stolen_device_key)
+        assert exposure == {}
+
+    def test_stolen_master_exposes_everything(self):
+        """The residual risk the paper's PKC argument rests on."""
+        server = KeyServer(MASTER)
+        for i in range(5):
+            server.enroll(b"dev-%d" % i)
+        exposure = fleet_exposure(server, MASTER)
+        assert len(exposure) == 5
+        assert exposure[b"dev-3"] == server.key_for(b"dev-3")
+
+    def test_wrong_master_exposes_nothing(self):
+        server = KeyServer(MASTER)
+        server.enroll(b"dev-0")
+        assert fleet_exposure(server, bytes(16)) == {}

@@ -1,0 +1,154 @@
+"""Tests for the Peeters-Hermans identification protocol (Figure 2)."""
+
+import random
+
+import pytest
+
+from repro.ec import AffinePoint, NIST_K163
+from repro.protocols import (
+    PeetersHermansReader,
+    PeetersHermansTag,
+    run_identification,
+)
+
+RING = NIST_K163.scalar_ring
+
+
+def make_pair(rng, identity=7):
+    reader = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+    tag = PeetersHermansTag(NIST_K163, RING.random_scalar(rng), reader.public)
+    reader.register(identity, tag.identity_point)
+    return tag, reader
+
+
+class TestCorrectness:
+    def test_honest_run_accepts(self):
+        rng = random.Random(1)
+        tag, reader = make_pair(rng, identity=42)
+        result = run_identification(tag, reader, rng)
+        assert result.accepted
+        assert result.identity == 42
+
+    def test_multiple_sessions_accept(self):
+        rng = random.Random(2)
+        tag, reader = make_pair(rng)
+        for _ in range(3):
+            assert run_identification(tag, reader, rng).accepted
+
+    def test_unregistered_tag_rejected(self):
+        rng = random.Random(3)
+        reader = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+        stranger = PeetersHermansTag(NIST_K163, RING.random_scalar(rng),
+                                     reader.public)
+        result = run_identification(stranger, reader, rng)
+        assert not result.accepted
+        assert result.identity is None
+
+    def test_wrong_reader_key_rejects(self):
+        """A tag provisioned for reader A does not identify to reader B."""
+        rng = random.Random(4)
+        tag, reader_a = make_pair(rng)
+        reader_b = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+        reader_b.register(7, tag.identity_point)
+        result = run_identification(tag, reader_b, rng)
+        assert not result.accepted
+
+    def test_multi_tag_database(self):
+        rng = random.Random(5)
+        reader = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+        tags = {}
+        for identity in range(3):
+            tag = PeetersHermansTag(NIST_K163, RING.random_scalar(rng),
+                                    reader.public)
+            reader.register(identity, tag.identity_point)
+            tags[identity] = tag
+        for identity, tag in tags.items():
+            assert run_identification(tag, reader, rng).identity == identity
+
+
+class TestPaperWorkload:
+    def test_tag_does_two_pm_and_one_modmul(self):
+        """Section 4: 'the main operation on the tag is two point
+        multiplications and one modular multiplication'."""
+        rng = random.Random(6)
+        tag, reader = make_pair(rng)
+        result = run_identification(tag, reader, rng)
+        assert result.tag_ops.point_multiplications == 2
+        assert result.tag_ops.modular_multiplications == 1
+
+    def test_reader_carries_the_heavy_load(self):
+        """The asymmetry rule: the reader computes more than the tag."""
+        rng = random.Random(7)
+        tag, reader = make_pair(rng)
+        result = run_identification(tag, reader, rng)
+        assert result.reader_ops.point_multiplications > \
+            result.tag_ops.point_multiplications
+
+    def test_three_message_flow(self):
+        rng = random.Random(8)
+        tag, reader = make_pair(rng)
+        result = run_identification(tag, reader, rng)
+        assert result.transcript.rounds == 3
+        assert [m.label for m in result.transcript.messages] == ["R", "e", "s"]
+
+    def test_communication_accounting(self):
+        rng = random.Random(9)
+        tag, reader = make_pair(rng)
+        result = run_identification(tag, reader, rng)
+        point_bits = NIST_K163.field.m + 1
+        scalar_bits = NIST_K163.order.bit_length()
+        assert result.transcript.total_bits == point_bits + 2 * scalar_bits
+        assert result.tag_ops.tx_bits == point_bits + scalar_bits
+        assert result.tag_ops.rx_bits == scalar_bits
+
+
+class TestRobustness:
+    def test_respond_before_commit(self):
+        rng = random.Random(10)
+        tag, __ = make_pair(rng)
+        with pytest.raises(RuntimeError):
+            tag.respond(5, rng)
+
+    def test_nonce_is_single_use(self):
+        rng = random.Random(11)
+        tag, __ = make_pair(rng)
+        tag.commit(rng)
+        tag.respond(5, rng)
+        with pytest.raises(RuntimeError):
+            tag.respond(6, rng)
+
+    def test_bad_challenge_rejected(self):
+        rng = random.Random(12)
+        tag, __ = make_pair(rng)
+        tag.commit(rng)
+        with pytest.raises(ValueError):
+            tag.respond(0, rng)
+
+    def test_invalid_commitment_rejected_by_reader(self):
+        rng = random.Random(13)
+        __, reader = make_pair(rng)
+        assert reader.identify(AffinePoint(3, 4), 5, 6) is None
+        assert reader.identify(AffinePoint.infinity(), 5, 6) is None
+
+    def test_construction_validation(self):
+        rng = random.Random(14)
+        reader = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+        with pytest.raises(ValueError):
+            PeetersHermansTag(NIST_K163, 0, reader.public)
+        with pytest.raises(ValueError):
+            PeetersHermansTag(NIST_K163, 5, AffinePoint(1, 2))
+        with pytest.raises(ValueError):
+            PeetersHermansReader(NIST_K163, 0)
+        with pytest.raises(ValueError):
+            reader.register(1, AffinePoint(1, 2))
+
+    def test_replayed_response_fails(self):
+        """Replaying (R, s) against a fresh challenge fails."""
+        rng = random.Random(15)
+        tag, reader = make_pair(rng, identity=3)
+        commitment = tag.commit(rng)
+        e1 = reader.challenge(rng)
+        s1 = tag.respond(e1, rng)
+        assert reader.identify(commitment, e1, s1) == 3
+        e2 = reader.challenge(rng)
+        assert reader.identify(commitment, e2, s1) is None

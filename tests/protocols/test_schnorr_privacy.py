@@ -1,0 +1,106 @@
+"""Tests for Schnorr identification, traceability, and the privacy game."""
+
+import random
+
+import pytest
+
+from repro.ec import NIST_K163
+from repro.protocols import (
+    SchnorrTag,
+    SchnorrVerifier,
+    extract_public_key,
+    peeters_hermans_linkage_game,
+    run_schnorr_identification,
+    schnorr_linkage_game,
+)
+
+RING = NIST_K163.scalar_ring
+
+
+class TestSchnorrProtocol:
+    def test_honest_run_verifies(self):
+        rng = random.Random(1)
+        tag = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        verifier = SchnorrVerifier(NIST_K163, tag.public)
+        session = run_schnorr_identification(tag, verifier, rng)
+        assert session.accepted
+
+    def test_wrong_key_fails(self):
+        rng = random.Random(2)
+        tag = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        other = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        verifier = SchnorrVerifier(NIST_K163, other.public)
+        session = run_schnorr_identification(tag, verifier, rng)
+        assert not session.accepted
+
+    def test_respond_before_commit(self):
+        tag = SchnorrTag(NIST_K163, 5)
+        with pytest.raises(RuntimeError):
+            tag.respond(1)
+
+    def test_construction_validation(self):
+        from repro.ec import AffinePoint
+
+        with pytest.raises(ValueError):
+            SchnorrTag(NIST_K163, 0)
+        with pytest.raises(ValueError):
+            SchnorrVerifier(NIST_K163, AffinePoint(1, 2))
+
+
+class TestTraceability:
+    def test_public_key_extractable_from_transcript(self):
+        """The tracking flaw: X is computable by any eavesdropper."""
+        rng = random.Random(3)
+        tag = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        verifier = SchnorrVerifier(NIST_K163, tag.public)
+        session = run_schnorr_identification(tag, verifier, rng)
+        assert extract_public_key(NIST_K163, session) == tag.public
+
+    def test_sessions_of_same_tag_link(self):
+        rng = random.Random(4)
+        tag = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        verifier = SchnorrVerifier(NIST_K163, tag.public)
+        s1 = run_schnorr_identification(tag, verifier, rng)
+        s2 = run_schnorr_identification(tag, verifier, rng)
+        assert extract_public_key(NIST_K163, s1) == extract_public_key(
+            NIST_K163, s2
+        )
+
+    def test_sessions_of_different_tags_do_not_link(self):
+        rng = random.Random(5)
+        tag_a = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        tag_b = SchnorrTag(NIST_K163, RING.random_scalar(rng))
+        sa = run_schnorr_identification(
+            tag_a, SchnorrVerifier(NIST_K163, tag_a.public), rng
+        )
+        sb = run_schnorr_identification(
+            tag_b, SchnorrVerifier(NIST_K163, tag_b.public), rng
+        )
+        assert extract_public_key(NIST_K163, sa) != extract_public_key(
+            NIST_K163, sb
+        )
+
+
+class TestPrivacyGame:
+    """The paper's protocol-level claim, as an experiment: Schnorr is
+    traceable, Peeters-Hermans is not."""
+
+    def test_schnorr_adversary_wins(self):
+        rng = random.Random(6)
+        result = schnorr_linkage_game(NIST_K163, rng, trials=12)
+        assert result.advantage == 1.0
+
+    def test_peeters_hermans_adversary_guesses(self):
+        rng = random.Random(7)
+        result = peeters_hermans_linkage_game(NIST_K163, rng, trials=12)
+        # 12 Bernoulli(1/2) trials essentially never all succeed.
+        assert result.advantage < 1.0
+        assert result.accuracy < 1.0
+
+    def test_game_result_arithmetic(self):
+        from repro.protocols import LinkageGameResult
+
+        r = LinkageGameResult(trials=10, correct=5)
+        assert r.accuracy == 0.5
+        assert r.advantage == 0.0
+        assert LinkageGameResult(10, 10).advantage == 1.0

@@ -1,0 +1,109 @@
+"""Tests for DPA and CPA in the three Section 7 scenarios."""
+
+import pytest
+
+from repro.sca import LadderCpa, LadderDpa
+
+
+class TestUnprotectedScenario:
+    """Countermeasure off: the attack must work (paper: ~200 traces)."""
+
+    def test_dpa_recovers_bits(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        result = LadderDpa(cop).recover_bits(traces, 2)
+        assert result.success
+        assert result.recovered_bits == traces.key_bits[:2]
+
+    def test_cpa_recovers_bits_with_fewer_traces(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        result = LadderCpa(cop).recover_bits(traces.subset(60), 2)
+        assert result.success
+
+    def test_decision_margins_grow_with_traces(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        dpa = LadderDpa(cop)
+        small = dpa.recover_bits(traces.subset(60), 1).decisions[0].margin
+        large = dpa.recover_bits(traces, 1).decisions[0].margin
+        assert large > small
+
+    def test_traces_to_disclosure_within_paper_band(self, unprotected_campaign):
+        """Succeeds somewhere at/below a couple hundred traces."""
+        cop, traces = unprotected_campaign
+        needed = LadderDpa(cop).traces_to_disclosure(
+            traces, 2, grid=[60, 120, 240]
+        )
+        assert needed is not None
+        assert needed <= 240
+
+
+class TestKnownRandomnessScenario:
+    """White-box: randomization on but Z known -> the attack still works,
+    validating its soundness (Section 7)."""
+
+    def test_dpa_succeeds_with_known_z(self, known_randomness_campaign):
+        cop, traces = known_randomness_campaign
+        result = LadderDpa(cop).recover_bits(
+            traces, 2, z_values=traces.known_randomness
+        )
+        assert result.success
+
+    def test_same_traces_fail_without_z(self, known_randomness_campaign):
+        """The identical measurements are useless without the mask.
+
+        Six bits are attacked so a lucky coin-flip success (the
+        statistics degenerate to noise without Z) is implausible.
+        """
+        cop, traces = known_randomness_campaign
+        result = LadderDpa(cop).recover_bits(traces, 6)
+        assert not result.significant_success()
+
+
+class TestProtectedScenario:
+    """Countermeasure on, randomness secret: the attack must fail."""
+
+    def test_dpa_fails(self, protected_campaign):
+        cop, traces = protected_campaign
+        result = LadderDpa(cop).recover_bits(traces, 3)
+        assert not result.significant_success()
+        # Statistics sit at the max-over-cycles noise floor.
+        assert all(p < 6.0 for p in result.peak_statistics)
+
+    def test_cpa_fails(self, protected_campaign):
+        cop, traces = protected_campaign
+        result = LadderCpa(cop).recover_bits(traces, 3)
+        import numpy as np
+        assert not result.significant_success(
+            threshold=4.5 / np.sqrt(traces.n_traces)
+        )
+
+    def test_traces_to_disclosure_returns_none(self, protected_campaign):
+        cop, traces = protected_campaign
+        needed = LadderDpa(cop).traces_to_disclosure(traces, 3, grid=[120, 240])
+        assert needed is None
+
+
+class TestInterfaces:
+    def test_bad_nbits(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        with pytest.raises(ValueError):
+            LadderDpa(cop).recover_bits(traces, 0)
+        with pytest.raises(ValueError):
+            LadderDpa(cop).recover_bits(traces, 99)
+
+    def test_z_length_mismatch(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        with pytest.raises(ValueError):
+            LadderDpa(cop).recover_bits(traces, 1, z_values=[1, 2, 3])
+
+    def test_min_partition_validation(self, unprotected_campaign):
+        cop, __ = unprotected_campaign
+        with pytest.raises(ValueError):
+            LadderDpa(cop, min_partition=0)
+
+    def test_decision_records_truth(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        result = LadderDpa(cop).recover_bits(traces.subset(60), 1)
+        decision = result.decisions[0]
+        assert decision.true_bit == traces.key_bits[0]
+        assert decision.chosen in (0, 1)
+        assert decision.margin >= 0

@@ -1,0 +1,129 @@
+"""Tests for metrics, preprocessing and the TVLA t-test."""
+
+import numpy as np
+import pytest
+
+from repro.sca import (
+    TVLA_THRESHOLD,
+    average_traces,
+    center,
+    compress_windows,
+    first_order_snr,
+    signal_to_noise_ratio,
+    standardize,
+    success_rate,
+    tvla_fixed_vs_random,
+    welch_t_statistic,
+    window,
+)
+
+
+class TestSuccessRate:
+    def test_perfect(self):
+        assert success_rate([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_partial(self):
+        assert success_rate([1, 1, 1, 1], [1, 0, 1, 0]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            success_rate([1], [1, 0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            success_rate([], [])
+
+
+class TestSnr:
+    def test_high_snr_where_classes_separate(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1], 100)
+        samples = rng.normal(0, 1, size=(200, 4))
+        samples[labels == 1, 2] += 10.0  # class signal at sample 2
+        snr = signal_to_noise_ratio(samples, labels)
+        assert snr[2] > 5
+        assert snr[0] < 0.5
+        assert first_order_snr(samples, labels) == snr.max()
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            signal_to_noise_ratio(np.ones((4, 2)), np.zeros(4))
+
+
+class TestPreprocess:
+    def test_center(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        c = center(x)
+        assert np.allclose(c.mean(axis=0), 0)
+
+    def test_standardize(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(5, 3, size=(50, 4))
+        s = standardize(x)
+        assert np.allclose(s.mean(axis=0), 0, atol=1e-12)
+        assert np.allclose(s.std(axis=0), 1)
+
+    def test_standardize_constant_column(self):
+        x = np.ones((5, 2))
+        s = standardize(x)
+        assert np.allclose(s, 0)
+
+    def test_window(self):
+        x = np.arange(20).reshape(2, 10)
+        assert window(x, 2, 5).shape == (2, 3)
+        with pytest.raises(ValueError):
+            window(x, 5, 2)
+
+    def test_compress_windows(self):
+        x = np.array([[1.0, 2.0, 3.0, 4.0]])
+        f = compress_windows(x, [(0, 2), (2, 4)])
+        assert np.allclose(f, [[3.0, 7.0]])
+
+    def test_compress_out_of_range(self):
+        with pytest.raises(ValueError):
+            compress_windows(np.ones((1, 4)), [(0, 9)])
+
+    def test_average(self):
+        x = np.array([[1.0, 3.0], [3.0, 5.0]])
+        assert np.allclose(average_traces(x), [2.0, 4.0])
+        with pytest.raises(ValueError):
+            average_traces(np.empty((0, 4)))
+
+
+class TestWelchTtest:
+    def test_identical_populations_pass(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, size=(300, 20))
+        b = rng.normal(0, 1, size=(300, 20))
+        report = tvla_fixed_vs_random(a, b)
+        assert not report.leaks
+
+    def test_shifted_sample_detected(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, size=(300, 20))
+        b = rng.normal(0, 1, size=(300, 20))
+        b[:, 7] += 1.0
+        report = tvla_fixed_vs_random(a, b)
+        assert report.leaks
+        assert report.num_leaky_samples >= 1
+        assert report.max_abs_t > TVLA_THRESHOLD
+
+    def test_t_statistic_shape(self):
+        a = np.random.default_rng(4).normal(size=(10, 8))
+        b = np.random.default_rng(5).normal(size=(12, 8))
+        assert welch_t_statistic(a, b).shape == (8,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic(np.ones((5, 4)), np.ones((5, 6)))
+
+    def test_tiny_groups_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic(np.ones((1, 4)), np.ones((5, 4)))
+
+    def test_report_str(self):
+        rng = np.random.default_rng(6)
+        report = tvla_fixed_vs_random(
+            rng.normal(size=(50, 5)), rng.normal(size=(50, 5))
+        )
+        assert "TVLA" in str(report)

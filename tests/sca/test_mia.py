@@ -1,0 +1,61 @@
+"""Tests for mutual information analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sca import LadderMia, mutual_information
+
+
+class TestMutualInformation:
+    def test_independent_variables_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=3000)
+        b = rng.normal(size=3000)
+        assert mutual_information(a, b) < 0.05
+
+    def test_identical_variables_high(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=3000)
+        assert mutual_information(a, a) > 1.0
+
+    def test_nonlinear_dependence_detected(self):
+        """The point of MIA: |x| is uncorrelated with x but shares
+        information with it."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=5000)
+        y = np.abs(x) + rng.normal(scale=0.1, size=5000)
+        pearson = abs(np.corrcoef(x, y)[0, 1])
+        assert pearson < 0.1
+        assert mutual_information(x, y) > 0.2
+
+    def test_constant_input_is_zero(self):
+        assert mutual_information(np.ones(100), np.arange(100.0)) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.ones(5), np.ones(6))
+        with pytest.raises(ValueError):
+            mutual_information(np.ones((2, 3)), np.ones((2, 3)))
+
+
+class TestLadderMia:
+    def test_recovers_bits_unprotected(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        mia = LadderMia(cop)
+        result = mia.recover_bits(traces, 1)
+        assert result.decisions[0].correct
+
+    def test_statistics_drop_when_protected(self, unprotected_campaign,
+                                            protected_campaign):
+        cop_u, traces_u = unprotected_campaign
+        cop_p, traces_p = protected_campaign
+        stat_u = LadderMia(cop_u).attack_bit(traces_u.subset(120), 0, [])
+        stat_p = LadderMia(cop_p).attack_bit(traces_p.subset(120), 0, [])
+        peak_u = max(stat_u.statistic_zero, stat_u.statistic_one)
+        peak_p = max(stat_p.statistic_zero, stat_p.statistic_one)
+        assert peak_u > peak_p
+
+    def test_nbits_validation(self, unprotected_campaign):
+        cop, traces = unprotected_campaign
+        with pytest.raises(ValueError):
+            LadderMia(cop).recover_bits(traces, 0)

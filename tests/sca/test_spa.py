@@ -1,0 +1,160 @@
+"""Tests for SPA: clustering vs balanced encoding vs profiled templates."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    BalancedEncoding,
+    CoprocessorConfig,
+    EccCoprocessor,
+    UnbalancedEncoding,
+)
+from repro.power import PowerTraceSimulator
+from repro.sca import ProfiledSpa, SpaResult, bits_from_transitions, transition_spa
+
+from .conftest import NOISE_SIGMA
+
+N_ITER = 24  # truncated ladder length for the SPA unit tests
+
+
+def run_and_measure(config, key, seed, n_traces=1):
+    cop = EccCoprocessor(config)
+    sim = PowerTraceSimulator(noise_sigma=NOISE_SIGMA, seed=seed)
+    rng = random.Random(seed)
+    rows = []
+    execution = None
+    for _ in range(n_traces):
+        execution = cop.point_multiply(
+            key, cop.domain.generator, rng=rng, max_iterations=N_ITER
+        )
+        rows.append(sim.measure(execution))
+    return np.vstack(rows), execution
+
+
+class TestTransitionSpa:
+    def test_unbalanced_single_trace_recovers_key(self):
+        key = EccCoprocessor().domain.scalar_ring.random_scalar(random.Random(3))
+        samples, execution = run_and_measure(
+            CoprocessorConfig(mux_encoding=UnbalancedEncoding()), key, seed=20
+        )
+        result = transition_spa(samples[0], execution.iteration_slices(),
+                                execution.key_bits)
+        assert result.success
+
+    def test_balanced_encoding_defeats_clustering(self):
+        key = EccCoprocessor().domain.scalar_ring.random_scalar(random.Random(4))
+        samples, execution = run_and_measure(
+            CoprocessorConfig(mux_encoding=BalancedEncoding()), key, seed=21
+        )
+        result = transition_spa(samples[0], execution.iteration_slices(),
+                                execution.key_bits)
+        # Roughly half the bits wrong = guessing.
+        assert result.bit_errors > N_ITER // 4
+
+    def test_works_on_averaged_traces(self):
+        key = EccCoprocessor().domain.scalar_ring.random_scalar(random.Random(5))
+        samples, execution = run_and_measure(
+            CoprocessorConfig(mux_encoding=UnbalancedEncoding()), key,
+            seed=22, n_traces=4
+        )
+        result = transition_spa(samples, execution.iteration_slices(),
+                                execution.key_bits)
+        assert result.success
+
+    def test_window_size_validation(self):
+        key = 0x12345
+        samples, execution = run_and_measure(
+            CoprocessorConfig(mux_encoding=UnbalancedEncoding()), key, seed=23
+        )
+        with pytest.raises(ValueError):
+            transition_spa(samples[0], execution.iteration_slices(),
+                           execution.key_bits, window_size=0)
+
+
+class TestBitsFromTransitions:
+    def test_integration(self):
+        # MSB=1; transitions 1,0,1 -> bits 0,0,1
+        assert bits_from_transitions([1, 0, 1]) == [0, 0, 1]
+
+    def test_no_transitions(self):
+        assert bits_from_transitions([0, 0, 0]) == [1, 1, 1]
+
+    def test_first_bit_override(self):
+        assert bits_from_transitions([1], first_bit=0) == [1]
+
+
+class TestSpaResult:
+    def test_error_counting(self):
+        r = SpaResult(recovered_bits=[1, 0, 1], true_bits=[1, 1, 1])
+        assert r.bit_errors == 1
+        assert not r.success
+        assert SpaResult([1], [1]).success
+
+
+class TestProfiledSpa:
+    """The Section 7 residual: balanced encoding + layout mismatch."""
+
+    MISMATCH = 0.05
+    TRACES = 120
+
+    def _device_config(self):
+        return CoprocessorConfig(
+            mux_encoding=BalancedEncoding(layout_mismatch=self.MISMATCH)
+        )
+
+    def test_profiled_attack_beats_clustering(self):
+        ring = EccCoprocessor().domain.scalar_ring
+        profiling_key = ring.random_scalar(random.Random(6))
+        target_key = ring.random_scalar(random.Random(7))
+
+        prof_samples, prof_exec = run_and_measure(
+            self._device_config(), profiling_key, seed=30, n_traces=self.TRACES
+        )
+        spa = ProfiledSpa()
+        spa.profile(prof_samples, prof_exec.iteration_slices(),
+                    prof_exec.key_bits)
+
+        atk_samples, atk_exec = run_and_measure(
+            self._device_config(), target_key, seed=31, n_traces=self.TRACES
+        )
+        profiled = spa.attack(atk_samples, atk_exec.iteration_slices(),
+                              atk_exec.key_bits)
+        clustered = transition_spa(atk_samples, atk_exec.iteration_slices(),
+                                   atk_exec.key_bits)
+        assert profiled.bit_errors <= 1
+        assert profiled.bit_errors < clustered.bit_errors
+
+    def test_no_mismatch_means_no_profiled_leak(self):
+        """With a perfectly balanced layout the templates collapse."""
+        ring = EccCoprocessor().domain.scalar_ring
+        profiling_key = ring.random_scalar(random.Random(8))
+        target_key = ring.random_scalar(random.Random(9))
+        config = CoprocessorConfig(mux_encoding=BalancedEncoding())
+
+        prof_samples, prof_exec = run_and_measure(config, profiling_key,
+                                                  seed=32, n_traces=60)
+        spa = ProfiledSpa()
+        spa.profile(prof_samples, prof_exec.iteration_slices(),
+                    prof_exec.key_bits)
+        atk_samples, atk_exec = run_and_measure(config, target_key,
+                                                seed=33, n_traces=60)
+        result = spa.attack(atk_samples, atk_exec.iteration_slices(),
+                            atk_exec.key_bits)
+        assert result.bit_errors > N_ITER // 4
+
+    def test_attack_requires_profiling(self):
+        spa = ProfiledSpa()
+        with pytest.raises(RuntimeError):
+            spa.attack(np.zeros((1, 10)), [(0, 5)], [1])
+
+    def test_profile_needs_both_classes(self):
+        spa = ProfiledSpa()
+        with pytest.raises(ValueError):
+            spa.profile(np.ones((1, 10)), [(0, 2), (2, 4)], [1, 1])
+
+    def test_profile_length_mismatch(self):
+        spa = ProfiledSpa()
+        with pytest.raises(ValueError):
+            spa.profile(np.ones((1, 10)), [(0, 2), (2, 4)], [1])

@@ -1,0 +1,93 @@
+"""Tests for the Gaussian template attack."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch import BalancedEncoding, CoprocessorConfig, EccCoprocessor
+from repro.power import PowerTraceSimulator
+from repro.sca import GaussianTemplateAttack, transition_spa
+
+from .conftest import NOISE_SIGMA
+
+N_ITER = 20
+
+
+def collect(config, key, n_traces, seed):
+    coprocessor = EccCoprocessor(config)
+    sim = PowerTraceSimulator(noise_sigma=NOISE_SIGMA, seed=seed)
+    rng = random.Random(seed)
+    rows = []
+    execution = None
+    for __ in range(n_traces):
+        execution = coprocessor.point_multiply(
+            key, coprocessor.domain.generator, rng=rng,
+            max_iterations=N_ITER,
+        )
+        rows.append(sim.measure(execution))
+    return np.vstack(rows), execution
+
+
+class TestTemplateAttack:
+    MISMATCH = 0.05
+    TRACES = 100
+
+    def _config(self):
+        return CoprocessorConfig(
+            mux_encoding=BalancedEncoding(layout_mismatch=self.MISMATCH)
+        )
+
+    def test_recovers_residual_leak(self):
+        ring = EccCoprocessor().domain.scalar_ring
+        profiling_key = ring.random_scalar(random.Random(40))
+        target_key = ring.random_scalar(random.Random(41))
+        prof, prof_exec = collect(self._config(), profiling_key,
+                                  self.TRACES, seed=50)
+        attack = GaussianTemplateAttack(poi_count=2)
+        attack.profile(prof, prof_exec.iteration_slices(),
+                       prof_exec.key_bits)
+        target, target_exec = collect(self._config(), target_key,
+                                      self.TRACES, seed=51)
+        result = attack.attack(target, target_exec.iteration_slices(),
+                               target_exec.key_bits)
+        assert result.bit_errors <= 1
+        # ...where unprofiled clustering fails outright.
+        clustered = transition_spa(target, target_exec.iteration_slices(),
+                                   target_exec.key_bits)
+        assert result.bit_errors < clustered.bit_errors
+
+    def test_perfectly_balanced_device_defeats_templates(self):
+        ring = EccCoprocessor().domain.scalar_ring
+        config = CoprocessorConfig(mux_encoding=BalancedEncoding())
+        prof, prof_exec = collect(config, ring.random_scalar(random.Random(42)),
+                                  60, seed=52)
+        attack = GaussianTemplateAttack(poi_count=2)
+        attack.profile(prof, prof_exec.iteration_slices(), prof_exec.key_bits)
+        target, target_exec = collect(config,
+                                      ring.random_scalar(random.Random(43)),
+                                      60, seed=53)
+        result = attack.attack(target, target_exec.iteration_slices(),
+                               target_exec.key_bits)
+        assert result.bit_errors > N_ITER // 4  # guessing
+
+    def test_requires_profiling(self):
+        with pytest.raises(RuntimeError):
+            GaussianTemplateAttack().attack(np.zeros((2, 40)), [(0, 20)], [1])
+
+    def test_profile_needs_both_classes(self):
+        attack = GaussianTemplateAttack(poi_count=1, window=2)
+        with pytest.raises(ValueError):
+            attack.profile(np.random.default_rng(0).normal(size=(4, 8)),
+                           [(0, 4), (4, 8)], [1, 1])
+
+    def test_profile_length_mismatch(self):
+        attack = GaussianTemplateAttack(poi_count=1, window=2)
+        with pytest.raises(ValueError):
+            attack.profile(np.ones((2, 8)), [(0, 4), (4, 8)], [1])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GaussianTemplateAttack(poi_count=0)
+        with pytest.raises(ValueError):
+            GaussianTemplateAttack(poi_count=5, window=3)

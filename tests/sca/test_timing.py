@@ -1,0 +1,65 @@
+"""Tests for timing attacks and constant-time verification."""
+
+import random
+
+import pytest
+
+from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.ec import NIST_K163
+from repro.sca import (
+    coprocessor_timing_report,
+    double_and_add_cycle_model,
+    timing_attack_hamming_weight,
+)
+
+
+class TestCoprocessorConstantTime:
+    def test_constant_across_keys(self):
+        cop = EccCoprocessor(CoprocessorConfig(randomize_z=False))
+        rng = random.Random(1)
+        keys = [cop.domain.scalar_ring.random_scalar(rng) for _ in range(3)]
+        keys += [1, 3, cop.domain.order // 2]
+        report = coprocessor_timing_report(cop, keys)
+        assert report.is_constant_time
+        assert report.correlation_with_weight == 0.0
+
+
+class TestLeakyBaseline:
+    def test_cycle_count_tracks_hamming_weight(self):
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        sparse = 1 << 40                       # weight 1
+        dense = (1 << 41) - 1                  # weight 41
+        assert double_and_add_cycle_model(curve, dense, g) > \
+            double_and_add_cycle_model(curve, sparse, g)
+
+    def test_timing_attack_recovers_weight_exactly(self):
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        rng = random.Random(2)
+        for _ in range(5):
+            k = rng.getrandbits(48) | (1 << 47)
+            cycles = double_and_add_cycle_model(curve, k, g)
+            recovered = timing_attack_hamming_weight(cycles, k.bit_length())
+            assert recovered == bin(k).count("1")
+
+    def test_weight_leak_shrinks_keyspace(self):
+        """The point of the attack: HW(k) = w cuts the search space from
+        2^t to C(t, w)."""
+        import math
+
+        t, w = 48, 10
+        assert math.comb(t, w) < 2 ** t / 1000
+
+    def test_correlation_detected_on_baseline(self):
+        """The distinguisher flags the leaky implementation."""
+        from repro.sca.timing import TimingReport
+
+        curve, g = NIST_K163.curve, NIST_K163.generator
+        rng = random.Random(3)
+        cycles, weights = [], []
+        for _ in range(30):
+            k = rng.getrandbits(64) | (1 << 63)
+            cycles.append(double_and_add_cycle_model(curve, k, g))
+            weights.append(bin(k).count("1"))
+        report = TimingReport(tuple(cycles), tuple(weights))
+        assert not report.is_constant_time
+        assert report.correlation_with_weight > 0.95

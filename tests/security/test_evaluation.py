@@ -1,0 +1,69 @@
+"""Tests for the white-box evaluation harness (Section 7 reproduction)."""
+
+import pytest
+
+from repro.arch import CoprocessorConfig, UnbalancedEncoding
+from repro.security import WhiteBoxEvaluation
+
+
+@pytest.fixture(scope="module")
+def protected_report():
+    """The paper's protected design, evaluated once (module scope:
+    the full battery runs several point multiplications)."""
+    return WhiteBoxEvaluation(n_traces=80, n_bits=2, seed=42).run()
+
+
+@pytest.fixture(scope="module")
+def weak_report():
+    """A design with randomization off and an unbalanced mux encoding."""
+    config = CoprocessorConfig(
+        randomize_z=False, mux_encoding=UnbalancedEncoding()
+    )
+    return WhiteBoxEvaluation(config, n_traces=80, n_bits=2, seed=42).run()
+
+
+class TestProtectedDesign:
+    def test_timing_resistant(self, protected_report):
+        assert protected_report.finding("timing").resistant
+
+    def test_spa_resistant(self, protected_report):
+        assert protected_report.finding("spa").resistant
+
+    def test_dpa_resistant(self, protected_report):
+        assert protected_report.finding("dpa").resistant
+
+    def test_tvla_clean(self, protected_report):
+        assert protected_report.finding("tvla").resistant
+
+    def test_overall_verdict(self, protected_report):
+        assert protected_report.all_resistant
+
+    def test_render(self, protected_report):
+        text = protected_report.render()
+        assert "RESISTANT" in text
+        assert "K-163" in text
+
+    def test_unknown_attack_lookup(self, protected_report):
+        with pytest.raises(KeyError):
+            protected_report.finding("rowhammer")
+
+
+class TestWeakDesign:
+    def test_spa_vulnerable(self, weak_report):
+        assert not weak_report.finding("spa").resistant
+
+    def test_dpa_vulnerable(self, weak_report):
+        assert not weak_report.finding("dpa").resistant
+
+    def test_tvla_flags_the_leak(self, weak_report):
+        assert not weak_report.finding("tvla").resistant
+
+    def test_timing_still_resistant(self, weak_report):
+        """Constant time is structural: even the weak config keeps it."""
+        assert weak_report.finding("timing").resistant
+
+    def test_overall_verdict(self, weak_report):
+        assert not weak_report.all_resistant
+
+    def test_pyramid_open_doors_in_header(self, weak_report):
+        assert "dpa" in weak_report.configuration

@@ -1,0 +1,114 @@
+"""Tests for the security pyramid model (Figure 1)."""
+
+import pytest
+
+from repro.arch import (
+    ClockGatingPolicy,
+    CoprocessorConfig,
+    UnbalancedEncoding,
+)
+from repro.security import (
+    AbstractionLevel,
+    Countermeasure,
+    SecurityPyramid,
+    Threat,
+    default_pyramid,
+    pyramid_for_config,
+)
+
+
+class TestPyramidModel:
+    def test_levels_ordered_top_down(self):
+        assert AbstractionLevel.PROTOCOL > AbstractionLevel.ALGORITHM
+        assert AbstractionLevel.ALGORITHM > AbstractionLevel.ARCHITECTURE
+        assert AbstractionLevel.ARCHITECTURE > AbstractionLevel.CIRCUIT
+
+    def test_unknown_threat_rejected(self):
+        pyramid = SecurityPyramid()
+        pyramid.add_threat(Threat("dpa", "..."))
+        with pytest.raises(ValueError):
+            pyramid.add_countermeasure(
+                Countermeasure("x", AbstractionLevel.CIRCUIT, ("spa",), "m")
+            )
+
+    def test_uncovered_threats(self):
+        pyramid = SecurityPyramid()
+        pyramid.add_threat(Threat("dpa", "..."))
+        pyramid.add_threat(Threat("spa", "..."))
+        pyramid.add_countermeasure(
+            Countermeasure("rand-z", AbstractionLevel.ALGORITHM, ("dpa",), "m")
+        )
+        assert [t.name for t in pyramid.uncovered_threats()] == ["spa"]
+
+    def test_supporting_measures_do_not_close_threats(self):
+        pyramid = SecurityPyramid()
+        pyramid.add_threat(Threat("dpa", "..."))
+        pyramid.add_countermeasure(
+            Countermeasure("hygiene", AbstractionLevel.CIRCUIT, ("dpa",), "m",
+                           primary=False)
+        )
+        assert [t.name for t in pyramid.uncovered_threats()] == ["dpa"]
+
+
+class TestDefaultPyramid:
+    def test_all_threats_covered(self):
+        assert default_pyramid().uncovered_threats() == []
+
+    def test_every_level_contributes(self):
+        """The paper's thesis: defences at ALL four levels."""
+        levels = default_pyramid().levels_used()
+        assert levels == [
+            AbstractionLevel.PROTOCOL,
+            AbstractionLevel.ALGORITHM,
+            AbstractionLevel.ARCHITECTURE,
+            AbstractionLevel.CIRCUIT,
+        ]
+
+    def test_timing_defended_on_two_levels(self):
+        """Section 7: constant time comes from the algorithm level AND
+        the architecture level."""
+        defences = default_pyramid().defences_for("timing-attack")
+        levels = {cm.level for cm in defences}
+        assert AbstractionLevel.ALGORITHM in levels
+        assert AbstractionLevel.ARCHITECTURE in levels
+
+    def test_report_renders(self):
+        text = default_pyramid().report()
+        assert "PROTOCOL" in text and "CIRCUIT" in text
+        assert "All modelled threats" in text
+
+    def test_coverage_structure(self):
+        coverage = default_pyramid().coverage()
+        assert "dpa" in coverage
+        assert any("randomized projective" in name
+                   for __, name in coverage["dpa"])
+
+
+class TestPyramidForConfig:
+    def test_full_config_has_no_open_doors(self):
+        pyramid = pyramid_for_config(CoprocessorConfig())
+        assert pyramid.uncovered_threats() == []
+
+    def test_disabling_randomization_opens_dpa(self):
+        pyramid = pyramid_for_config(CoprocessorConfig(randomize_z=False))
+        assert "dpa" in [t.name for t in pyramid.uncovered_threats()]
+
+    def test_unbalanced_mux_removes_circuit_spa_defence(self):
+        pyramid = pyramid_for_config(
+            CoprocessorConfig(mux_encoding=UnbalancedEncoding())
+        )
+        names = [cm.name for cm in pyramid.defences_for("spa")]
+        assert "balanced mux-select encoding" not in names
+
+    def test_gating_and_glitch_flags(self):
+        pyramid = pyramid_for_config(
+            CoprocessorConfig(
+                clock_gating=ClockGatingPolicy.DATA_DEPENDENT,
+                glitch_factor=0.5,
+                input_isolation=False,
+            )
+        )
+        names = {cm.name for cm in pyramid.countermeasures}
+        assert "no data-dependent clock gating" not in names
+        assert "glitch avoidance" not in names
+        assert "datapath input isolation" not in names
