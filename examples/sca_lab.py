@@ -5,14 +5,17 @@ of the coprocessor: the unprotected strawman and the full design.
 
 * SPA: read the whole key from ONE power trace of the strawman;
   watch the balanced encoding shut the channel.
-* DPA: recover ladder key bits from a few dozen traces without the
-  Z-randomization; watch the countermeasure push the statistics to the
-  noise floor.
+* DPA: run a *campaign* through the ``repro.campaign`` engine — a
+  worker pool acquires sharded, digest-verified traces to disk and the
+  streaming DPA consumes them shard by shard; watch the countermeasure
+  push the statistics to the noise floor.
 
 Run:  python examples/sca_lab.py       (~2 minutes)
 """
 
 import random
+import shutil
+import tempfile
 
 from repro.arch import (
     BalancedEncoding,
@@ -20,20 +23,18 @@ from repro.arch import (
     EccCoprocessor,
     UnbalancedEncoding,
 )
+from repro.campaign import (
+    AcquisitionEngine,
+    CampaignSpec,
+    ConsoleReporter,
+    StreamingDpa,
+)
 from repro.power import PowerTraceSimulator
-from repro.sca import LadderDpa, transition_spa
+from repro.sca import transition_spa
 
 NOISE_SIGMA = 38.0
+WORKERS = 2
 rng = random.Random(1)
-
-
-def protocol_points(domain, count):
-    points = []
-    while len(points) < count:
-        p = domain.curve.double(domain.curve.random_point(rng))
-        if not p.is_infinity and p.x != 0:
-            points.append(p)
-    return points
 
 
 # ------------------------------------------------------------------ SPA
@@ -62,25 +63,37 @@ print(f"bit errors: {spa.bit_errors}/{len(spa.true_bits)} "
       "(~50% = the attacker is guessing)")
 
 # ------------------------------------------------------------------ DPA
-print("\n=== DPA campaign: countermeasure OFF ===")
-unprotected = EccCoprocessor(CoprocessorConfig(randomize_z=False))
-points = protocol_points(unprotected.domain, 120)
-campaign = scope.campaign(unprotected, secret, points,
-                          scenario="unprotected", max_iterations=3)
-dpa = LadderDpa(unprotected)
-result = dpa.recover_bits(campaign, 2)
-print(f"first 2 ladder bits recovered: {result.recovered_bits} "
-      f"(truth {result.true_bits})")
-print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
-      "(> 4.5 = significant)")
+# The DPA part runs through the campaign engine: a worker pool writes
+# sharded traces to disk, and the streaming attack reads them back one
+# shard (one iteration window) at a time.
+workspace = tempfile.mkdtemp(prefix="sca-lab-")
+try:
+    print(f"\n=== DPA campaign: countermeasure OFF "
+          f"({WORKERS} workers, disk-backed) ===")
+    spec = CampaignSpec(n_traces=120, shard_size=30,
+                        scenario="unprotected", key=secret,
+                        max_iterations=3, noise_sigma=NOISE_SIGMA, seed=1)
+    store = AcquisitionEngine(f"{workspace}/unprotected", spec,
+                              workers=WORKERS,
+                              reporter=ConsoleReporter()).run()
+    result = StreamingDpa(store).recover_bits(2)
+    print(f"first 2 ladder bits recovered: {result.recovered_bits} "
+          f"(truth {result.true_bits})")
+    print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
+          "(> 4.5 = significant)")
 
-print("\n=== DPA campaign: countermeasure ON (randomized Z) ===")
-protected = EccCoprocessor(CoprocessorConfig(randomize_z=True))
-campaign = scope.campaign(protected, secret, points, rng=rng,
-                          scenario="protected", max_iterations=3)
-result = LadderDpa(protected).recover_bits(campaign, 2)
-print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
-      "(noise floor — the attack has nothing to grab)")
-print(f"significant success: {result.significant_success()}")
+    print("\n=== DPA campaign: countermeasure ON (randomized Z) ===")
+    spec = CampaignSpec(n_traces=120, shard_size=30,
+                        scenario="protected", key=secret,
+                        max_iterations=3, noise_sigma=NOISE_SIGMA, seed=1)
+    store = AcquisitionEngine(f"{workspace}/protected", spec,
+                              workers=WORKERS,
+                              reporter=ConsoleReporter()).run()
+    result = StreamingDpa(store).recover_bits(2)
+    print(f"peak statistics: {[round(p, 1) for p in result.peak_statistics]} "
+          "(noise floor — the attack has nothing to grab)")
+    print(f"significant success: {result.significant_success()}")
+finally:
+    shutil.rmtree(workspace, ignore_errors=True)
 print("\nThis is Section 7 in miniature: DPA succeeds without the "
       "randomized projective coordinates and collapses with them.")

@@ -371,13 +371,20 @@ class EccCoprocessor:
         return self.registers.read(X1)
 
     def _recover_y(self, point: AffinePoint) -> AffinePoint:
-        """Full y-recovery epilogue (López–Dahab), one shared inversion."""
+        """Full y-recovery epilogue (López–Dahab), one shared inversion.
+
+        The ``Z2 == 0`` edge case (``k = n - 1``, so ``(k+1)P`` is the
+        point at infinity) still executes the *entire* instruction
+        sequence — every opcode operates happily on zero operands — and
+        only the final result selection differs.  Short-circuiting here
+        would make the epilogue ~9 k cycles shorter for exactly one
+        scalar, a textbook timing oracle; real silicon raises the flag
+        but lets the microcode run to completion.
+        """
         regs = self.registers
         field = self.domain.field
         io0, io1 = self._io0, self._io1
-        if regs.read(Z2) == 0:
-            # (k+1)P = infinity -> kP = -P; flagged path on real silicon.
-            return self.domain.curve.negate(point)
+        z2_vanished = regs.read(Z2) == 0
         # a = x * Z1 * Z2 ; inv = 1/a.
         self._exec(Opcode.MUL, io0, Z1, Z2)
         self._exec(Opcode.MUL, io0, XB, io0)
@@ -399,6 +406,10 @@ class EccCoprocessor:
         self._exec(Opcode.MUL, Z2, Z1, Z2)        # Z2 = (xa+x) * [...]
         self._exec(Opcode.MUL, Z2, Z2, io0)       # Z2 *= 1/x
         self._exec(Opcode.ADD, Z2, Z2, io1)       # Z2 += y -> y3
+        if z2_vanished:
+            # kP = -P; the registers hold the (harmless) zero-operand
+            # garbage of the dummy run above.
+            return self.domain.curve.negate(point)
         result = AffinePoint(regs.read(X1), regs.read(Z2))
         if not self.domain.curve.is_on_curve(result):
             raise AssertionError("y-recovery produced an off-curve point")

@@ -1,0 +1,84 @@
+"""``repro.campaign`` — the industrial side of a security evaluation.
+
+The paper's Section 7 numbers are measurement campaigns (200 traces to
+break the unprotected core, 20 000 failing against the randomized
+one).  This package treats that workload as the data pipeline it is:
+
+* :mod:`~repro.campaign.spec` — a JSON design point from which every
+  random choice is derived (seed + shard index), so campaigns are
+  bit-for-bit reproducible at any parallelism;
+* :mod:`~repro.campaign.acquire` — a multiprocessing acquisition
+  engine with per-shard checkpointing and resume;
+* :mod:`~repro.campaign.store` — sharded, digest-verified, mmap-read
+  trace storage;
+* :mod:`~repro.campaign.streaming` — the :mod:`repro.sca` attacks
+  re-expressed over online accumulators so analysis never materializes
+  an ``(n_traces, n_samples)`` array;
+* :mod:`~repro.campaign.progress` — traces/sec, ETA and per-shard
+  wall-clock reporting.
+
+Quick start::
+
+    from repro.campaign import AcquisitionEngine, CampaignSpec, StreamingDpa
+
+    spec = CampaignSpec(n_traces=2000, shard_size=250,
+                        scenario="unprotected", max_iterations=3, seed=7)
+    store = AcquisitionEngine("campaigns/demo", spec, workers=4).run()
+    result = StreamingDpa(store).recover_bits(n_bits=2)
+"""
+
+from .acquire import (
+    AcquisitionEngine,
+    acquire_shard,
+    default_workers,
+    random_protocol_point,
+)
+from .progress import (
+    CampaignMetrics,
+    CampaignReporter,
+    CollectingReporter,
+    ConsoleReporter,
+    NullReporter,
+    ShardEvent,
+)
+from .spec import SCHEMA_VERSION, CampaignSpec, derive_generator, \
+    derive_rng, derive_seed
+from .store import CorruptShardError, ShardRecord, ShardView, TraceStore, \
+    file_digest
+from .streaming import (
+    OnlineMoments,
+    StreamingCpa,
+    StreamingDpa,
+    streaming_average_trace,
+    streaming_spa,
+    streaming_tvla,
+)
+
+__all__ = [
+    "AcquisitionEngine",
+    "CampaignMetrics",
+    "CampaignReporter",
+    "CampaignSpec",
+    "CollectingReporter",
+    "ConsoleReporter",
+    "CorruptShardError",
+    "NullReporter",
+    "OnlineMoments",
+    "SCHEMA_VERSION",
+    "ShardEvent",
+    "ShardRecord",
+    "ShardView",
+    "StreamingCpa",
+    "StreamingDpa",
+    "TraceStore",
+    "acquire_shard",
+    "default_workers",
+    "derive_generator",
+    "derive_rng",
+    "derive_seed",
+    "file_digest",
+    "random_protocol_point",
+    "streaming_average_trace",
+    "streaming_spa",
+    "streaming_tvla",
+]

@@ -1,0 +1,248 @@
+"""Parallel, resumable trace acquisition.
+
+The engine fans shards out over a ``multiprocessing`` pool.  Each
+shard is a self-contained unit of work: the worker rebuilds the device
+under test from the (JSON-serializable) spec, derives its own RNG
+streams from ``(master seed, stream label, shard index)``, simulates
+its traces and writes its two shard files — no state crosses process
+boundaries except the spec going in and a small record dict coming
+back.  That is what makes the campaign:
+
+* **deterministic** — a shard's bytes depend only on the spec, never
+  on which worker ran it, in what order, or alongside what else;
+* **resumable** — the coordinator checkpoints the manifest after every
+  completed shard, so a killed campaign re-run with the same spec
+  acquires only the missing shards;
+* **scalable** — the coprocessor simulation is pure Python and CPU
+  bound, so a process pool (not threads, which the GIL would
+  serialize) is the right executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..power.simulator import PowerTraceSimulator
+from .progress import (
+    CampaignMetrics,
+    CampaignReporter,
+    NullReporter,
+    ShardEvent,
+)
+from .spec import CampaignSpec, derive_rng, derive_seed
+from .store import ShardRecord, TraceStore
+
+__all__ = ["AcquisitionEngine", "acquire_shard", "default_workers",
+           "random_protocol_point"]
+
+
+def default_workers(requested: Optional[int] = None) -> int:
+    """Resolve a worker count (None -> all cores, capped at 8)."""
+    if requested is not None:
+        if requested < 1:
+            raise ValueError("worker count must be positive")
+        return requested
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def random_protocol_point(domain, rng):
+    """One random prime-order-subgroup point with x != 0.
+
+    Doubling a random curve point lands in the order-n subgroup for
+    the cofactor-2 Koblitz/binary curves used here; protocol points
+    always satisfy x != 0.
+    """
+    curve = domain.curve
+    while True:
+        p = curve.double(curve.random_point(rng))
+        if not p.is_infinity and p.x != 0:
+            return p
+
+
+def acquire_shard(spec: CampaignSpec, directory: str,
+                  shard_index: int) -> dict:
+    """Simulate and write one shard; returns its manifest record dict.
+
+    Runs in a worker process (but is an ordinary function — tests call
+    it inline).  RNG streams are derived per shard:
+
+    * ``points/<shard>`` — the per-trace base points,
+    * ``z/<shard>``      — the per-trace Z-randomization,
+    * ``noise/<shard>``  — the oscilloscope noise (numpy Generator).
+    """
+    started = time.perf_counter()
+    coprocessor = spec.build_coprocessor()
+    simulator = PowerTraceSimulator(
+        noise_sigma=spec.noise_sigma,
+        seed=derive_seed(spec.seed, "noise", shard_index),
+    )
+    point_rng = derive_rng(spec.seed, "points", shard_index)
+    z_rng = derive_rng(spec.seed, "z", shard_index)
+    key = spec.resolve_key()
+    field = coprocessor.domain.field
+
+    n = spec.shard_trace_count(shard_index)
+    rows, points = [], []
+    z_values = [] if spec.scenario == "known_randomness" else None
+    iteration_slices = None
+    key_bits = None
+    for _ in range(n):
+        point = random_protocol_point(coprocessor.domain, point_rng)
+        if spec.scenario == "unprotected":
+            z0 = 1
+        else:
+            z0 = 0
+            while z0 == 0:
+                z0 = z_rng.getrandbits(field.m) & (field.order - 1)
+        execution = coprocessor.point_multiply(
+            key,
+            point,
+            initial_z=z0,
+            max_iterations=spec.max_iterations,
+            recover_y=False,
+        )
+        rows.append(simulator.measure(execution))
+        points.append(point)
+        if z_values is not None:
+            z_values.append(z0)
+        if iteration_slices is None:
+            iteration_slices = execution.iteration_slices()
+            key_bits = list(execution.key_bits)
+
+    store = TraceStore(directory)
+    record = store.write_shard(shard_index, np.vstack(rows), points, z_values)
+    record["wall_seconds"] = time.perf_counter() - started
+    record["iteration_slices"] = iteration_slices
+    record["key_bits"] = key_bits
+    return record
+
+
+def _acquire_shard_task(args) -> dict:
+    spec_dict, directory, shard_index = args
+    return acquire_shard(CampaignSpec.from_dict(spec_dict), directory,
+                         shard_index)
+
+
+class AcquisitionEngine:
+    """Coordinates a campaign: plan, fan out, checkpoint, report.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory (created if needed).
+    spec:
+        What to acquire; must match the directory's manifest when
+        resuming.
+    workers:
+        Process count (1 = run inline, no pool); None picks from the
+        machine's core count.
+    reporter:
+        Progress observer (see :mod:`repro.campaign.progress`).
+    verify_resume:
+        On resume, digest-check shards already on disk and re-acquire
+        any that fail (slower start, but catches torn writes).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        spec: CampaignSpec,
+        workers: Optional[int] = None,
+        reporter: Optional[CampaignReporter] = None,
+        verify_resume: bool = True,
+    ):
+        self.directory = str(directory)
+        self.spec = spec
+        self.workers = default_workers(workers)
+        self.reporter = reporter or NullReporter()
+        self.verify_resume = verify_resume
+
+    # ------------------------------------------------------------------
+
+    def plan(self) -> tuple:
+        """(store, pending shard indices) after manifest reconciliation."""
+        store = TraceStore(self.directory)
+        store.initialize(self.spec)
+        pending = store.missing_shards(verify_digests=self.verify_resume)
+        recorded_but_bad = [
+            i for i in pending if any(r.index == i for r in store.shard_records)
+        ]
+        if recorded_but_bad:
+            store.forget_shards(recorded_but_bad)
+            store.save_manifest()
+        return store, pending
+
+    def _absorb(self, store: TraceStore, record: dict) -> ShardRecord:
+        """Fold one worker result into the manifest (checkpoint)."""
+        iteration_slices = [tuple(s) for s in record.pop("iteration_slices")]
+        key_bits = list(record.pop("key_bits"))
+        if not store.iteration_slices:
+            store.iteration_slices = iteration_slices
+            store.key_bits = key_bits
+        elif (store.iteration_slices != iteration_slices
+              or store.key_bits != key_bits):
+            raise AssertionError(
+                "shards disagree on the iteration schedule — the device "
+                "is not constant-time, or the spec changed under us"
+            )
+        shard = ShardRecord.from_dict(record)
+        store.record_shard(shard)
+        store.save_manifest()
+        return shard
+
+    def run(self) -> TraceStore:
+        """Acquire every missing shard; returns the completed store."""
+        started = time.perf_counter()
+        store, pending = self.plan()
+        spec = self.spec
+        metrics = CampaignMetrics(
+            total_shards=spec.n_shards,
+            total_traces=spec.n_traces,
+            skipped_shards=spec.n_shards - len(pending),
+        )
+        workers = min(self.workers, len(pending)) or 1
+        self.reporter.on_start(spec.n_shards, spec.n_traces, len(pending),
+                               workers)
+        if pending:
+            tasks = [(spec.to_dict(), self.directory, i) for i in pending]
+            if workers == 1:
+                results = map(_acquire_shard_task, tasks)
+                self._drain(store, results, metrics, started)
+            else:
+                with multiprocessing.get_context().Pool(workers) as pool:
+                    results = pool.imap_unordered(_acquire_shard_task, tasks)
+                    self._drain(store, results, metrics, started)
+        metrics.elapsed_seconds = time.perf_counter() - started
+        self.metrics = metrics
+        self.reporter.on_finish(metrics)
+        return store
+
+    def _drain(self, store, results, metrics, started) -> None:
+        for record in results:
+            shard = self._absorb(store, record)
+            metrics.acquired_shards += 1
+            metrics.acquired_traces += shard.n_traces
+            metrics.shard_walls.append(shard.wall_seconds)
+            elapsed = time.perf_counter() - started
+            done_shards = metrics.acquired_shards + metrics.skipped_shards
+            done_traces = store.n_traces_on_disk
+            rate = metrics.acquired_traces / elapsed if elapsed > 0 else 0.0
+            remaining = metrics.total_traces - done_traces
+            eta = remaining / rate if rate > 0 else float("inf")
+            self.reporter.on_shard(ShardEvent(
+                index=shard.index,
+                n_traces=shard.n_traces,
+                wall_seconds=shard.wall_seconds,
+                done_shards=done_shards,
+                total_shards=metrics.total_shards,
+                done_traces=done_traces,
+                total_traces=metrics.total_traces,
+                elapsed_seconds=elapsed,
+                traces_per_second=rate,
+                eta_seconds=eta,
+            ))

@@ -1,0 +1,348 @@
+"""Streaming attack adapters: shard-at-a-time DPA/CPA/TVLA/SPA.
+
+The batch attacks in :mod:`repro.sca` take an in-RAM
+``(n_traces, n_samples)`` matrix.  These adapters consume a
+:class:`~repro.campaign.store.TraceStore` instead, reading one shard's
+*iteration window* at a time off the memory-map and folding it into
+online accumulators — per-column counts, sums and sums-of-squares (and
+cross-products for CPA) — so peak memory is bounded by
+``shard_size x window`` regardless of campaign size.
+
+Statistical equivalence to the batch code is exact, not approximate:
+
+* **CPA / TVLA** are pure moment statistics; the accumulators compute
+  the same Pearson correlation / Welch t from ``n``, ``Σx``, ``Σx²``,
+  ``Σxy`` that the batch code computes from centered arrays (modulo
+  float rounding).
+* **DPA** (difference-of-means) partitions traces per column by the
+  *median* of the prediction gap — an order statistic, which no
+  fixed-size accumulator can produce.  The adapter therefore keeps the
+  prediction-gap window (small: hypotheses are replayed per shard
+  anyway) to take exact medians, then streams the *measurements* —
+  the big array — through partitioned sum/sum-of-squares accumulators.
+* **SPA** needs only the campaign-average trace, a single running sum.
+
+Decisions come back as the same :class:`~repro.sca.dpa.BitDecision` /
+:class:`~repro.sca.dpa.DpaResult` types the batch attacks return.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sca.dpa import BitDecision, DpaResult
+from ..sca.predict import ActivityPredictor
+from ..sca.spa import SpaResult, transition_spa
+from ..sca.ttest import TVLA_THRESHOLD, TvlaReport
+from .store import TraceStore
+
+__all__ = ["OnlineMoments", "StreamingDpa", "StreamingCpa",
+           "streaming_average_trace", "streaming_spa", "streaming_tvla"]
+
+
+class OnlineMoments:
+    """Per-column count/sum/sum-of-squares accumulator.
+
+    ``update`` folds in a ``(rows, columns)`` block, optionally under a
+    boolean membership mask of the same shape (rows contribute only to
+    the columns where their mask is True) — that is exactly the shape
+    of a per-column DPA partition.
+    """
+
+    def __init__(self, n_columns: int):
+        self.count = np.zeros(n_columns, dtype=np.float64)
+        self.total = np.zeros(n_columns, dtype=np.float64)
+        self.total_sq = np.zeros(n_columns, dtype=np.float64)
+
+    def update(self, block: np.ndarray,
+               mask: Optional[np.ndarray] = None) -> None:
+        block = np.asarray(block, dtype=np.float64)
+        if mask is None:
+            self.count += block.shape[0]
+            self.total += block.sum(axis=0)
+            self.total_sq += (block * block).sum(axis=0)
+        else:
+            self.count += mask.sum(axis=0)
+            self.total += (block * mask).sum(axis=0)
+            self.total_sq += (block * block * mask).sum(axis=0)
+
+    def mean(self) -> np.ndarray:
+        """Per-column mean (nan where no members)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.total / self.count
+
+    def variance(self) -> np.ndarray:
+        """Per-column sample variance, ddof=1 (nan where count < 2)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            centered = self.total_sq - self.count * self.mean() ** 2
+            return np.maximum(centered, 0.0) / (self.count - 1)
+
+
+def _window(store: TraceStore, bit_index: int) -> tuple:
+    if not 0 <= bit_index < len(store.iteration_slices):
+        raise ValueError("bit index outside the acquired iterations")
+    return store.iteration_slices[bit_index]
+
+
+def _prediction_gap_blocks(store, predictor, bit_index, prefix,
+                           use_stored_randomness, max_traces):
+    """Yield (shard view, prediction gap P1 - P0) per shard."""
+    start, end = _window(store, bit_index)
+    for view in store.iter_shards(columns=(start, end),
+                                  max_traces=max_traces):
+        if use_stored_randomness:
+            if view.z_values is None:
+                raise ValueError(
+                    "store holds no recorded randomness (scenario "
+                    f"{store.spec.scenario!r})"
+                )
+            z = view.z_values
+        else:
+            z = None
+        predictions = {
+            h: predictor.prediction_matrix(view.points, prefix, h,
+                                           bit_index, z)
+            for h in (0, 1)
+        }
+        yield view, predictions[1] - predictions[0]
+
+
+class _StreamingLadderAttack:
+    """Shared recover-bits / disclosure-sweep driver."""
+
+    def __init__(self, store: TraceStore,
+                 use_stored_randomness: bool = False):
+        self.store = store
+        self.coprocessor = store.spec.build_coprocessor()
+        self.predictor = ActivityPredictor(self.coprocessor)
+        self.use_stored_randomness = use_stored_randomness
+
+    def attack_bit(self, bit_index: int, known_prefix: list,
+                   max_traces: Optional[int] = None) -> BitDecision:
+        raise NotImplementedError
+
+    def recover_bits(self, n_bits: int,
+                     max_traces: Optional[int] = None) -> DpaResult:
+        """Attack the first ``n_bits`` ladder bits sequentially.
+
+        As in the batch attacks, later bits are attacked under the
+        *recovered* prefix, so early mistakes propagate.
+        """
+        if n_bits < 1 or n_bits > len(self.store.iteration_slices):
+            raise ValueError("n_bits out of range for this campaign")
+        decisions = []
+        prefix = []
+        for bit_index in range(n_bits):
+            decision = self.attack_bit(bit_index, prefix, max_traces)
+            decisions.append(decision)
+            prefix.append(decision.chosen)
+        return DpaResult(decisions)
+
+    def _significance_threshold(self, n: int) -> float:
+        return 4.5
+
+    def traces_to_disclosure(self, n_bits: int,
+                             grid: list) -> Optional[int]:
+        """Smallest campaign prefix in ``grid`` that significantly
+        recovers all bits; None if even the full store fails."""
+        for n in sorted(grid):
+            result = self.recover_bits(n_bits, max_traces=n)
+            if result.significant_success(self._significance_threshold(n)):
+                return n
+        return None
+
+
+class StreamingDpa(_StreamingLadderAttack):
+    """Difference-of-means DPA over a sharded store.
+
+    Mirrors :class:`repro.sca.dpa.LadderDpa` decision-for-decision (see
+    the module docstring for why the gap window is retained while the
+    measurements stream through partitioned accumulators).
+    """
+
+    def __init__(self, store: TraceStore, min_partition: int = 5,
+                 use_stored_randomness: bool = False):
+        super().__init__(store, use_stored_randomness)
+        if min_partition < 1:
+            raise ValueError("min_partition must be positive")
+        self.min_partition = min_partition
+
+    def attack_bit(self, bit_index: int, known_prefix: list,
+                   max_traces: Optional[int] = None) -> BitDecision:
+        """Decide one key bit with two streaming passes."""
+        # Pass 1: hypothesis replay per shard; keep only the gap window.
+        gap_blocks = []
+        for _view, gap in _prediction_gap_blocks(
+            self.store, self.predictor, bit_index, known_prefix,
+            self.use_stored_randomness, max_traces,
+        ):
+            gap_blocks.append(gap)
+        gap = np.vstack(gap_blocks)
+        medians = np.median(gap, axis=0)
+        membership = gap > medians          # (n_traces, window) bool
+
+        # Pass 2: stream the measurements into partitioned accumulators.
+        width = gap.shape[1]
+        high = OnlineMoments(width)
+        low = OnlineMoments(width)
+        start, end = _window(self.store, bit_index)
+        row = 0
+        for view in self.store.iter_shards(columns=(start, end),
+                                           max_traces=max_traces):
+            block = view.samples
+            labels = membership[row:row + block.shape[0]]
+            high.update(block, labels)
+            low.update(block, ~labels)
+            row += block.shape[0]
+
+        evidence_zero, evidence_one = self._dom_from_moments(high, low)
+        chosen = 1 if evidence_one >= evidence_zero else 0
+        return BitDecision(
+            bit_index=bit_index,
+            chosen=chosen,
+            statistic_zero=evidence_zero,
+            statistic_one=evidence_one,
+            true_bit=self.store.key_bits[bit_index],
+        )
+
+    def _dom_from_moments(self, high: OnlineMoments,
+                          low: OnlineMoments) -> tuple:
+        """The batch `_signed_dom_statistics`, computed from moments."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            diff = high.mean() - low.mean()
+            pooled = np.sqrt(high.variance() / high.count
+                             + low.variance() / low.count)
+            statistic = diff / pooled
+        valid = (
+            (high.count >= self.min_partition)
+            & (low.count >= self.min_partition)
+            & (pooled > 0)
+            & np.isfinite(statistic)
+        )
+        statistic = statistic[valid]
+        if statistic.size == 0:
+            return 0.0, 0.0
+        best_pos = float(max(statistic.max(), 0.0))
+        best_neg = float(max(-statistic.min(), 0.0))
+        return best_neg, best_pos
+
+
+class StreamingCpa(_StreamingLadderAttack):
+    """Correlation power analysis over a sharded store.
+
+    Single-pass: Pearson needs only ``n, Σd, Σd², Σo, Σo², Σdo`` per
+    column, so the gap is consumed shard by shard and nothing but the
+    six accumulator vectors persists.
+    """
+
+    def attack_bit(self, bit_index: int, known_prefix: list,
+                   max_traces: Optional[int] = None) -> BitDecision:
+        """Decide one key bit by maximum absolute streamed correlation."""
+        acc = None
+        for view, gap in _prediction_gap_blocks(
+            self.store, self.predictor, bit_index, known_prefix,
+            self.use_stored_randomness, max_traces,
+        ):
+            observed = view.samples
+            if acc is None:
+                width = gap.shape[1]
+                acc = {
+                    "n": 0.0,
+                    "d": np.zeros(width), "dd": np.zeros(width),
+                    "o": np.zeros(width), "oo": np.zeros(width),
+                    "do": np.zeros(width),
+                }
+            acc["n"] += gap.shape[0]
+            acc["d"] += gap.sum(axis=0)
+            acc["dd"] += (gap * gap).sum(axis=0)
+            acc["o"] += observed.sum(axis=0)
+            acc["oo"] += (observed * observed).sum(axis=0)
+            acc["do"] += (gap * observed).sum(axis=0)
+        if acc is None:
+            raise ValueError("no shards on disk")
+
+        n = acc["n"]
+        numerator = acc["do"] - acc["d"] * acc["o"] / n
+        var_d = np.maximum(acc["dd"] - acc["d"] ** 2 / n, 0.0)
+        var_o = np.maximum(acc["oo"] - acc["o"] ** 2 / n, 0.0)
+        denominator = np.sqrt(var_d * var_o)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denominator > 0, numerator / denominator, 0.0)
+        evidence_one = float(max(corr.max(), 0.0))
+        evidence_zero = float(max(-corr.min(), 0.0))
+        chosen = 1 if evidence_one >= evidence_zero else 0
+        return BitDecision(
+            bit_index=bit_index,
+            chosen=chosen,
+            statistic_zero=evidence_zero,
+            statistic_one=evidence_one,
+            true_bit=self.store.key_bits[bit_index],
+        )
+
+    def _significance_threshold(self, n: int) -> float:
+        # Correlation peaks are significant beyond ~4.5 standard errors.
+        return 4.5 / np.sqrt(n)
+
+
+# ----------------------------------------------------------------------
+# SPA and TVLA
+# ----------------------------------------------------------------------
+
+def streaming_average_trace(store: TraceStore,
+                            max_traces: Optional[int] = None) -> np.ndarray:
+    """Campaign-average trace via a running sum (full trace width)."""
+    total = None
+    count = 0
+    for view in store.iter_shards(max_traces=max_traces):
+        block = np.asarray(view.samples, dtype=np.float64)
+        partial = block.sum(axis=0)
+        total = partial if total is None else total + partial
+        count += block.shape[0]
+    if total is None:
+        raise ValueError("no shards on disk")
+    return total / count
+
+
+def streaming_spa(store: TraceStore,
+                  max_traces: Optional[int] = None,
+                  window_size: int = 1) -> SpaResult:
+    """Clustering SPA on the campaign-average trace."""
+    averaged = streaming_average_trace(store, max_traces)
+    return transition_spa(averaged, list(store.iteration_slices),
+                          list(store.key_bits), window_size=window_size)
+
+
+def streaming_tvla(fixed_store: TraceStore, random_store: TraceStore,
+                   columns: Optional[tuple] = None,
+                   threshold: float = TVLA_THRESHOLD) -> TvlaReport:
+    """Fixed-vs-random Welch t-test between two stores, streamed.
+
+    ``columns`` restricts the test to a cycle window (e.g. the
+    secret-dependent cycles); default is the full trace width.
+    """
+    def moments(store: TraceStore) -> OnlineMoments:
+        acc = None
+        for view in store.iter_shards(columns=columns):
+            if acc is None:
+                acc = OnlineMoments(view.samples.shape[1])
+            acc.update(view.samples)
+        if acc is None:
+            raise ValueError("no shards on disk")
+        return acc
+
+    a, b = moments(fixed_store), moments(random_store)
+    if a.count.min() < 2 or b.count.min() < 2:
+        raise ValueError("each population needs at least two traces")
+    mean_diff = a.mean() - b.mean()
+    var_term = a.variance() / a.count + b.variance() / b.count
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(var_term > 0, mean_diff / np.sqrt(var_term), 0.0)
+    abs_t = np.abs(t)
+    return TvlaReport(
+        max_abs_t=float(abs_t.max()),
+        num_leaky_samples=int((abs_t > threshold).sum()),
+        n_samples=int(t.shape[0]),
+        threshold=threshold,
+    )

@@ -8,7 +8,9 @@ script:
 * ``area``      — the gate-count table,
 * ``listing``   — the microcode listing of a point multiplication,
 * ``evaluate``  — the white-box attack battery (optionally against the
-  unprotected strawman).
+  unprotected strawman),
+* ``campaign``  — the trace-acquisition and attack-campaign engine
+  (``acquire`` / ``status`` / ``attack`` on a campaign directory).
 
 Every command returns its report as a string (and prints it), so the
 CLI is testable without subprocesses.
@@ -20,7 +22,8 @@ import argparse
 import random
 
 __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
-           "cmd_evaluate"]
+           "cmd_evaluate", "cmd_campaign_acquire", "cmd_campaign_status",
+           "cmd_campaign_attack"]
 
 
 def cmd_info() -> str:
@@ -47,14 +50,14 @@ def cmd_info() -> str:
     return "\n".join(lines)
 
 
-def cmd_energy() -> str:
+def cmd_energy(seed: int = 1) -> str:
     """The E1 operating-point report (runs one point multiplication)."""
     from .arch import CoprocessorConfig, EccCoprocessor
     from .power import calibrate_energy_model
 
     coprocessor = EccCoprocessor(CoprocessorConfig())
     model = calibrate_energy_model(coprocessor)
-    rng = random.Random(1)
+    rng = random.Random(seed)
     key = coprocessor.domain.scalar_ring.random_scalar(rng)
     execution = coprocessor.point_multiply(
         key, coprocessor.domain.generator, rng=rng
@@ -102,8 +105,14 @@ def cmd_listing(limit: int = 40) -> str:
     )
 
 
-def cmd_evaluate(weak: bool = False, traces: int = 80) -> str:
-    """The white-box attack battery (Figure 4)."""
+def cmd_evaluate(weak: bool = False, traces: int = 80,
+                 seed: int = 2013) -> str:
+    """The white-box attack battery (Figure 4).
+
+    ``seed`` is threaded through the whole evaluation (keys, points,
+    randomization, oscilloscope noise) — nothing falls back to global
+    RNG state, so two runs with the same seed are identical.
+    """
     from .arch import CoprocessorConfig, UnbalancedEncoding
     from .security import WhiteBoxEvaluation
 
@@ -113,8 +122,124 @@ def cmd_evaluate(weak: bool = False, traces: int = 80) -> str:
     else:
         config = CoprocessorConfig()
     report = WhiteBoxEvaluation(config, n_traces=traces, n_bits=2,
-                                seed=2013).run()
+                                seed=seed).run()
     return report.render()
+
+
+# ----------------------------------------------------------------------
+# campaign verbs
+# ----------------------------------------------------------------------
+
+def _campaign_spec_from_args(args) -> "object":
+    from .campaign import CampaignSpec
+
+    return CampaignSpec(
+        n_traces=args.traces,
+        shard_size=args.shard_size,
+        scenario=args.scenario,
+        seed=args.seed,
+        max_iterations=None if args.bits is None else args.bits + 1,
+        noise_sigma=args.noise,
+    )
+
+
+def cmd_campaign_acquire(directory: str, spec, workers=None,
+                         quiet: bool = False) -> str:
+    """Acquire (or resume) a campaign into ``directory``."""
+    from .campaign import AcquisitionEngine, ConsoleReporter, NullReporter
+
+    reporter = NullReporter() if quiet else ConsoleReporter()
+    engine = AcquisitionEngine(directory, spec, workers=workers,
+                               reporter=reporter)
+    store = engine.run()
+    m = engine.metrics
+    return (
+        f"campaign {directory}: {store.n_traces_on_disk}/"
+        f"{spec.n_traces} traces on disk "
+        f"({len(store.shard_records)} shard(s))\n"
+        + m.summary()
+    )
+
+
+def cmd_campaign_status(directory: str) -> str:
+    """Manifest summary: progress, throughput, integrity."""
+    from .campaign import TraceStore
+
+    store = TraceStore(directory)
+    if not store.exists:
+        return f"campaign {directory}: no manifest (nothing acquired yet)"
+    store.load()
+    spec = store.spec
+    missing = store.missing_shards()
+    walls = [r.wall_seconds for r in store.shard_records]
+    rate = (store.n_traces_on_disk / sum(walls)) if walls else 0.0
+    lines = [
+        f"campaign {directory}",
+        f"  scenario: {spec.scenario}  curve: {spec.curve}  "
+        f"seed: {spec.seed}",
+        f"  traces: {store.n_traces_on_disk}/{spec.n_traces} "
+        f"({len(store.shard_records)}/{spec.n_shards} shards, "
+        f"shard size {spec.shard_size})",
+        f"  missing shards: {missing if missing else 'none — complete'}",
+    ]
+    if walls:
+        lines.append(
+            f"  acquisition wall: {sum(walls):.2f}s total, "
+            f"{rate:.1f} traces/s per worker "
+            f"(per-shard {min(walls):.2f}-{max(walls):.2f}s)"
+        )
+    return "\n".join(lines)
+
+
+def cmd_campaign_attack(directory: str, attack: str = "dpa",
+                        bits: int = 2, grid=None,
+                        verify: bool = False) -> str:
+    """Run a streaming attack over an acquired campaign."""
+    from .campaign import StreamingCpa, StreamingDpa, TraceStore, \
+        streaming_spa
+
+    store = TraceStore(directory).load()
+    if verify:
+        store.verify_all()
+    use_z = store.spec.scenario == "known_randomness"
+    header = (
+        f"campaign {directory}: {attack.upper()} over "
+        f"{store.n_traces_on_disk} traces "
+        f"({store.spec.scenario}"
+        + (", stored randomness used" if use_z else "")
+        + ")"
+    )
+    if attack == "spa":
+        result = streaming_spa(store)
+        return (
+            f"{header}\n"
+            f"recovered {len(result.recovered_bits)} ladder bits with "
+            f"{result.bit_errors} errors from the averaged trace"
+        )
+    cls = {"dpa": StreamingDpa, "cpa": StreamingCpa}.get(attack)
+    if cls is None:
+        raise ValueError(f"unknown attack {attack!r}")
+    engine = cls(store, use_stored_randomness=use_z)
+    lines = [header]
+    if grid:
+        disclosure = engine.traces_to_disclosure(bits, grid)
+        lines.append(
+            f"traces to disclosure over grid {sorted(grid)}: {disclosure}"
+        )
+    result = engine.recover_bits(bits)
+    lines.append(
+        f"{result.num_correct}/{bits} bits recovered "
+        f"(chosen {result.recovered_bits}, truth {result.true_bits})"
+    )
+    lines.append(
+        "peak statistics: "
+        f"{[round(p, 2) for p in result.peak_statistics]}"
+    )
+    lines.append(
+        "verdict: key bits "
+        + ("RECOVERED" if result.success else "NOT recovered")
+    )
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -133,6 +258,48 @@ def main(argv=None) -> int:
     evaluate.add_argument("--weak", action="store_true",
                           help="evaluate the unprotected strawman")
     evaluate.add_argument("--traces", type=int, default=80)
+    evaluate.add_argument("--seed", type=int, default=2013,
+                          help="master seed of the whole evaluation")
+
+    campaign = sub.add_parser(
+        "campaign", help="trace-acquisition / attack campaign engine"
+    )
+    verbs = campaign.add_subparsers(dest="verb", required=True)
+
+    acquire = verbs.add_parser("acquire",
+                               help="acquire (or resume) a campaign")
+    acquire.add_argument("--dir", required=True, help="campaign directory")
+    acquire.add_argument("--traces", type=int, default=256)
+    acquire.add_argument("--shard-size", type=int, default=64)
+    acquire.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cores, max 8)")
+    acquire.add_argument("--scenario", default="protected",
+                         choices=("unprotected", "known_randomness",
+                                  "protected"))
+    acquire.add_argument("--seed", type=int, default=0)
+    acquire.add_argument("--bits", type=int, default=4,
+                         help="ladder bits to acquire (truncates traces); "
+                              "omit for full-length traces")
+    acquire.add_argument("--full-length", dest="bits",
+                         action="store_const", const=None,
+                         help="acquire full point multiplications")
+    acquire.add_argument("--noise", type=float, default=38.0)
+    acquire.add_argument("--quiet", action="store_true")
+
+    status = verbs.add_parser("status", help="manifest summary")
+    status.add_argument("--dir", required=True)
+
+    attack = verbs.add_parser("attack", help="streaming attack on a "
+                                             "campaign directory")
+    attack.add_argument("--dir", required=True)
+    attack.add_argument("--attack", default="dpa",
+                        choices=("dpa", "cpa", "spa"))
+    attack.add_argument("--bits", type=int, default=2)
+    attack.add_argument("--grid", default=None,
+                        help="comma-separated traces-to-disclosure grid")
+    attack.add_argument("--verify", action="store_true",
+                        help="digest-check every shard before reading")
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -143,8 +310,24 @@ def main(argv=None) -> int:
         output = cmd_area()
     elif args.command == "listing":
         output = cmd_listing(limit=args.limit)
+    elif args.command == "campaign":
+        if args.verb == "acquire":
+            output = cmd_campaign_acquire(
+                args.dir, _campaign_spec_from_args(args),
+                workers=args.workers, quiet=args.quiet,
+            )
+        elif args.verb == "status":
+            output = cmd_campaign_status(args.dir)
+        else:
+            grid = None
+            if args.grid:
+                grid = [int(g) for g in args.grid.split(",") if g]
+            output = cmd_campaign_attack(args.dir, attack=args.attack,
+                                         bits=args.bits, grid=grid,
+                                         verify=args.verify)
     else:
-        output = cmd_evaluate(weak=args.weak, traces=args.traces)
+        output = cmd_evaluate(weak=args.weak, traces=args.traces,
+                              seed=args.seed)
     try:
         print(output)
     except BrokenPipeError:  # e.g. piped into `head`

@@ -1,0 +1,33 @@
+"""Shared small campaigns for the campaign-subsystem tests.
+
+Session-scoped: acquiring even a tiny campaign runs real coprocessor
+simulations, so the stores are built once and shared read-only.
+"""
+
+import pytest
+
+from repro.campaign import AcquisitionEngine, CampaignSpec
+
+
+UNPROTECTED_SPEC = CampaignSpec(
+    n_traces=24, shard_size=10, scenario="unprotected",
+    max_iterations=3, seed=11, noise_sigma=38.0,
+)
+
+KNOWN_Z_SPEC = CampaignSpec(
+    n_traces=13, shard_size=5, scenario="known_randomness",
+    max_iterations=3, seed=12, noise_sigma=38.0,
+)
+
+
+@pytest.fixture(scope="session")
+def unprotected_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("campaign-unprotected")
+    return AcquisitionEngine(str(directory), UNPROTECTED_SPEC,
+                             workers=1).run()
+
+
+@pytest.fixture(scope="session")
+def known_z_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("campaign-known-z")
+    return AcquisitionEngine(str(directory), KNOWN_Z_SPEC, workers=1).run()

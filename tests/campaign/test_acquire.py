@@ -1,0 +1,133 @@
+"""Acquisition engine: determinism, parallelism, resume, reporting."""
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    AcquisitionEngine,
+    CampaignSpec,
+    CollectingReporter,
+    TraceStore,
+    acquire_shard,
+    default_workers,
+    random_protocol_point,
+)
+
+
+SMALL_SPEC = CampaignSpec(n_traces=8, shard_size=4, scenario="unprotected",
+                          max_iterations=2, seed=21)
+
+
+def _digests(store):
+    return [(r.index, r.samples_sha256, r.aux_sha256)
+            for r in sorted(store.shard_records, key=lambda r: r.index)]
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel_bit_for_bit(self, tmp_path):
+        serial = AcquisitionEngine(str(tmp_path / "serial"), SMALL_SPEC,
+                                   workers=1).run()
+        parallel = AcquisitionEngine(str(tmp_path / "parallel"), SMALL_SPEC,
+                                     workers=2).run()
+        assert _digests(serial) == _digests(parallel)
+        assert serial.key_bits == parallel.key_bits
+        assert serial.iteration_slices == parallel.iteration_slices
+
+    def test_rerun_is_reproducible(self, tmp_path):
+        first = AcquisitionEngine(str(tmp_path / "a"), SMALL_SPEC,
+                                  workers=1).run()
+        second = AcquisitionEngine(str(tmp_path / "b"), SMALL_SPEC,
+                                   workers=1).run()
+        assert _digests(first) == _digests(second)
+
+    def test_seed_changes_every_shard(self, tmp_path):
+        base = AcquisitionEngine(str(tmp_path / "s21"), SMALL_SPEC,
+                                 workers=1).run()
+        reseeded_spec = CampaignSpec(n_traces=8, shard_size=4,
+                                     scenario="unprotected",
+                                     max_iterations=2, seed=22)
+        reseeded = AcquisitionEngine(str(tmp_path / "s22"), reseeded_spec,
+                                     workers=1).run()
+        ours = {d[1] for d in _digests(base)}
+        theirs = {d[1] for d in _digests(reseeded)}
+        assert not ours & theirs
+
+    def test_worker_function_is_callable_inline(self, tmp_path):
+        TraceStore(str(tmp_path)).initialize(SMALL_SPEC)
+        record = acquire_shard(SMALL_SPEC, str(tmp_path), 0)
+        assert record["index"] == 0
+        assert record["n_traces"] == 4
+        assert len(record["key_bits"]) >= SMALL_SPEC.max_iterations
+
+
+class TestResume:
+    def test_completed_campaign_is_a_no_op(self, tmp_path):
+        AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1).run()
+        again = AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1)
+        again.run()
+        assert again.metrics.acquired_shards == 0
+        assert again.metrics.skipped_shards == SMALL_SPEC.n_shards
+
+    def test_partial_manifest_resumes(self, tmp_path):
+        # Simulate a campaign killed after its first shard: the shard
+        # and its manifest checkpoint exist, nothing else does.
+        engine = AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1)
+        store, pending = engine.plan()
+        assert pending == [0, 1]
+        engine._absorb(store, acquire_shard(SMALL_SPEC, str(tmp_path), 0))
+
+        resumed = AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1)
+        completed = resumed.run()
+        assert completed.is_complete
+        assert resumed.metrics.skipped_shards == 1
+        assert resumed.metrics.acquired_shards == 1
+
+
+class TestReporting:
+    def test_collecting_reporter_sees_the_whole_run(self, tmp_path):
+        reporter = CollectingReporter()
+        engine = AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1,
+                                   reporter=reporter)
+        engine.run()
+        assert reporter.started == [(2, 8, 2, 1)]
+        assert sorted(e.index for e in reporter.events) == [0, 1]
+        assert [e.done_shards for e in reporter.events] == [1, 2]
+        last = reporter.events[-1]
+        assert last.done_traces == last.total_traces == 8
+        assert last.traces_per_second > 0
+        (metrics,) = reporter.finished
+        assert metrics.acquired_traces == 8
+        assert metrics.elapsed_seconds > 0
+        assert len(metrics.shard_walls) == 2
+        assert "8/8 traces" in metrics.summary()
+
+    def test_engine_metrics_match_reporter(self, tmp_path):
+        reporter = CollectingReporter()
+        engine = AcquisitionEngine(str(tmp_path), SMALL_SPEC, workers=1,
+                                   reporter=reporter)
+        engine.run()
+        assert engine.metrics is reporter.finished[0]
+
+
+class TestWorkers:
+    def test_explicit_count_wins(self):
+        assert default_workers(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_workers(0)
+
+    def test_auto_is_bounded(self):
+        assert 1 <= default_workers(None) <= 8
+
+
+class TestProtocolPoints:
+    def test_points_are_valid_protocol_inputs(self):
+        domain = SMALL_SPEC.build_coprocessor().domain
+        rng = random.Random(99)
+        for _ in range(4):
+            p = random_protocol_point(domain, rng)
+            assert not p.is_infinity
+            assert p.x != 0
+            assert domain.curve.is_on_curve(p)

@@ -1,0 +1,168 @@
+"""Streaming attacks must agree with the batch attacks — exactly.
+
+Every test materializes the shared fixture store into a batch
+``TraceSet`` and checks the shard-at-a-time adapters reproduce the
+in-RAM statistics to float precision, not just the same verdicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    OnlineMoments,
+    StreamingCpa,
+    StreamingDpa,
+    streaming_average_trace,
+    streaming_spa,
+    streaming_tvla,
+)
+from repro.sca import LadderCpa, LadderDpa, transition_spa
+from repro.sca.ttest import tvla_fixed_vs_random
+
+N_BITS = 2
+
+
+def _decisions_match(streamed, batch):
+    assert len(streamed.decisions) == len(batch.decisions)
+    for s, b in zip(streamed.decisions, batch.decisions):
+        assert s.bit_index == b.bit_index
+        assert s.chosen == b.chosen
+        assert s.true_bit == b.true_bit
+        assert s.statistic_zero == pytest.approx(b.statistic_zero, abs=1e-9)
+        assert s.statistic_one == pytest.approx(b.statistic_one, abs=1e-9)
+
+
+class TestOnlineMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        block_a, block_b = rng.normal(size=(7, 5)), rng.normal(size=(9, 5))
+        acc = OnlineMoments(5)
+        acc.update(block_a)
+        acc.update(block_b)
+        full = np.vstack([block_a, block_b])
+        np.testing.assert_allclose(acc.mean(), full.mean(axis=0))
+        np.testing.assert_allclose(acc.variance(), full.var(axis=0, ddof=1))
+
+    def test_masked_update_partitions_columns(self):
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(10, 3))
+        mask = rng.random(size=(10, 3)) > 0.5
+        acc = OnlineMoments(3)
+        acc.update(block, mask)
+        for col in range(3):
+            members = block[mask[:, col], col]
+            assert acc.count[col] == members.size
+            if members.size:
+                assert acc.mean()[col] == pytest.approx(members.mean())
+
+    def test_empty_columns_are_nan_not_crash(self):
+        acc = OnlineMoments(2)
+        acc.update(np.ones((4, 2)), np.zeros((4, 2), dtype=bool))
+        assert np.isnan(acc.mean()).all()
+
+
+class TestDpaEquivalence:
+    def test_unprotected(self, unprotected_store):
+        traces = unprotected_store.as_trace_set()
+        batch = LadderDpa(
+            unprotected_store.spec.build_coprocessor()
+        ).recover_bits(traces, N_BITS)
+        streamed = StreamingDpa(unprotected_store).recover_bits(N_BITS)
+        _decisions_match(streamed, batch)
+
+    def test_known_randomness(self, known_z_store):
+        traces = known_z_store.as_trace_set()
+        assert traces.known_randomness is not None
+        batch = LadderDpa(known_z_store.spec.build_coprocessor()).recover_bits(
+            traces, N_BITS, z_values=traces.known_randomness
+        )
+        streamed = StreamingDpa(
+            known_z_store, use_stored_randomness=True
+        ).recover_bits(N_BITS)
+        _decisions_match(streamed, batch)
+
+    def test_max_traces_matches_batch_subset(self, unprotected_store):
+        subset = unprotected_store.as_trace_set(max_traces=15)
+        batch = LadderDpa(
+            unprotected_store.spec.build_coprocessor()
+        ).recover_bits(subset, N_BITS)
+        streamed = StreamingDpa(unprotected_store).recover_bits(
+            N_BITS, max_traces=15
+        )
+        _decisions_match(streamed, batch)
+
+    def test_stored_randomness_requires_known_z(self, unprotected_store):
+        attack = StreamingDpa(unprotected_store, use_stored_randomness=True)
+        with pytest.raises(ValueError, match="no recorded randomness"):
+            attack.recover_bits(1)
+
+    def test_rejects_out_of_range_bits(self, unprotected_store):
+        with pytest.raises(ValueError):
+            StreamingDpa(unprotected_store).recover_bits(0)
+        with pytest.raises(ValueError):
+            StreamingDpa(unprotected_store).recover_bits(
+                len(unprotected_store.iteration_slices) + 1
+            )
+
+
+class TestCpaEquivalence:
+    def test_unprotected(self, unprotected_store):
+        traces = unprotected_store.as_trace_set()
+        batch = LadderCpa(
+            unprotected_store.spec.build_coprocessor()
+        ).recover_bits(traces, N_BITS)
+        streamed = StreamingCpa(unprotected_store).recover_bits(N_BITS)
+        _decisions_match(streamed, batch)
+
+    def test_known_randomness(self, known_z_store):
+        traces = known_z_store.as_trace_set()
+        batch = LadderCpa(known_z_store.spec.build_coprocessor()).recover_bits(
+            traces, N_BITS, z_values=traces.known_randomness
+        )
+        streamed = StreamingCpa(
+            known_z_store, use_stored_randomness=True
+        ).recover_bits(N_BITS)
+        _decisions_match(streamed, batch)
+
+
+class TestSpaAndAverage:
+    def test_average_trace_matches_batch_mean(self, unprotected_store):
+        traces = unprotected_store.as_trace_set()
+        np.testing.assert_allclose(
+            streaming_average_trace(unprotected_store),
+            traces.samples.mean(axis=0),
+        )
+
+    def test_streaming_spa_matches_batch(self, unprotected_store):
+        traces = unprotected_store.as_trace_set()
+        batch = transition_spa(
+            traces.samples.mean(axis=0),
+            list(traces.iteration_slices),
+            list(traces.key_bits),
+        )
+        streamed = streaming_spa(unprotected_store)
+        assert streamed.recovered_bits == batch.recovered_bits
+        assert streamed.true_bits == batch.true_bits
+
+
+class TestTvlaEquivalence:
+    def test_matches_batch_welch_t(self, unprotected_store, tmp_path):
+        from repro.campaign import AcquisitionEngine, CampaignSpec
+
+        other_spec = CampaignSpec(
+            n_traces=10, shard_size=4, scenario="unprotected",
+            max_iterations=3, seed=77, noise_sigma=38.0,
+        )
+        other = AcquisitionEngine(str(tmp_path), other_spec, workers=1).run()
+        fixed = unprotected_store.as_trace_set()
+        rand = other.as_trace_set()
+        width = min(fixed.samples.shape[1], rand.samples.shape[1])
+
+        batch = tvla_fixed_vs_random(fixed.samples[:, :width],
+                                     rand.samples[:, :width])
+        streamed = streaming_tvla(unprotected_store, other,
+                                  columns=(0, width))
+        assert streamed.max_abs_t == pytest.approx(batch.max_abs_t, abs=1e-9)
+        assert streamed.num_leaky_samples == batch.num_leaky_samples
+        assert streamed.n_samples == batch.n_samples
+        assert streamed.leaks == batch.leaks

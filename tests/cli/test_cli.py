@@ -60,3 +60,58 @@ class TestMain:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCampaignVerbs:
+    """End-to-end `repro campaign` lifecycle on a tiny campaign."""
+
+    ACQUIRE = ["campaign", "acquire", "--traces", "6", "--shard-size", "3",
+               "--workers", "1", "--scenario", "unprotected",
+               "--seed", "9", "--bits", "1", "--quiet"]
+
+    def test_acquire_status_attack(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 traces on disk" in out
+        assert "2 shard(s)" in out
+
+        assert main(["campaign", "status", "--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: unprotected" in out
+        assert "traces: 6/6" in out
+        assert "none — complete" in out
+
+        assert main(["campaign", "attack", "--dir", d, "--attack", "dpa",
+                     "--bits", "1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "DPA over 6 traces" in out
+        assert "verdict: key bits" in out
+
+    def test_acquire_is_resumable_via_cli(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        capsys.readouterr()
+        # Second run acquires nothing new.
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "0/6 traces in 0 shard(s) (+2 resumed)" in out
+
+    def test_status_without_manifest(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        assert "no manifest" in capsys.readouterr().out
+
+    def test_spa_attack_verb(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "attack", "--dir", d,
+                     "--attack", "spa"]) == 0
+        out = capsys.readouterr().out
+        assert "SPA over 6 traces" in out
+        assert "ladder bits" in out
+
+    def test_attack_requires_existing_campaign(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["campaign", "attack", "--dir", str(tmp_path / "nope")])
