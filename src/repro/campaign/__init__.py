@@ -9,6 +9,11 @@ one).  This package treats that workload as the data pipeline it is:
   bit-for-bit reproducible at any parallelism;
 * :mod:`~repro.campaign.acquire` — a multiprocessing acquisition
   engine with per-shard checkpointing and resume;
+* :mod:`~repro.campaign.supervisor` — fault-tolerant shard execution:
+  watchdog timeouts, classified retries with backoff, quarantine, and
+  an append-only ``failures.jsonl``;
+* :mod:`~repro.campaign.chaos` — deterministic fault injection
+  (crashes, hangs, slowdowns, corruption) for exercising the above;
 * :mod:`~repro.campaign.store` — sharded, digest-verified, mmap-read
   trace storage;
 * :mod:`~repro.campaign.streaming` — the :mod:`repro.sca` attacks
@@ -33,6 +38,22 @@ from .acquire import (
     default_workers,
     random_protocol_point,
 )
+from .chaos import (
+    CHAOS_CRASH_EXIT_CODE,
+    ChaosConfig,
+    ChaosInjectedError,
+    chaos_acquire_shard,
+)
+from .errors import (
+    DATA_INTEGRITY,
+    DETERMINISTIC,
+    FAILURE_KINDS,
+    TRANSIENT,
+    CampaignError,
+    PartialStoreError,
+    ScheduleMismatchError,
+    classify_exception,
+)
 from .progress import (
     CampaignMetrics,
     CampaignReporter,
@@ -43,41 +64,72 @@ from .progress import (
 )
 from .spec import SCHEMA_VERSION, CampaignSpec, derive_generator, \
     derive_rng, derive_seed
-from .store import CorruptShardError, ShardRecord, ShardView, TraceStore, \
-    file_digest
+from .store import CorruptShardError, CoverageReport, ShardRecord, \
+    ShardView, TraceStore, file_digest
 from .streaming import (
+    AttackProvenance,
     OnlineMoments,
     StreamingCpa,
     StreamingDpa,
+    store_provenance,
     streaming_average_trace,
     streaming_spa,
     streaming_tvla,
 )
+from .supervisor import (
+    FailureEvent,
+    FailureLog,
+    Quarantine,
+    RetryPolicy,
+    ShardSupervisor,
+    SupervisorOutcome,
+)
 
 __all__ = [
     "AcquisitionEngine",
+    "AttackProvenance",
+    "CHAOS_CRASH_EXIT_CODE",
+    "CampaignError",
     "CampaignMetrics",
     "CampaignReporter",
     "CampaignSpec",
+    "ChaosConfig",
+    "ChaosInjectedError",
     "CollectingReporter",
     "ConsoleReporter",
     "CorruptShardError",
+    "CoverageReport",
+    "DATA_INTEGRITY",
+    "DETERMINISTIC",
+    "FAILURE_KINDS",
+    "FailureEvent",
+    "FailureLog",
     "NullReporter",
     "OnlineMoments",
+    "PartialStoreError",
+    "Quarantine",
+    "RetryPolicy",
     "SCHEMA_VERSION",
+    "ScheduleMismatchError",
     "ShardEvent",
     "ShardRecord",
+    "ShardSupervisor",
     "ShardView",
     "StreamingCpa",
     "StreamingDpa",
+    "SupervisorOutcome",
+    "TRANSIENT",
     "TraceStore",
     "acquire_shard",
+    "chaos_acquire_shard",
+    "classify_exception",
     "default_workers",
     "derive_generator",
     "derive_rng",
     "derive_seed",
     "file_digest",
     "random_protocol_point",
+    "store_provenance",
     "streaming_average_trace",
     "streaming_spa",
     "streaming_tvla",

@@ -1,6 +1,6 @@
-"""Parallel, resumable trace acquisition.
+"""Parallel, resumable, fault-tolerant trace acquisition.
 
-The engine fans shards out over a ``multiprocessing`` pool.  Each
+The engine fans shards out over supervised worker processes.  Each
 shard is a self-contained unit of work: the worker rebuilds the device
 under test from the (JSON-serializable) spec, derives its own RNG
 streams from ``(master seed, stream label, shard index)``, simulates
@@ -14,13 +14,18 @@ back.  That is what makes the campaign:
   completed shard, so a killed campaign re-run with the same spec
   acquires only the missing shards;
 * **scalable** — the coprocessor simulation is pure Python and CPU
-  bound, so a process pool (not threads, which the GIL would
-  serialize) is the right executor.
+  bound, so worker processes (not threads, which the GIL would
+  serialize) are the right executor;
+* **fault-tolerant** — execution goes through
+  :class:`~repro.campaign.supervisor.ShardSupervisor`: every attempt
+  runs in its own ``spawn``-ed process under a watchdog, failures are
+  classified and retried with backoff, repeat offenders are
+  quarantined (the campaign finishes *degraded*, never dead), and
+  every event lands in the directory's ``failures.jsonl``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from typing import Optional
@@ -28,6 +33,8 @@ from typing import Optional
 import numpy as np
 
 from ..power.simulator import PowerTraceSimulator
+from .chaos import ChaosConfig
+from .errors import DATA_INTEGRITY, ScheduleMismatchError
 from .progress import (
     CampaignMetrics,
     CampaignReporter,
@@ -36,6 +43,7 @@ from .progress import (
 )
 from .spec import CampaignSpec, derive_rng, derive_seed
 from .store import ShardRecord, TraceStore
+from .supervisor import FailureLog, Quarantine, RetryPolicy, ShardSupervisor
 
 __all__ = ["AcquisitionEngine", "acquire_shard", "default_workers",
            "random_protocol_point"]
@@ -122,12 +130,6 @@ def acquire_shard(spec: CampaignSpec, directory: str,
     return record
 
 
-def _acquire_shard_task(args) -> dict:
-    spec_dict, directory, shard_index = args
-    return acquire_shard(CampaignSpec.from_dict(spec_dict), directory,
-                         shard_index)
-
-
 class AcquisitionEngine:
     """Coordinates a campaign: plan, fan out, checkpoint, report.
 
@@ -139,13 +141,22 @@ class AcquisitionEngine:
         What to acquire; must match the directory's manifest when
         resuming.
     workers:
-        Process count (1 = run inline, no pool); None picks from the
-        machine's core count.
+        Process count (1 = run inline, no processes); None picks from
+        the machine's core count.
     reporter:
         Progress observer (see :mod:`repro.campaign.progress`).
     verify_resume:
         On resume, digest-check shards already on disk and re-acquire
         any that fail (slower start, but catches torn writes).
+    shard_timeout:
+        Watchdog seconds per shard attempt (worker processes only);
+        None disables the watchdog.
+    retry_policy:
+        :class:`~repro.campaign.supervisor.RetryPolicy` governing
+        backoff and quarantine; None uses the defaults.
+    chaos:
+        Optional :class:`~repro.campaign.chaos.ChaosConfig` injecting
+        seeded faults into every shard attempt (tests/CI only).
     """
 
     def __init__(
@@ -155,12 +166,22 @@ class AcquisitionEngine:
         workers: Optional[int] = None,
         reporter: Optional[CampaignReporter] = None,
         verify_resume: bool = True,
+        shard_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        chaos: Optional[ChaosConfig] = None,
     ):
         self.directory = str(directory)
         self.spec = spec
         self.workers = default_workers(workers)
         self.reporter = reporter or NullReporter()
         self.verify_resume = verify_resume
+        self.shard_timeout = shard_timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.chaos = chaos
+        self.failure_log = FailureLog(self.directory)
+        self.quarantine = Quarantine(self.directory)
+        #: "clean" or "degraded" after :meth:`run`; None before.
+        self.outcome: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -179,6 +200,7 @@ class AcquisitionEngine:
 
     def _absorb(self, store: TraceStore, record: dict) -> ShardRecord:
         """Fold one worker result into the manifest (checkpoint)."""
+        record = dict(record)
         iteration_slices = [tuple(s) for s in record.pop("iteration_slices")]
         key_bits = list(record.pop("key_bits"))
         if not store.iteration_slices:
@@ -186,9 +208,12 @@ class AcquisitionEngine:
             store.key_bits = key_bits
         elif (store.iteration_slices != iteration_slices
               or store.key_bits != key_bits):
-            raise AssertionError(
+            raise ScheduleMismatchError(
                 "shards disagree on the iteration schedule — the device "
-                "is not constant-time, or the spec changed under us"
+                "is not constant-time, or the spec changed under us",
+                shard_index=record.get("index"),
+                spec_digest=self.spec.digest(),
+                kind=DATA_INTEGRITY,
             )
         shard = ShardRecord.from_dict(record)
         store.record_shard(shard)
@@ -196,53 +221,73 @@ class AcquisitionEngine:
         return shard
 
     def run(self) -> TraceStore:
-        """Acquire every missing shard; returns the completed store."""
+        """Acquire every missing, non-quarantined shard.
+
+        Returns the store — complete, or degraded when shards are
+        quarantined (check :attr:`outcome` / ``metrics.degraded``;
+        ``campaign doctor --clear`` releases quarantined shards for
+        the next run).
+        """
         started = time.perf_counter()
         store, pending = self.plan()
         spec = self.spec
+        held = [i for i in self.quarantine.indices() if i in set(pending)]
+        attemptable = [i for i in pending if i not in set(held)]
         metrics = CampaignMetrics(
             total_shards=spec.n_shards,
             total_traces=spec.n_traces,
             skipped_shards=spec.n_shards - len(pending),
+            quarantined_shards=list(held),
         )
-        workers = min(self.workers, len(pending)) or 1
-        self.reporter.on_start(spec.n_shards, spec.n_traces, len(pending),
-                               workers)
-        if pending:
-            tasks = [(spec.to_dict(), self.directory, i) for i in pending]
-            if workers == 1:
-                results = map(_acquire_shard_task, tasks)
-                self._drain(store, results, metrics, started)
-            else:
-                with multiprocessing.get_context().Pool(workers) as pool:
-                    results = pool.imap_unordered(_acquire_shard_task, tasks)
-                    self._drain(store, results, metrics, started)
+        workers = min(self.workers, len(attemptable)) or 1
+        self.reporter.on_start(spec.n_shards, spec.n_traces,
+                               len(attemptable), workers)
+        if attemptable:
+            def on_success(record: dict, attempt: int) -> None:
+                shard = self._absorb(store, record)
+                self._note_shard(store, shard, metrics, started)
+
+            supervisor = ShardSupervisor(
+                spec, self.directory,
+                workers=workers,
+                use_processes=self.workers > 1,
+                policy=self.retry_policy,
+                chaos=self.chaos,
+                shard_timeout=self.shard_timeout,
+                on_success=on_success,
+                on_event=self.reporter.on_failure,
+            )
+            result = supervisor.run(attemptable)
+            metrics.retried_attempts = result.retried_attempts
+            metrics.failure_events = result.failure_events
+            metrics.quarantined_shards = sorted(
+                set(held) | set(result.quarantined)
+            )
         metrics.elapsed_seconds = time.perf_counter() - started
         self.metrics = metrics
+        self.outcome = "degraded" if metrics.quarantined_shards else "clean"
         self.reporter.on_finish(metrics)
         return store
 
-    def _drain(self, store, results, metrics, started) -> None:
-        for record in results:
-            shard = self._absorb(store, record)
-            metrics.acquired_shards += 1
-            metrics.acquired_traces += shard.n_traces
-            metrics.shard_walls.append(shard.wall_seconds)
-            elapsed = time.perf_counter() - started
-            done_shards = metrics.acquired_shards + metrics.skipped_shards
-            done_traces = store.n_traces_on_disk
-            rate = metrics.acquired_traces / elapsed if elapsed > 0 else 0.0
-            remaining = metrics.total_traces - done_traces
-            eta = remaining / rate if rate > 0 else float("inf")
-            self.reporter.on_shard(ShardEvent(
-                index=shard.index,
-                n_traces=shard.n_traces,
-                wall_seconds=shard.wall_seconds,
-                done_shards=done_shards,
-                total_shards=metrics.total_shards,
-                done_traces=done_traces,
-                total_traces=metrics.total_traces,
-                elapsed_seconds=elapsed,
-                traces_per_second=rate,
-                eta_seconds=eta,
-            ))
+    def _note_shard(self, store, shard, metrics, started) -> None:
+        metrics.acquired_shards += 1
+        metrics.acquired_traces += shard.n_traces
+        metrics.shard_walls.append(shard.wall_seconds)
+        elapsed = time.perf_counter() - started
+        done_shards = metrics.acquired_shards + metrics.skipped_shards
+        done_traces = store.n_traces_on_disk
+        rate = metrics.acquired_traces / elapsed if elapsed > 0 else 0.0
+        remaining = metrics.total_traces - done_traces
+        eta = remaining / rate if rate > 0 else float("inf")
+        self.reporter.on_shard(ShardEvent(
+            index=shard.index,
+            n_traces=shard.n_traces,
+            wall_seconds=shard.wall_seconds,
+            done_shards=done_shards,
+            total_shards=metrics.total_shards,
+            done_traces=done_traces,
+            total_traces=metrics.total_traces,
+            elapsed_seconds=elapsed,
+            traces_per_second=rate,
+            eta_seconds=eta,
+        ))

@@ -1,0 +1,106 @@
+"""Typed campaign failures and the shard-failure taxonomy.
+
+A multi-hour acquisition campaign fails in qualitatively different
+ways, and the supervisor's policy hangs off that difference:
+
+* **transient** — the *environment* hiccuped: a worker process died
+  without delivering a result, a watchdog killed a hung worker, an
+  OS-level I/O error.  Nothing about the shard itself is suspect, so
+  these earn the most retries.
+* **deterministic** — the *task* raised: the same spec and shard index
+  will, barring cosmic luck, raise again.  One confirmation retry
+  distinguishes "looked deterministic but was not" from a real bug,
+  then the shard is quarantined so the rest of the campaign can
+  finish.
+* **data_integrity** — the worker reported success but the bytes on
+  disk do not match the digests it computed (torn write, disk error,
+  or an injected chaos corruption).  The files are untrustworthy but
+  a rewrite usually fixes it, so these retry like transients.
+
+Every failure path raises (or logs) with enough identity to act on:
+the shard index and the campaign spec digest, so a log line from a
+directory full of campaigns is never ambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["CampaignError", "ScheduleMismatchError", "PartialStoreError",
+           "TRANSIENT", "DETERMINISTIC", "DATA_INTEGRITY", "FAILURE_KINDS",
+           "classify_exception"]
+
+#: A failure the environment caused; the shard is fine — retry freely.
+TRANSIENT = "transient"
+#: A failure the task raised; likely to repeat — retry once, then quarantine.
+DETERMINISTIC = "deterministic"
+#: The worker said "done" but the bytes disagree — rewrite and retry.
+DATA_INTEGRITY = "data_integrity"
+
+FAILURE_KINDS = (TRANSIENT, DETERMINISTIC, DATA_INTEGRITY)
+
+
+class CampaignError(RuntimeError):
+    """A campaign-level failure with shard and spec identity attached.
+
+    ``shard_index`` and ``spec_digest`` are optional because some
+    failures are campaign-wide (e.g. refusing a partial store); when
+    present they are appended to the message so the plain ``str(exc)``
+    a CLI prints is self-contained.
+    """
+
+    def __init__(self, message: str, *,
+                 shard_index: Optional[int] = None,
+                 spec_digest: Optional[str] = None,
+                 kind: Optional[str] = None):
+        if kind is not None and kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        context = []
+        if shard_index is not None:
+            context.append(f"shard {shard_index}")
+        if spec_digest is not None:
+            context.append(f"spec {spec_digest}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.spec_digest = spec_digest
+        self.kind = kind
+
+
+class ScheduleMismatchError(CampaignError):
+    """Shards disagree on the ladder iteration schedule.
+
+    Either the device under test is not constant-time (a finding in
+    itself) or the spec changed underneath a resumed campaign; both
+    invalidate the whole store, so this is fatal, not retryable.
+    """
+
+
+class PartialStoreError(CampaignError):
+    """An attack refused an incomplete store without ``allow_partial``.
+
+    Statistics silently computed over a subset of the planned traces
+    are how wrong side-channel conclusions get published; degrading
+    must be an explicit caller decision.
+    """
+
+
+#: Exception type names (from a worker, possibly another process, so
+#: names not classes) whose cause is plausibly environmental.
+_TRANSIENT_TYPE_NAMES = frozenset({
+    "OSError", "IOError", "PermissionError", "BlockingIOError",
+    "InterruptedError", "TimeoutError", "ConnectionError",
+    "ConnectionResetError", "BrokenPipeError", "EOFError", "MemoryError",
+})
+
+
+def classify_exception(type_name: str) -> str:
+    """Failure kind for an exception a shard task raised.
+
+    Takes the type *name* because worker exceptions cross a process
+    boundary as strings, never as live objects.
+    """
+    if type_name in _TRANSIENT_TYPE_NAMES:
+        return TRANSIENT
+    return DETERMINISTIC

@@ -44,6 +44,14 @@ class CampaignMetrics:
     skipped_shards: int = 0      # already on disk (resume)
     elapsed_seconds: float = 0.0
     shard_walls: list = dataclass_field(default_factory=list)
+    retried_attempts: int = 0    # failed attempts that were retried
+    failure_events: int = 0      # every failure, retried or not
+    quarantined_shards: list = dataclass_field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the campaign finished without full coverage."""
+        return bool(self.quarantined_shards)
 
     @property
     def traces_per_second(self) -> float:
@@ -64,6 +72,10 @@ class CampaignMetrics:
             f"{self.elapsed_seconds:.2f}s = "
             f"{self.traces_per_second:.1f} traces/s"
             + (f"; per-shard wall [{walls}]" if self.shard_walls else "")
+            + (f"; {self.retried_attempts} retried attempt(s)"
+               if self.retried_attempts else "")
+            + (f"; QUARANTINED shards {self.quarantined_shards}"
+               if self.quarantined_shards else "")
         )
 
 
@@ -77,8 +89,14 @@ class CampaignReporter:
     def on_shard(self, event: ShardEvent) -> None:
         """One shard finished and was checkpointed."""
 
+    def on_failure(self, event) -> None:
+        """One shard attempt failed (a
+        :class:`~repro.campaign.supervisor.FailureEvent`): it was
+        retried or the shard was quarantined."""
+
     def on_finish(self, metrics: CampaignMetrics) -> None:
-        """Acquisition finished (every planned shard on disk)."""
+        """Acquisition finished — clean, or degraded when
+        ``metrics.quarantined_shards`` is non-empty."""
 
 
 class NullReporter(CampaignReporter):
@@ -91,6 +109,7 @@ class CollectingReporter(CampaignReporter):
     def __init__(self):
         self.started: list = []
         self.events: list = []
+        self.failures: list = []
         self.finished: list = []
 
     def on_start(self, total_shards, total_traces, pending_shards, workers):
@@ -100,6 +119,9 @@ class CollectingReporter(CampaignReporter):
 
     def on_shard(self, event: ShardEvent) -> None:
         self.events.append(event)
+
+    def on_failure(self, event) -> None:
+        self.failures.append(event)
 
     def on_finish(self, metrics: CampaignMetrics) -> None:
         self.finished.append(metrics)
@@ -130,6 +152,17 @@ class ConsoleReporter(CampaignReporter):
             f"{event.done_traces}/{event.total_traces} traces | "
             f"{event.traces_per_second:.1f} traces/s | "
             f"ETA {event.eta_seconds:.0f}s"
+        )
+
+    def on_failure(self, event) -> None:
+        if event.action == "retry":
+            outcome = f"retry in {event.delay_seconds:.2f}s"
+        else:
+            outcome = "QUARANTINED"
+        self._emit(
+            f"[campaign] shard {event.shard_index:>4} attempt "
+            f"{event.attempt + 1} failed ({event.kind}: {event.reason}) "
+            f"— {outcome}"
         )
 
     def on_finish(self, metrics: CampaignMetrics) -> None:

@@ -19,6 +19,7 @@ rather than Python's ``hash`` (randomized per process) or ad-hoc
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import asdict, dataclass, field as dataclass_field
 
@@ -188,6 +189,15 @@ class CampaignSpec:
         if d["key"] is not None:
             d["key"] = hex(d["key"])
         return d
+
+    def digest(self) -> str:
+        """Short stable fingerprint of this design point.
+
+        Stamped into failure logs and error messages so an event can
+        always be traced back to the exact spec that produced it.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, d: dict) -> "CampaignSpec":

@@ -38,15 +38,16 @@ from typing import Iterator, Optional
 import numpy as np
 
 from ..ec.point import AffinePoint
+from .errors import DATA_INTEGRITY, CampaignError
 from .spec import SCHEMA_VERSION, CampaignSpec
 
 __all__ = ["ShardRecord", "ShardView", "TraceStore", "CorruptShardError",
-           "file_digest"]
+           "CoverageReport", "file_digest"]
 
 MANIFEST_NAME = "manifest.json"
 
 
-class CorruptShardError(RuntimeError):
+class CorruptShardError(CampaignError):
     """A shard file does not match its manifest digest."""
 
 
@@ -94,6 +95,46 @@ class ShardRecord:
     @classmethod
     def from_dict(cls, d: dict) -> "ShardRecord":
         return cls(**d)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Partial-completeness accounting for one campaign directory.
+
+    The graceful-degradation contract hangs off this: a degraded
+    campaign (quarantined or missing shards) still supports streaming
+    attacks under ``allow_partial``, and this report states exactly
+    which shards — and how many traces — back any statistic computed
+    from the store.
+    """
+
+    n_shards_planned: int
+    n_traces_planned: int
+    completed_shards: tuple
+    missing_shards: tuple
+    n_traces_on_disk: int
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.missing_shards
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction of the planned traces (0.0–1.0)."""
+        if self.n_traces_planned <= 0:
+            return 0.0
+        return self.n_traces_on_disk / self.n_traces_planned
+
+    def render(self) -> str:
+        """One-line human summary."""
+        text = (
+            f"{self.n_traces_on_disk}/{self.n_traces_planned} traces "
+            f"({len(self.completed_shards)}/{self.n_shards_planned} "
+            f"shards, {100.0 * self.fraction:.1f}%)"
+        )
+        if self.missing_shards:
+            text += f"; missing shards {list(self.missing_shards)}"
+        return text
 
 
 @dataclass
@@ -159,13 +200,32 @@ class TraceStore:
                     "campaign directory already holds a different spec; "
                     "refusing to mix campaigns in one directory"
                 )
+            self.sweep_stale_tmp()
             return
         os.makedirs(self.directory, exist_ok=True)
+        self.sweep_stale_tmp()
         self.spec = spec
         self._shards = {}
         self.iteration_slices = []
         self.key_bits = []
         self.save_manifest()
+
+    def sweep_stale_tmp(self) -> list:
+        """Delete ``*.tmp`` débris left by crashed writers.
+
+        Runs before any worker starts (initialize happens in the
+        coordinator), so every ``.tmp`` present is an orphan from a
+        killed process — never in-flight data — and must go before it
+        can be mistaken for shard content.  Returns the removed names.
+        """
+        removed = []
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
+                removed.append(name)
+        return removed
 
     def load(self) -> "TraceStore":
         """Read the manifest; returns self for chaining."""
@@ -300,6 +360,24 @@ class TraceStore:
         for index in indices:
             self._shards.pop(index, None)
 
+    def coverage(self, verify_digests: bool = False) -> CoverageReport:
+        """Partial-completeness accounting of what is (validly) on disk."""
+        missing = self.missing_shards(verify_digests=verify_digests)
+        missing_set = set(missing)
+        completed = tuple(
+            index for index in sorted(self._shards)
+            if index not in missing_set
+        )
+        return CoverageReport(
+            n_shards_planned=self.spec.n_shards,
+            n_traces_planned=self.spec.n_traces,
+            completed_shards=completed,
+            missing_shards=tuple(missing),
+            n_traces_on_disk=sum(
+                self._shards[i].n_traces for i in completed
+            ),
+        )
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -309,7 +387,9 @@ class TraceStore:
         if actual != expected:
             raise CorruptShardError(
                 f"{os.path.basename(path)}: digest {actual[:16]}... does "
-                f"not match manifest {expected[:16]}..."
+                f"not match manifest {expected[:16]}...",
+                spec_digest=None if self.spec is None else self.spec.digest(),
+                kind=DATA_INTEGRITY,
             )
 
     def open_samples(self, index: int, verify: bool = False) -> np.ndarray:

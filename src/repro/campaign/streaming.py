@@ -24,10 +24,20 @@ Statistical equivalence to the batch code is exact, not approximate:
 
 Decisions come back as the same :class:`~repro.sca.dpa.BitDecision` /
 :class:`~repro.sca.dpa.DpaResult` types the batch attacks return.
+
+**Partial stores.**  A degraded campaign (quarantined or missing
+shards) is still attackable, but only *explicitly*: every adapter
+refuses an incomplete store with
+:class:`~repro.campaign.errors.PartialStoreError` unless the caller
+passes ``allow_partial=True``, and every attack records an
+:class:`AttackProvenance` stating exactly which shards — and how many
+traces — backed the statistics it produced.  Silent subsetting is how
+wrong side-channel conclusions get published.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -36,10 +46,69 @@ from ..sca.dpa import BitDecision, DpaResult
 from ..sca.predict import ActivityPredictor
 from ..sca.spa import SpaResult, transition_spa
 from ..sca.ttest import TVLA_THRESHOLD, TvlaReport
+from .errors import PartialStoreError
 from .store import TraceStore
 
-__all__ = ["OnlineMoments", "StreamingDpa", "StreamingCpa",
-           "streaming_average_trace", "streaming_spa", "streaming_tvla"]
+__all__ = ["AttackProvenance", "OnlineMoments", "StreamingDpa",
+           "StreamingCpa", "store_provenance", "streaming_average_trace",
+           "streaming_spa", "streaming_tvla"]
+
+
+@dataclass(frozen=True)
+class AttackProvenance:
+    """Exactly which data backed a streamed statistic."""
+
+    shard_indices: tuple
+    n_traces: int
+    n_traces_planned: int
+
+    @property
+    def partial(self) -> bool:
+        return self.n_traces < self.n_traces_planned
+
+    def describe(self) -> str:
+        text = (f"{self.n_traces} trace(s) from shard(s) "
+                f"{list(self.shard_indices)} of {self.n_traces_planned} "
+                "planned")
+        if self.partial:
+            text += " — PARTIAL coverage"
+        return text
+
+
+def store_provenance(store: TraceStore,
+                     max_traces: Optional[int] = None) -> AttackProvenance:
+    """Provenance of a streamed pass over ``store``.
+
+    Mirrors :meth:`TraceStore.iter_shards` exactly: completed shards
+    in index order, truncated after ``max_traces``.
+    """
+    indices, used = [], 0
+    for record in store.shard_records:
+        if max_traces is not None and used >= max_traces:
+            break
+        take = record.n_traces
+        if max_traces is not None:
+            take = min(take, max_traces - used)
+        indices.append(record.index)
+        used += take
+    return AttackProvenance(
+        shard_indices=tuple(indices),
+        n_traces=used,
+        n_traces_planned=store.spec.n_traces,
+    )
+
+
+def _require_complete(store: TraceStore, allow_partial: bool,
+                      what: str) -> None:
+    coverage = store.coverage()
+    if coverage.is_complete or allow_partial:
+        return
+    raise PartialStoreError(
+        f"refusing {what} on an incomplete store — {coverage.render()}; "
+        "pass allow_partial=True (CLI: --allow-partial) to accept "
+        "degraded statistics",
+        spec_digest=store.spec.digest(),
+    )
 
 
 class OnlineMoments:
@@ -110,14 +179,23 @@ def _prediction_gap_blocks(store, predictor, bit_index, prefix,
 
 
 class _StreamingLadderAttack:
-    """Shared recover-bits / disclosure-sweep driver."""
+    """Shared recover-bits / disclosure-sweep driver.
+
+    ``allow_partial=False`` (the default) refuses an incomplete store;
+    after any ``recover_bits`` call, :attr:`last_provenance` states
+    which shards and traces backed the decisions.
+    """
 
     def __init__(self, store: TraceStore,
-                 use_stored_randomness: bool = False):
+                 use_stored_randomness: bool = False,
+                 allow_partial: bool = False):
+        _require_complete(store, allow_partial, type(self).__name__)
         self.store = store
         self.coprocessor = store.spec.build_coprocessor()
         self.predictor = ActivityPredictor(self.coprocessor)
         self.use_stored_randomness = use_stored_randomness
+        self.allow_partial = allow_partial
+        self.last_provenance: Optional[AttackProvenance] = None
 
     def attack_bit(self, bit_index: int, known_prefix: list,
                    max_traces: Optional[int] = None) -> BitDecision:
@@ -138,6 +216,7 @@ class _StreamingLadderAttack:
             decision = self.attack_bit(bit_index, prefix, max_traces)
             decisions.append(decision)
             prefix.append(decision.chosen)
+        self.last_provenance = store_provenance(self.store, max_traces)
         return DpaResult(decisions)
 
     def _significance_threshold(self, n: int) -> float:
@@ -163,8 +242,9 @@ class StreamingDpa(_StreamingLadderAttack):
     """
 
     def __init__(self, store: TraceStore, min_partition: int = 5,
-                 use_stored_randomness: bool = False):
-        super().__init__(store, use_stored_randomness)
+                 use_stored_randomness: bool = False,
+                 allow_partial: bool = False):
+        super().__init__(store, use_stored_randomness, allow_partial)
         if min_partition < 1:
             raise ValueError("min_partition must be positive")
         self.min_partition = min_partition
@@ -291,8 +371,10 @@ class StreamingCpa(_StreamingLadderAttack):
 # ----------------------------------------------------------------------
 
 def streaming_average_trace(store: TraceStore,
-                            max_traces: Optional[int] = None) -> np.ndarray:
+                            max_traces: Optional[int] = None,
+                            allow_partial: bool = False) -> np.ndarray:
     """Campaign-average trace via a running sum (full trace width)."""
+    _require_complete(store, allow_partial, "streaming_average_trace")
     total = None
     count = 0
     for view in store.iter_shards(max_traces=max_traces):
@@ -307,21 +389,27 @@ def streaming_average_trace(store: TraceStore,
 
 def streaming_spa(store: TraceStore,
                   max_traces: Optional[int] = None,
-                  window_size: int = 1) -> SpaResult:
+                  window_size: int = 1,
+                  allow_partial: bool = False) -> SpaResult:
     """Clustering SPA on the campaign-average trace."""
-    averaged = streaming_average_trace(store, max_traces)
+    averaged = streaming_average_trace(store, max_traces,
+                                       allow_partial=allow_partial)
     return transition_spa(averaged, list(store.iteration_slices),
                           list(store.key_bits), window_size=window_size)
 
 
 def streaming_tvla(fixed_store: TraceStore, random_store: TraceStore,
                    columns: Optional[tuple] = None,
-                   threshold: float = TVLA_THRESHOLD) -> TvlaReport:
+                   threshold: float = TVLA_THRESHOLD,
+                   allow_partial: bool = False) -> TvlaReport:
     """Fixed-vs-random Welch t-test between two stores, streamed.
 
     ``columns`` restricts the test to a cycle window (e.g. the
     secret-dependent cycles); default is the full trace width.
     """
+    _require_complete(fixed_store, allow_partial, "streaming_tvla")
+    _require_complete(random_store, allow_partial, "streaming_tvla")
+
     def moments(store: TraceStore) -> OnlineMoments:
         acc = None
         for view in store.iter_shards(columns=columns):

@@ -10,20 +10,37 @@ script:
 * ``evaluate``  — the white-box attack battery (optionally against the
   unprotected strawman),
 * ``campaign``  — the trace-acquisition and attack-campaign engine
-  (``acquire`` / ``status`` / ``attack`` on a campaign directory).
+  (``acquire`` / ``status`` / ``attack`` / ``doctor`` on a campaign
+  directory).
 
 Every command returns its report as a string (and prints it), so the
 CLI is testable without subprocesses.
+
+Campaign exit codes form a small contract for scripts and CI:
+
+* ``0`` — clean (full coverage, attack ran, status printed);
+* ``1`` — failed (a :class:`~repro.campaign.errors.CampaignError`:
+  integrity violation, schedule mismatch, refused partial store);
+* ``3`` — degraded (acquisition finished but shards are quarantined);
+* ``130`` — interrupted (Ctrl-C; progress is checkpointed and the
+  resume command is printed).
 """
 
 from __future__ import annotations
 
 import argparse
 import random
+import sys
 
 __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_evaluate", "cmd_campaign_acquire", "cmd_campaign_status",
-           "cmd_campaign_attack"]
+           "cmd_campaign_attack", "cmd_campaign_doctor",
+           "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_DEGRADED = 3
+EXIT_INTERRUPTED = 130
 
 
 def cmd_info() -> str:
@@ -144,26 +161,62 @@ def _campaign_spec_from_args(args) -> "object":
 
 
 def cmd_campaign_acquire(directory: str, spec, workers=None,
-                         quiet: bool = False) -> str:
-    """Acquire (or resume) a campaign into ``directory``."""
-    from .campaign import AcquisitionEngine, ConsoleReporter, NullReporter
+                         quiet: bool = False, shard_timeout=None,
+                         max_attempts=None, chaos: str = None,
+                         chaos_seed: int = 0,
+                         chaos_shards=None) -> tuple:
+    """Acquire (or resume) a campaign into ``directory``.
+
+    Returns ``(report, exit_code)`` — ``EXIT_OK`` on full coverage,
+    ``EXIT_DEGRADED`` when shards ended up quarantined.
+    """
+    from .campaign import AcquisitionEngine, ChaosConfig, ConsoleReporter, \
+        NullReporter, RetryPolicy
 
     reporter = NullReporter() if quiet else ConsoleReporter()
+    policy = None
+    if max_attempts is not None:
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            deterministic_attempts=min(
+                max_attempts, RetryPolicy.deterministic_attempts
+            ),
+        )
+    chaos_config = None
+    if chaos:
+        chaos_config = ChaosConfig.parse(chaos, seed=chaos_seed,
+                                         only_shards=chaos_shards)
     engine = AcquisitionEngine(directory, spec, workers=workers,
-                               reporter=reporter)
+                               reporter=reporter,
+                               shard_timeout=shard_timeout,
+                               retry_policy=policy,
+                               chaos=chaos_config)
     store = engine.run()
     m = engine.metrics
-    return (
+    lines = [
         f"campaign {directory}: {store.n_traces_on_disk}/"
         f"{spec.n_traces} traces on disk "
-        f"({len(store.shard_records)} shard(s))\n"
-        + m.summary()
-    )
+        f"({len(store.shard_records)} shard(s))",
+        m.summary(),
+    ]
+    if m.degraded:
+        lines += [
+            f"DEGRADED: shard(s) {m.quarantined_shards} quarantined — "
+            f"failure log at {engine.failure_log.path}",
+            f"inspect with:   python -m repro campaign doctor "
+            f"--dir {directory}",
+            f"then retry via: python -m repro campaign doctor "
+            f"--dir {directory} --clear  (and re-run acquire)",
+        ]
+        return "\n".join(lines), EXIT_DEGRADED
+    return "\n".join(lines), EXIT_OK
 
 
 def cmd_campaign_status(directory: str) -> str:
     """Manifest summary: progress, throughput, integrity."""
     from .campaign import TraceStore
+
+    from .campaign.supervisor import FailureLog, Quarantine
 
     store = TraceStore(directory)
     if not store.exists:
@@ -180,8 +233,25 @@ def cmd_campaign_status(directory: str) -> str:
         f"  traces: {store.n_traces_on_disk}/{spec.n_traces} "
         f"({len(store.shard_records)}/{spec.n_shards} shards, "
         f"shard size {spec.shard_size})",
+        f"  coverage: {store.coverage().render()}",
         f"  missing shards: {missing if missing else 'none — complete'}",
     ]
+    quarantined = Quarantine(directory).entries()
+    if quarantined:
+        lines.append(
+            f"  quarantined shards: {sorted(quarantined)} "
+            f"(release with `campaign doctor --clear`)"
+        )
+    log = FailureLog(directory)
+    if log.exists:
+        tally = log.tally()
+        kinds = ", ".join(f"{k}={n}" for k, n in
+                          sorted(tally["by_kind"].items()))
+        lines.append(
+            f"  failures: {kinds or 'none'} "
+            f"({tally['retries']} retried, "
+            f"{tally['quarantines']} quarantined) — {log.path}"
+        )
     if walls:
         lines.append(
             f"  acquisition wall: {sum(walls):.2f}s total, "
@@ -191,12 +261,70 @@ def cmd_campaign_status(directory: str) -> str:
     return "\n".join(lines)
 
 
+def cmd_campaign_doctor(directory: str, clear: bool = False,
+                        last: int = 10) -> str:
+    """Inspect (and optionally repair) a campaign's failure state.
+
+    Prints the failure-log tally, the ``last`` most recent events and
+    the quarantine roster; ``--clear`` releases quarantined shards so
+    the next ``acquire`` retries them.
+    """
+    from .campaign.supervisor import FailureLog, Quarantine
+
+    log = FailureLog(directory)
+    quarantine = Quarantine(directory)
+    lines = [f"campaign {directory}: doctor report"]
+    if not log.exists and not quarantine.entries():
+        lines.append("  no recorded failures — campaign is healthy")
+        return "\n".join(lines)
+    events = log.events()
+    tally = log.tally()
+    kinds = ", ".join(f"{k}={n}" for k, n in sorted(tally["by_kind"].items()))
+    lines.append(
+        f"  {len(events)} failure event(s): {kinds or 'none'} "
+        f"({tally['retries']} retried, {tally['quarantines']} quarantined)"
+    )
+    for event in events[-last:]:
+        lines.append(
+            f"    shard {event['shard']} attempt {event['attempt'] + 1} "
+            f"[{event['kind']}] {event['action']}: {event['reason']}"
+        )
+    entries = quarantine.entries()
+    if entries:
+        for index in sorted(entries):
+            entry = entries[index]
+            lines.append(
+                f"  quarantined shard {index}: {entry['kind']} after "
+                f"{entry['attempts']} attempt(s) — {entry['reason']}"
+            )
+        if clear:
+            released = quarantine.clear()
+            lines.append(
+                f"  cleared quarantine for shard(s) {released} — "
+                "re-run `campaign acquire` to retry them"
+            )
+        else:
+            lines.append(
+                "  pass --clear to release them for the next acquire"
+            )
+    else:
+        lines.append("  quarantine: empty")
+    return "\n".join(lines)
+
+
 def cmd_campaign_attack(directory: str, attack: str = "dpa",
                         bits: int = 2, grid=None,
-                        verify: bool = False) -> str:
-    """Run a streaming attack over an acquired campaign."""
+                        verify: bool = False,
+                        allow_partial: bool = False) -> str:
+    """Run a streaming attack over an acquired campaign.
+
+    Attacks refuse incomplete stores unless ``allow_partial`` is set,
+    in which case the report states exactly which shards and traces
+    backed the statistics (see
+    :class:`~repro.campaign.streaming.AttackProvenance`).
+    """
     from .campaign import StreamingCpa, StreamingDpa, TraceStore, \
-        streaming_spa
+        store_provenance, streaming_spa
 
     store = TraceStore(directory).load()
     if verify:
@@ -210,16 +338,18 @@ def cmd_campaign_attack(directory: str, attack: str = "dpa",
         + ")"
     )
     if attack == "spa":
-        result = streaming_spa(store)
+        result = streaming_spa(store, allow_partial=allow_partial)
         return (
             f"{header}\n"
+            f"provenance: {store_provenance(store).describe()}\n"
             f"recovered {len(result.recovered_bits)} ladder bits with "
             f"{result.bit_errors} errors from the averaged trace"
         )
     cls = {"dpa": StreamingDpa, "cpa": StreamingCpa}.get(attack)
     if cls is None:
         raise ValueError(f"unknown attack {attack!r}")
-    engine = cls(store, use_stored_randomness=use_z)
+    engine = cls(store, use_stored_randomness=use_z,
+                 allow_partial=allow_partial)
     lines = [header]
     if grid:
         disclosure = engine.traces_to_disclosure(bits, grid)
@@ -227,6 +357,8 @@ def cmd_campaign_attack(directory: str, attack: str = "dpa",
             f"traces to disclosure over grid {sorted(grid)}: {disclosure}"
         )
     result = engine.recover_bits(bits)
+    if engine.last_provenance is not None:
+        lines.append(f"provenance: {engine.last_provenance.describe()}")
     lines.append(
         f"{result.num_correct}/{bits} bits recovered "
         f"(chosen {result.recovered_bits}, truth {result.true_bits})"
@@ -285,6 +417,18 @@ def main(argv=None) -> int:
                          help="acquire full point multiplications")
     acquire.add_argument("--noise", type=float, default=38.0)
     acquire.add_argument("--quiet", action="store_true")
+    acquire.add_argument("--shard-timeout", type=float, default=None,
+                         help="watchdog seconds per shard attempt "
+                              "(worker processes only)")
+    acquire.add_argument("--max-attempts", type=int, default=None,
+                         help="attempts per shard before quarantine")
+    acquire.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="inject deterministic faults, e.g. "
+                              "'crash=0.4,corrupt=0.25' (tests/CI only)")
+    acquire.add_argument("--chaos-seed", type=int, default=0)
+    acquire.add_argument("--chaos-shards", default=None,
+                         help="comma-separated shard indices the chaos "
+                              "faults apply to (default: all)")
 
     status = verbs.add_parser("status", help="manifest summary")
     status.add_argument("--dir", required=True)
@@ -299,6 +443,18 @@ def main(argv=None) -> int:
                         help="comma-separated traces-to-disclosure grid")
     attack.add_argument("--verify", action="store_true",
                         help="digest-check every shard before reading")
+    attack.add_argument("--allow-partial", action="store_true",
+                        help="attack an incomplete store (the report "
+                             "states which shards backed the statistics)")
+
+    doctor = verbs.add_parser(
+        "doctor", help="inspect failures.jsonl and the quarantine"
+    )
+    doctor.add_argument("--dir", required=True)
+    doctor.add_argument("--clear", action="store_true",
+                        help="release quarantined shards for re-acquire")
+    doctor.add_argument("--last", type=int, default=10,
+                        help="failure events to show (most recent)")
 
     args = parser.parse_args(argv)
 
@@ -311,25 +467,65 @@ def main(argv=None) -> int:
     elif args.command == "listing":
         output = cmd_listing(limit=args.limit)
     elif args.command == "campaign":
+        return _campaign_main(args, argv if argv is not None
+                              else sys.argv[1:])
+    else:
+        output = cmd_evaluate(weak=args.weak, traces=args.traces,
+                              seed=args.seed)
+    _print(output)
+    return EXIT_OK
+
+
+def _print(output: str) -> None:
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. piped into `head`
+        pass
+
+
+def _campaign_main(args, argv) -> int:
+    """Dispatch a ``campaign`` verb under the exit-code contract."""
+    from .campaign import CampaignError
+
+    code = EXIT_OK
+    try:
         if args.verb == "acquire":
-            output = cmd_campaign_acquire(
+            chaos_shards = None
+            if args.chaos_shards:
+                chaos_shards = [int(s) for s in
+                                args.chaos_shards.split(",") if s]
+            output, code = cmd_campaign_acquire(
                 args.dir, _campaign_spec_from_args(args),
                 workers=args.workers, quiet=args.quiet,
+                shard_timeout=args.shard_timeout,
+                max_attempts=args.max_attempts,
+                chaos=args.chaos, chaos_seed=args.chaos_seed,
+                chaos_shards=chaos_shards,
             )
         elif args.verb == "status":
             output = cmd_campaign_status(args.dir)
+        elif args.verb == "doctor":
+            output = cmd_campaign_doctor(args.dir, clear=args.clear,
+                                         last=args.last)
         else:
             grid = None
             if args.grid:
                 grid = [int(g) for g in args.grid.split(",") if g]
             output = cmd_campaign_attack(args.dir, attack=args.attack,
                                          bits=args.bits, grid=grid,
-                                         verify=args.verify)
-    else:
-        output = cmd_evaluate(weak=args.weak, traces=args.traces,
-                              seed=args.seed)
-    try:
-        print(output)
-    except BrokenPipeError:  # e.g. piped into `head`
-        pass
-    return 0
+                                         verify=args.verify,
+                                         allow_partial=args.allow_partial)
+    except KeyboardInterrupt:
+        resume = " ".join(argv) if argv else "<the same command>"
+        print(
+            "\ninterrupted — progress up to the last completed shard is "
+            "checkpointed in the manifest;\n"
+            f"resume with: python -m repro {resume}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code

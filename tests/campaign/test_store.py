@@ -145,6 +145,57 @@ class TestCorruption:
         assert [r.samples_sha256 for r in resumed.shard_records] == good
 
 
+class TestCoverage:
+    def test_complete_store(self, unprotected_store):
+        coverage = unprotected_store.coverage()
+        assert coverage.is_complete
+        assert coverage.fraction == 1.0
+        assert coverage.missing_shards == ()
+        assert coverage.completed_shards == (0, 1, 2)
+        assert "24/24 traces" in coverage.render()
+        assert "missing" not in coverage.render()
+
+    def test_partial_store(self, tmp_path):
+        spec = CampaignSpec(n_traces=8, shard_size=4,
+                            scenario="unprotected", max_iterations=2,
+                            seed=6)
+        store = AcquisitionEngine(str(tmp_path), spec, workers=1).run()
+        os.remove(os.path.join(store.directory,
+                               store.shard_records[0].samples_file))
+        coverage = TraceStore(store.directory).load().coverage()
+        assert not coverage.is_complete
+        assert coverage.missing_shards == (0,)
+        assert coverage.fraction == pytest.approx(0.5)
+        assert "missing shards [0]" in coverage.render()
+
+
+class TestTmpSweep:
+    def test_initialize_sweeps_stale_tmp_files(self, tmp_path):
+        spec = CampaignSpec(n_traces=4, shard_size=2,
+                            scenario="unprotected", max_iterations=2,
+                            seed=7)
+        store = AcquisitionEngine(str(tmp_path), spec, workers=1).run()
+        stale = os.path.join(store.directory,
+                             "shard-00000.samples.npy.tmp")
+        with open(stale, "wb") as f:
+            f.write(b"torn write debris")
+
+        fresh = TraceStore(store.directory)
+        fresh.initialize(spec)
+        assert not os.path.exists(stale)
+        # The sweep touched only the débris; the store still verifies.
+        fresh.verify_all()
+
+    def test_sweep_reports_what_it_removed(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        os.makedirs(str(tmp_path), exist_ok=True)
+        for name in ("a.tmp", "b.tmp"):
+            with open(os.path.join(str(tmp_path), name), "wb") as f:
+                f.write(b"x")
+        assert sorted(store.sweep_stale_tmp()) == ["a.tmp", "b.tmp"]
+        assert store.sweep_stale_tmp() == []
+
+
 class TestDigest:
     def test_file_digest_matches_hashlib(self, tmp_path):
         import hashlib

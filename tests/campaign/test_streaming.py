@@ -9,9 +9,14 @@ import numpy as np
 import pytest
 
 from repro.campaign import (
+    AcquisitionEngine,
+    CampaignSpec,
     OnlineMoments,
+    PartialStoreError,
     StreamingCpa,
     StreamingDpa,
+    TraceStore,
+    store_provenance,
     streaming_average_trace,
     streaming_spa,
     streaming_tvla,
@@ -166,3 +171,79 @@ class TestTvlaEquivalence:
         assert streamed.num_leaky_samples == batch.num_leaky_samples
         assert streamed.n_samples == batch.n_samples
         assert streamed.leaks == batch.leaks
+
+
+@pytest.fixture(scope="module")
+def partial_store(tmp_path_factory):
+    """A 3-shard campaign with the middle shard lost (12 -> 8 traces)."""
+    directory = tmp_path_factory.mktemp("campaign-partial")
+    spec = CampaignSpec(n_traces=12, shard_size=4, scenario="unprotected",
+                        max_iterations=3, seed=13, noise_sigma=38.0)
+    store = AcquisitionEngine(str(directory), spec, workers=1).run()
+    store.forget_shards([1])
+    store.save_manifest()
+    return TraceStore(str(directory)).load()
+
+
+class TestPartialStores:
+    """Attacks must refuse incomplete stores unless told otherwise —
+    and then report exactly which shards backed the statistics."""
+
+    def test_attacks_refuse_partial_stores_by_default(self, partial_store):
+        with pytest.raises(PartialStoreError, match="allow_partial"):
+            StreamingDpa(partial_store)
+        with pytest.raises(PartialStoreError):
+            StreamingCpa(partial_store)
+        with pytest.raises(PartialStoreError):
+            streaming_average_trace(partial_store)
+        with pytest.raises(PartialStoreError):
+            streaming_spa(partial_store)
+
+    def test_tvla_checks_both_stores(self, partial_store,
+                                     unprotected_store):
+        with pytest.raises(PartialStoreError):
+            streaming_tvla(partial_store, unprotected_store)
+        with pytest.raises(PartialStoreError):
+            streaming_tvla(unprotected_store, partial_store)
+        streaming_tvla(unprotected_store, partial_store,
+                       allow_partial=True)
+
+    def test_complete_store_needs_no_flag(self, unprotected_store):
+        StreamingDpa(unprotected_store)
+        streaming_spa(unprotected_store)
+
+    def test_partial_dpa_matches_batch_over_surviving_shards(
+            self, partial_store):
+        # The exact-equivalence contract holds on the partial store
+        # too: streaming over shards {0, 2} == batch over shards {0, 2}.
+        traces = partial_store.as_trace_set()
+        assert traces.n_traces == 8
+        batch = LadderDpa(
+            partial_store.spec.build_coprocessor()
+        ).recover_bits(traces, N_BITS)
+        attack = StreamingDpa(partial_store, allow_partial=True)
+        streamed = attack.recover_bits(N_BITS)
+        _decisions_match(streamed, batch)
+
+    def test_provenance_names_the_backing_shards(self, partial_store):
+        attack = StreamingDpa(partial_store, allow_partial=True)
+        assert attack.last_provenance is None
+        attack.recover_bits(N_BITS)
+        provenance = attack.last_provenance
+        assert provenance.partial
+        assert provenance.shard_indices == (0, 2)
+        assert provenance.n_traces == 8
+        assert provenance.n_traces_planned == 12
+        assert "PARTIAL" in provenance.describe()
+
+    def test_provenance_on_complete_store(self, unprotected_store):
+        provenance = store_provenance(unprotected_store)
+        assert not provenance.partial
+        assert provenance.shard_indices == (0, 1, 2)
+        assert provenance.n_traces == 24
+        assert "PARTIAL" not in provenance.describe()
+
+    def test_provenance_respects_max_traces(self, unprotected_store):
+        provenance = store_provenance(unprotected_store, max_traces=15)
+        assert provenance.n_traces == 15
+        assert provenance.shard_indices == (0, 1)

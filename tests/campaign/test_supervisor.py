@@ -1,0 +1,252 @@
+"""Supervisor recovery matrix: retry, backoff, quarantine, logging.
+
+Everything here runs the supervisor *inline* (workers=1) with injected
+flaky tasks, so the retry/quarantine/logging policy is exercised
+without spawning a single process; the process-mode half of the matrix
+(crashes, hangs, watchdog kills) lives in ``test_chaos.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    DATA_INTEGRITY,
+    DETERMINISTIC,
+    TRANSIENT,
+    CampaignError,
+    CampaignSpec,
+    ChaosConfig,
+    FailureLog,
+    PartialStoreError,
+    Quarantine,
+    RetryPolicy,
+    ScheduleMismatchError,
+    ShardSupervisor,
+    classify_exception,
+)
+from repro.campaign.supervisor import FailureEvent, run_shard_attempt
+
+SPEC = CampaignSpec(n_traces=4, shard_size=2, scenario="unprotected",
+                    max_iterations=2, seed=21, noise_sigma=38.0)
+
+FAST = RetryPolicy(base_delay=0.0, jitter=0.0)
+
+
+class TestClassification:
+    def test_environment_errors_are_transient(self):
+        for name in ("OSError", "TimeoutError", "ConnectionResetError",
+                     "BrokenPipeError", "MemoryError"):
+            assert classify_exception(name) == TRANSIENT
+
+    def test_task_errors_are_deterministic(self):
+        for name in ("ValueError", "ChaosInjectedError", "KeyError", ""):
+            assert classify_exception(name) == DETERMINISTIC
+
+
+class TestCampaignError:
+    def test_carries_shard_and_spec_context(self):
+        err = CampaignError("boom", shard_index=3,
+                            spec_digest="cafe0123", kind=DATA_INTEGRITY)
+        assert "shard 3" in str(err)
+        assert "cafe0123" in str(err)
+        assert err.shard_index == 3
+        assert err.kind == DATA_INTEGRITY
+
+    def test_subclasses_are_campaign_errors(self):
+        assert issubclass(ScheduleMismatchError, CampaignError)
+        assert issubclass(PartialStoreError, CampaignError)
+        assert issubclass(CampaignError, RuntimeError)
+
+
+class TestRetryPolicy:
+    def test_deterministic_budget_is_smaller(self):
+        policy = RetryPolicy()
+        assert policy.attempts_for(DETERMINISTIC) == 2
+        assert policy.attempts_for(TRANSIENT) == 4
+        assert policy.attempts_for(DATA_INTEGRITY) == 4
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(0) == 1.0
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 4.0
+        assert policy.delay(3) == 5.0   # capped
+        assert policy.delay(10) == 5.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25)
+        first = policy.delay(1, shard_index=7, seed=9)
+        again = policy.delay(1, shard_index=7, seed=9)
+        assert first == again
+        assert 2.0 * 0.75 <= first <= 2.0 * 1.25
+        # Different shards desynchronize.
+        assert first != policy.delay(1, shard_index=8, seed=9)
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestFailureLog:
+    def _event(self, **overrides):
+        base = dict(shard_index=2, attempt=1, kind=TRANSIENT,
+                    reason="synthetic", action="retry",
+                    delay_seconds=0.5, wall_time=123.0,
+                    spec_digest="abcd")
+        base.update(overrides)
+        return FailureEvent(**base)
+
+    def test_events_roundtrip(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        log.append(self._event())
+        log.append(self._event(attempt=3, action="quarantine",
+                               kind=DETERMINISTIC))
+        events = log.events()
+        assert [e["attempt"] for e in events] == [1, 3]
+        assert events[0]["shard"] == 2
+        assert events[0]["spec_digest"] == "abcd"
+        tally = log.tally()
+        assert tally["retries"] == 1
+        assert tally["quarantines"] == 1
+        assert tally["by_kind"] == {TRANSIENT: 1, DETERMINISTIC: 1}
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        for attempt in range(3):
+            log.append(self._event(attempt=attempt))
+        with open(log.path) as f:
+            for line in f:
+                json.loads(line)
+
+    def test_tolerates_torn_final_line(self, tmp_path):
+        log = FailureLog(str(tmp_path))
+        log.append(self._event())
+        with open(log.path, "a") as f:
+            f.write('{"shard": 9, "attempt"')   # crashed mid-append
+        assert len(log.events()) == 1
+        assert log.tally()["retries"] == 1
+
+
+class TestQuarantine:
+    def test_persists_across_instances(self, tmp_path):
+        Quarantine(str(tmp_path)).add(4, kind=TRANSIENT,
+                                      reason="kept failing", attempts=4)
+        fresh = Quarantine(str(tmp_path))
+        assert fresh.indices() == [4]
+        entry = fresh.entries()[4]
+        assert entry["kind"] == TRANSIENT
+        assert entry["attempts"] == 4
+
+    def test_clear_releases_and_removes_file(self, tmp_path):
+        quarantine = Quarantine(str(tmp_path))
+        quarantine.add(1, kind=DETERMINISTIC, reason="r", attempts=2)
+        quarantine.add(3, kind=TRANSIENT, reason="r", attempts=4)
+        assert quarantine.clear() == [1, 3]
+        assert not os.path.exists(quarantine.path)
+        assert Quarantine(str(tmp_path)).entries() == {}
+
+
+class TestInlineSupervision:
+    def _run(self, tmp_path, task, policy=FAST, chaos=None):
+        from repro.campaign import TraceStore
+
+        store = TraceStore(str(tmp_path))
+        store.initialize(SPEC)
+        records = []
+        supervisor = ShardSupervisor(
+            SPEC, str(tmp_path), workers=1, policy=policy, chaos=chaos,
+            task=task, on_success=lambda record, attempt:
+            records.append((record["index"], attempt)),
+        )
+        outcome = supervisor.run(store.missing_shards())
+        return supervisor, outcome, records
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path):
+        def flaky(spec_dict, directory, shard, attempt, chaos_dict):
+            if shard == 1 and attempt == 0:
+                raise OSError("injected transient failure")
+            return run_shard_attempt(spec_dict, directory, shard,
+                                     attempt, chaos_dict)
+
+        supervisor, outcome, records = self._run(tmp_path, flaky)
+        assert sorted(outcome.completed) == [0, 1]
+        assert outcome.quarantined == []
+        assert outcome.retried_attempts == 1
+        assert (1, 1) in records       # shard 1 succeeded on attempt 1
+        events = supervisor.failure_log.events()
+        assert len(events) == 1
+        assert events[0]["kind"] == TRANSIENT
+        assert events[0]["action"] == "retry"
+
+    def test_persistent_deterministic_failure_quarantines(self, tmp_path):
+        def broken(spec_dict, directory, shard, attempt, chaos_dict):
+            if shard == 0:
+                raise ValueError("this shard can never work")
+            return run_shard_attempt(spec_dict, directory, shard,
+                                     attempt, chaos_dict)
+
+        supervisor, outcome, records = self._run(tmp_path, broken)
+        assert outcome.completed == [1]
+        assert outcome.quarantined == [0]
+        # Deterministic budget: 2 attempts = 1 retry + 1 quarantine.
+        actions = [e["action"] for e in supervisor.failure_log.events()]
+        assert actions == ["retry", "quarantine"]
+        assert supervisor.quarantine.indices() == [0]
+
+    def test_cleared_quarantine_allows_recovery(self, tmp_path):
+        state = {"healed": False}
+
+        def healing(spec_dict, directory, shard, attempt, chaos_dict):
+            if shard == 0 and not state["healed"]:
+                raise ValueError("still broken")
+            return run_shard_attempt(spec_dict, directory, shard,
+                                     attempt, chaos_dict)
+
+        supervisor, outcome, _ = self._run(tmp_path, healing)
+        assert outcome.quarantined == [0]
+        assert supervisor.quarantine.clear() == [0]
+        state["healed"] = True
+        supervisor, outcome, _ = self._run(tmp_path, healing)
+        assert 0 in outcome.completed
+
+    def test_corruption_is_caught_and_quarantined(self, tmp_path):
+        # corrupt_rate=1.0 fires on every attempt: the worker's own
+        # digests are computed before the flip, so only the
+        # supervisor's independent re-hash can catch it.
+        chaos = ChaosConfig(seed=1, corrupt_rate=1.0, only_shards=(0,))
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        supervisor, outcome, _ = self._run(tmp_path, run_shard_attempt,
+                                           policy=policy, chaos=chaos)
+        assert outcome.completed == [1]
+        assert outcome.quarantined == [0]
+        kinds = {e["kind"] for e in supervisor.failure_log.events()}
+        assert kinds == {DATA_INTEGRITY}
+
+    def test_crash_chaos_refuses_inline_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="worker processes"):
+            ShardSupervisor(SPEC, str(tmp_path), workers=1,
+                            chaos=ChaosConfig(crash_rate=0.5))
+
+    def test_events_reach_the_observer(self, tmp_path):
+        seen = []
+
+        def flaky(spec_dict, directory, shard, attempt, chaos_dict):
+            if attempt == 0:
+                raise OSError("first attempt always fails")
+            return run_shard_attempt(spec_dict, directory, shard,
+                                     attempt, chaos_dict)
+
+        from repro.campaign import TraceStore
+        store = TraceStore(str(tmp_path))
+        store.initialize(SPEC)
+        ShardSupervisor(SPEC, str(tmp_path), workers=1, policy=FAST,
+                        task=flaky, on_event=seen.append).run([0, 1])
+        assert len(seen) == 2
+        assert all(isinstance(e, FailureEvent) for e in seen)
+        assert all(e.action == "retry" for e in seen)

@@ -115,3 +115,108 @@ class TestCampaignVerbs:
     def test_attack_requires_existing_campaign(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["campaign", "attack", "--dir", str(tmp_path / "nope")])
+
+
+class TestFailureLifecycle:
+    """Exit-code contract: degraded=3, failed=1, interrupted=130 —
+    driven through the chaos harness and `campaign doctor`."""
+
+    ACQUIRE = ["campaign", "acquire", "--traces", "6", "--shard-size", "3",
+               "--workers", "1", "--scenario", "unprotected",
+               "--seed", "9", "--bits", "1", "--quiet"]
+    # Shard 1 fails deterministically on every attempt; shard 0 is
+    # healthy.  Inline (workers=1) because `error` needs no processes.
+    BROKEN = ["--chaos", "error=1.0", "--chaos-shards", "1",
+              "--max-attempts", "2"]
+
+    def _degraded(self, directory, capsys):
+        code = main(self.ACQUIRE + self.BROKEN + ["--dir", directory])
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_degraded_acquire_exits_3_and_names_the_log(
+            self, tmp_path, capsys):
+        code, out = self._degraded(str(tmp_path / "camp"), capsys)
+        assert code == 3
+        assert "DEGRADED" in out
+        assert "failures.jsonl" in out
+        assert "QUARANTINED shards [1]" in out
+
+    def test_status_shows_coverage_and_quarantine(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        self._degraded(d, capsys)
+        assert main(["campaign", "status", "--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: 3/6 traces (1/2 shards, 50.0%)" in out
+        assert "quarantined shards: [1]" in out
+        assert "failures:" in out
+
+    def test_attack_refuses_partial_store_with_exit_1(
+            self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        self._degraded(d, capsys)
+        code = main(["campaign", "attack", "--dir", d, "--bits", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "campaign error" in captured.err
+        assert "--allow-partial" in captured.err
+
+    def test_allow_partial_attack_reports_provenance(
+            self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        self._degraded(d, capsys)
+        code = main(["campaign", "attack", "--dir", d, "--bits", "1",
+                     "--allow-partial"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "provenance: 3 trace(s) from shard(s) [0]" in out
+        assert "PARTIAL" in out
+
+    def test_doctor_then_clear_then_clean_reacquire(
+            self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        self._degraded(d, capsys)
+
+        assert main(["campaign", "doctor", "--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined shard 1" in out
+        assert "--clear" in out
+
+        assert main(["campaign", "doctor", "--dir", d, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared quarantine for shard(s) [1]" in out
+
+        # Without the chaos flag the environment is healthy again.
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 traces on disk" in out
+
+    def test_doctor_on_healthy_campaign(self, tmp_path, capsys):
+        d = str(tmp_path / "camp")
+        assert main(self.ACQUIRE + ["--dir", d]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "doctor", "--dir", d]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_interrupt_exits_130_with_resume_hint(
+            self, tmp_path, capsys, monkeypatch):
+        import repro.campaign
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.campaign.AcquisitionEngine, "run",
+                            interrupted)
+        argv = self.ACQUIRE + ["--dir", str(tmp_path / "camp")]
+        assert main(argv) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "resume with" in err
+        assert "campaign acquire" in err
+
+    def test_chaos_needs_processes_surfaces_cleanly(self, tmp_path):
+        # crash chaos with workers=1 is a usage error, raised before
+        # any work starts.
+        with pytest.raises(ValueError, match="worker processes"):
+            main(self.ACQUIRE + ["--dir", str(tmp_path / "camp"),
+                                 "--chaos", "crash=1.0"])
