@@ -7,7 +7,10 @@ Hermans achieves wide-forward-insider privacy.
 
 The bench runs full identification sessions (correctness + workload +
 wire accounting, printing the Figure 2 message flow), then plays the
-transcript-linkage tracking game against both protocols.
+transcript-linkage tracking game against both protocols, and finally
+re-runs the identification over the lossy body-area channel
+(:mod:`repro.protocols.session`) to price reliability in retries and
+microjoules.
 """
 
 from _helpers import fresh_rng, scaled, write_report
@@ -20,6 +23,7 @@ from repro.protocols import (
     run_identification,
     schnorr_linkage_game,
 )
+from repro.protocols.fleet import FleetSpec, run_fleet
 
 
 def run_experiment():
@@ -33,11 +37,21 @@ def run_experiment():
     trials = scaled(16, 6)
     schnorr_game = schnorr_linkage_game(NIST_K163, fresh_rng(61), trials)
     ph_game = peeters_hermans_linkage_game(NIST_K163, fresh_rng(62), trials)
-    return session, schnorr_game, ph_game, trials
+
+    # lossy-channel mode: the same identification as resilient sessions
+    # across a frame-loss sweep (toy curve: the channel arithmetic is
+    # identical, the group is just small enough to run a fleet)
+    lossy = run_fleet(
+        FleetSpec(protocol="peeters-hermans", curve="TOY-B17",
+                  sessions=scaled(40, 12), seed=2013,
+                  sweep=(0.0, 0.10, 0.20), max_epochs=20),
+        workers=0,
+    )
+    return session, schnorr_game, ph_game, trials, lossy
 
 
 def test_e6_protocol(benchmark):
-    session, schnorr_game, ph_game, trials = benchmark.pedantic(
+    session, schnorr_game, ph_game, trials, lossy = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
     lines = [
@@ -66,7 +80,21 @@ def test_e6_protocol(benchmark):
         f"{schnorr_game.advantage:.2f}  (traceable)",
         f"  Peeters-Hermans adversary advantage:  "
         f"{ph_game.advantage:.2f}  (private)",
+        "",
+        f"lossy-channel mode ({lossy.spec.sessions} resilient sessions "
+        "per loss rate, toy group):",
+        f"  {'loss':>5} {'avail':>8} {'epochs':>7} {'frames':>7} "
+        f"{'uJ/session':>11}",
     ]
+    for point in lossy.points:
+        lines.append(
+            f"  {point.frame_loss:>5.0%} {point.availability:>8.1%} "
+            f"{point.mean_epochs:>7.2f} {point.mean_frames:>7.2f} "
+            f"{point.mean_initiator_uj:>11.2f}"
+        )
+    lines.append("  reliability is paid in microjoules: energy "
+                 + ("rises with every loss point"
+                    if lossy.energy_monotone else "NOT monotone (!)"))
     write_report("e6_protocol", lines)
 
     assert session.accepted
@@ -75,3 +103,5 @@ def test_e6_protocol(benchmark):
     assert session.reader_ops.point_multiplications > 2
     assert schnorr_game.advantage == 1.0
     assert ph_game.advantage < schnorr_game.advantage
+    assert lossy.fully_available
+    assert lossy.energy_monotone

@@ -35,6 +35,7 @@ import sys
 __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_evaluate", "cmd_campaign_acquire", "cmd_campaign_status",
            "cmd_campaign_attack", "cmd_campaign_doctor",
+           "cmd_protocol_run", "cmd_protocol_soak",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
 
 EXIT_OK = 0
@@ -374,6 +375,69 @@ def cmd_campaign_attack(directory: str, attack: str = "dpa",
     return "\n".join(lines)
 
 
+def cmd_protocol_run(protocol: str = "peeters-hermans",
+                     curve: str = "TOY-B17", loss: float = 0.1,
+                     sessions: int = 5, seed: int = 2013,
+                     distance: float = 0.5,
+                     events: bool = False) -> str:
+    """Run a handful of resilient sessions and narrate each one."""
+    from .ec.curves import get_curve
+    from .protocols.fleet import FleetSpec
+    from .protocols.session import make_adapter, run_resilient_session
+
+    spec = FleetSpec(protocol=protocol, curve=curve, sessions=sessions,
+                     seed=seed, sweep=(loss,), distance_m=distance)
+    domain = None if protocol == "mutual-auth" else get_curve(curve)
+    profile = spec.profile(loss)
+    lines = [f"{protocol} over a channel with {profile.describe()}"]
+    for index in range(sessions):
+        adapter = make_adapter(protocol, domain, seed=seed,
+                               session_index=index)
+        result = run_resilient_session(adapter, profile, spec.policy(),
+                                       seed=seed, session_index=index,
+                                       distance_m=distance)
+        lines.append(result.summary())
+        if events:
+            lines.extend(f"    {event}" for event in result.events)
+    return "\n".join(lines)
+
+
+def cmd_protocol_soak(protocol: str = "peeters-hermans",
+                      curve: str = "TOY-B17", sessions: int = 1000,
+                      seed: int = 2013, sweep=None,
+                      workers=None, distance: float = 0.5,
+                      min_availability: float = 0.99,
+                      quiet: bool = False) -> "tuple[str, int]":
+    """Run the availability sweep; ``(report, exit_code)``.
+
+    Exit-code contract (the campaign one): ``0`` when every session at
+    every loss rate eventually identified; ``3`` (degraded) when some
+    aborted but every sweep point stayed at or above
+    ``min_availability``; ``1`` when availability fell below the floor.
+    """
+    from .protocols.fleet import DEFAULT_SWEEP, FleetSpec, run_fleet
+
+    spec = FleetSpec(protocol=protocol, curve=curve, sessions=sessions,
+                     seed=seed, sweep=tuple(sweep or DEFAULT_SWEEP),
+                     distance_m=distance)
+    progress = None
+    if not quiet:
+        def progress(done, total):
+            print(f"\r  slices {done}/{total}", end="",
+                  file=sys.stderr, flush=True)
+    report = run_fleet(spec, workers=workers, progress=progress)
+    if not quiet:
+        print(file=sys.stderr)
+    floor = min(point.availability for point in report.points)
+    if report.fully_available:
+        code = EXIT_OK
+    elif floor >= min_availability:
+        code = EXIT_DEGRADED
+    else:
+        code = EXIT_FAILED
+    return report.summary(), code
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -456,6 +520,47 @@ def main(argv=None) -> int:
     doctor.add_argument("--last", type=int, default=10,
                         help="failure events to show (most recent)")
 
+    protocol = sub.add_parser(
+        "protocol", help="resilient sessions over the lossy channel"
+    )
+    pverbs = protocol.add_subparsers(dest="verb", required=True)
+
+    prun = pverbs.add_parser("run", help="narrate a few sessions")
+    prun.add_argument("--protocol", default="peeters-hermans",
+                      choices=("peeters-hermans", "schnorr",
+                               "mutual-auth"))
+    prun.add_argument("--curve", default="TOY-B17")
+    prun.add_argument("--loss", type=float, default=0.1,
+                      help="frame-loss probability")
+    prun.add_argument("--sessions", type=int, default=5)
+    prun.add_argument("--seed", type=int, default=2013)
+    prun.add_argument("--distance", type=float, default=0.5,
+                      help="radio distance in meters (sets the BER)")
+    prun.add_argument("--events", action="store_true",
+                      help="print the per-frame event log")
+
+    psoak = pverbs.add_parser(
+        "soak", help="availability/energy sweep over loss rates"
+    )
+    psoak.add_argument("--protocol", default="peeters-hermans",
+                       choices=("peeters-hermans", "schnorr",
+                                "mutual-auth"))
+    psoak.add_argument("--curve", default="TOY-B17")
+    psoak.add_argument("--sessions", type=int, default=1000,
+                       help="sessions per sweep point")
+    psoak.add_argument("--seed", type=int, default=2013)
+    psoak.add_argument("--sweep", default=None,
+                       help="comma-separated frame-loss rates "
+                            "(default 0,0.05,0.1,0.2)")
+    psoak.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cores, max 8; "
+                            "0 = in-process)")
+    psoak.add_argument("--distance", type=float, default=0.5)
+    psoak.add_argument("--min-availability", type=float, default=0.99,
+                       help="floor below which the soak FAILS "
+                            "(above it but short of 100%% = degraded)")
+    psoak.add_argument("--quiet", action="store_true")
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -469,6 +574,8 @@ def main(argv=None) -> int:
     elif args.command == "campaign":
         return _campaign_main(args, argv if argv is not None
                               else sys.argv[1:])
+    elif args.command == "protocol":
+        return _protocol_main(args)
     else:
         output = cmd_evaluate(weak=args.weak, traces=args.traces,
                               seed=args.seed)
@@ -481,6 +588,38 @@ def _print(output: str) -> None:
         print(output)
     except BrokenPipeError:  # e.g. piped into `head`
         pass
+
+
+def _protocol_main(args) -> int:
+    """Dispatch a ``protocol`` verb under the exit-code contract."""
+    code = EXIT_OK
+    try:
+        if args.verb == "run":
+            output = cmd_protocol_run(
+                protocol=args.protocol, curve=args.curve, loss=args.loss,
+                sessions=args.sessions, seed=args.seed,
+                distance=args.distance, events=args.events,
+            )
+        else:
+            sweep = None
+            if args.sweep:
+                sweep = [float(s) for s in args.sweep.split(",") if s]
+            output, code = cmd_protocol_soak(
+                protocol=args.protocol, curve=args.curve,
+                sessions=args.sessions, seed=args.seed, sweep=sweep,
+                workers=args.workers, distance=args.distance,
+                min_availability=args.min_availability, quiet=args.quiet,
+            )
+    except KeyboardInterrupt:
+        print("\ninterrupted — the sweep is deterministic; rerunning "
+              "the same command reproduces it from scratch",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (ValueError, KeyError) as exc:
+        print(f"protocol error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
 
 
 def _campaign_main(args, argv) -> int:

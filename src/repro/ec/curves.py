@@ -22,7 +22,7 @@ from .modn import ScalarRing, is_probable_prime
 from .point import AffinePoint
 
 __all__ = ["NamedCurve", "NIST_K163", "NIST_B163", "NIST_K233", "NIST_B233",
-           "CURVE_REGISTRY", "get_curve"]
+           "TOY_B17", "CURVE_REGISTRY", "get_curve"]
 
 
 @dataclass(frozen=True)
@@ -113,8 +113,34 @@ NIST_B233 = _make(
     h=2,
 )
 
+def _make_toy() -> NamedCurve:
+    """A cryptographically worthless curve with the full NamedCurve shape.
+
+    GF(2^17) with x^17 + x^3 + 1 (a primitive pentanomial-free
+    trinomial), a = b = 1.  The group has 131174 = 2 * 65587 points;
+    the subgroup order 65587 is prime, so every protocol invariant
+    (prime order, cofactor 2, compressed-point round trips) holds —
+    a K-163 session just runs ~60x faster.  Exists for the
+    thousand-session soak tests of :mod:`repro.protocols.session`;
+    never benchmark security claims on it.
+    """
+    field = BinaryField(17, (1 << 17) | (1 << 3) | 1)
+    curve = BinaryEllipticCurve(field, 1, 1)
+    generator = AffinePoint(0xAAAD, 0x5B2B)
+    n = 65587
+    if not curve.is_on_curve(generator):
+        raise AssertionError("TOY-B17: generator is not on the curve")
+    if not is_probable_prime(n):
+        raise AssertionError("TOY-B17: order is not prime")
+    return NamedCurve("TOY-B17", curve, generator, n, 2)
+
+
+#: Test-scale curve for session soaks — NOT a security level.
+TOY_B17 = _make_toy()
+
 CURVE_REGISTRY = {
-    c.name: c for c in (NIST_K163, NIST_B163, NIST_K233, NIST_B233)
+    c.name: c for c in (NIST_K163, NIST_B163, NIST_K233, NIST_B233,
+                        TOY_B17)
 }
 
 

@@ -129,24 +129,35 @@ def faulty_double_and_add_always(
     k: int,
     point: AffinePoint,
     fault_iteration: Optional[int] = None,
+    kind: FaultKind = FaultKind.BIT_FLIP,
 ) -> AffinePoint:
     """Double-and-add-always with a fault in one iteration's *addition*.
 
-    The C safe-error model: the addition result is corrupted in
-    iteration ``fault_iteration``.  If that addition was the dummy
-    (key bit 0), the fault vanishes from the output — the attacker
-    learns the key bit by checking whether the result changed.
+    The C safe-error model: the addition of iteration
+    ``fault_iteration`` is disturbed according to ``kind`` —
+    ``BIT_FLIP`` corrupts the adder's output register,
+    ``STUCK_AT_ZERO`` clears it, ``SKIP`` suppresses the addition
+    entirely (the dummy-add slot executes a no-op).  If that addition
+    was the dummy (key bit 0), the fault vanishes from the output —
+    the attacker learns the key bit by checking whether the result
+    changed.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     result = point
     for index, i in enumerate(range(k.bit_length() - 2, -1, -1)):
         result = curve.double(result)
-        real = curve.add(result, point)
-        if fault_iteration is not None and index == fault_iteration:
-            # Corrupt the adder's output register.
-            if not real.is_infinity:
-                real = AffinePoint(flip_bit(real.x, 0), real.y)
+        if (fault_iteration is not None and index == fault_iteration
+                and kind is FaultKind.SKIP):
+            real = result  # the addition never executed
+        else:
+            real = curve.add(result, point)
+            if fault_iteration is not None and index == fault_iteration:
+                if kind is FaultKind.STUCK_AT_ZERO:
+                    real = AffinePoint(0, real.y if not real.is_infinity
+                                       else 0)
+                elif not real.is_infinity:
+                    real = AffinePoint(flip_bit(real.x, 0), real.y)
         if (k >> i) & 1:
             result = real
     return result

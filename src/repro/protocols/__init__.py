@@ -16,9 +16,23 @@ from .mutual_auth import (
 from .ops import Message, OperationCount, Transcript
 from .peeters_hermans import (
     IdentificationResult,
+    NonceConsumedError,
+    NoncePendingError,
     PeetersHermansReader,
     PeetersHermansTag,
     run_identification,
+)
+from .fleet import FleetReport, FleetSpec, SweepPoint, run_fleet
+from .session import (
+    PayloadRejectedError,
+    PeerRejectedError,
+    ReplayedFrameError,
+    RetransmissionPolicy,
+    SessionError,
+    SessionResult,
+    StaleFrameError,
+    make_adapter,
+    run_resilient_session,
 )
 from .privacy import (
     LinkageGameResult,
@@ -66,4 +80,19 @@ __all__ = [
     "LinkageGameResult",
     "schnorr_linkage_game",
     "peeters_hermans_linkage_game",
+    "NonceConsumedError",
+    "NoncePendingError",
+    "SessionError",
+    "StaleFrameError",
+    "ReplayedFrameError",
+    "PayloadRejectedError",
+    "PeerRejectedError",
+    "RetransmissionPolicy",
+    "SessionResult",
+    "run_resilient_session",
+    "make_adapter",
+    "FleetSpec",
+    "SweepPoint",
+    "FleetReport",
+    "run_fleet",
 ]

@@ -34,7 +34,28 @@ from ..ec.point import AffinePoint
 from .ops import OperationCount, Transcript
 
 __all__ = ["PeetersHermansTag", "PeetersHermansReader", "IdentificationResult",
-           "run_identification"]
+           "run_identification", "NonceConsumedError", "NoncePendingError"]
+
+
+class NonceConsumedError(RuntimeError):
+    """A second ``respond()`` under one commit.
+
+    A naive retransmission layer that replays the challenge into the
+    tag would make it emit a second ``s`` under the same ``r`` —
+    two equations in the two unknowns ``(x, r)``, i.e. full key
+    recovery.  The nonce is therefore hard single-use: retransmission
+    recovery must start a fresh commit instead (see
+    :mod:`repro.protocols.session`).
+    """
+
+
+class NoncePendingError(RuntimeError):
+    """``commit()`` while an unconsumed nonce is live.
+
+    Silently overwriting a pending ``r`` hides protocol-state bugs in
+    retransmission layers; an epoch restart must discard the old nonce
+    explicitly via :meth:`PeetersHermansTag.abort`.
+    """
 
 
 def _point_bits(domain: NamedCurve) -> int:
@@ -82,6 +103,7 @@ class PeetersHermansTag:
                                                     rng=rng)
         )
         self._r: Optional[int] = None
+        self._responded = False
         self.ops = OperationCount()
 
     @property
@@ -90,17 +112,40 @@ class PeetersHermansTag:
         return self.domain.curve.multiply_naive(self._x, self.domain.generator)
 
     def commit(self, rng) -> AffinePoint:
-        """Round 1: draw r and send R = r * P."""
+        """Round 1: draw r and send R = r * P.
+
+        Raises :class:`NoncePendingError` if a previous commit has not
+        been consumed (``respond()``) or discarded (``abort()``).
+        """
+        if self._r is not None:
+            raise NoncePendingError(
+                "commit() with a pending nonce; abort() the old epoch first"
+            )
         ring = self.domain.scalar_ring
         self._r = ring.random_scalar(rng)
+        self._responded = False
         self.ops.random_bits += ring.n.bit_length()
         commitment = self._multiplier(self._r, self.domain.generator, rng)
         self.ops.point_multiplications += 1
         return commitment
 
+    def abort(self) -> None:
+        """Discard a pending nonce (epoch restart / session teardown)."""
+        self._r = None
+
     def respond(self, challenge: int, rng) -> int:
-        """Round 2: receive e, send s = d + x + e*r with d = xcoord(r*Y)."""
+        """Round 2: receive e, send s = d + x + e*r with d = xcoord(r*Y).
+
+        The nonce is strictly single-use: a second ``respond()`` under
+        the same commit raises :class:`NonceConsumedError` — ``s`` is
+        never computed twice under one ``r``.
+        """
         if self._r is None:
+            if self._responded:
+                raise NonceConsumedError(
+                    "nonce already consumed: a retransmitted round must "
+                    "use a fresh commit, never reuse r"
+                )
             raise RuntimeError("respond() called before commit()")
         ring = self.domain.scalar_ring
         if not 1 <= challenge < ring.n:
@@ -112,6 +157,7 @@ class PeetersHermansTag:
         self.ops.modular_multiplications += 1
         s = ring.add(ring.add(d, self._x), er)
         self._r = None  # single-use nonce
+        self._responded = True
         return s
 
 
@@ -143,9 +189,18 @@ class PeetersHermansReader:
         return e
 
     def identify(self, commitment: AffinePoint, e: int, s: int) -> Optional[int]:
-        """Round 2 verification: X' = s*P - d'*P - e*R, looked up in DB."""
+        """Round 2 verification: X' = s*P - d'*P - e*R, looked up in DB.
+
+        Out-of-range scalars (``s`` or ``e`` outside ``[1, n)``) are
+        rejected *before* any point arithmetic: silently reducing a
+        wire value mod n would both waste three point multiplications
+        on garbage and accept non-canonical encodings of a valid
+        transcript (a replay-detection bypass).
+        """
         curve = self.domain.curve
         ring = self.domain.scalar_ring
+        if not 1 <= e < ring.n or not 1 <= s < ring.n:
+            return None
         if not curve.is_on_curve(commitment) or commitment.is_infinity:
             return None
         shared = curve.multiply_naive(self._y, commitment)

@@ -22,6 +22,7 @@ from ..ec.curves import NamedCurve
 from ..ec.ladder import montgomery_ladder
 from ..ec.point import AffinePoint
 from .ops import OperationCount, Transcript
+from .peeters_hermans import NonceConsumedError, NoncePendingError
 
 __all__ = ["SchnorrTag", "SchnorrVerifier", "SchnorrSession",
            "run_schnorr_identification", "extract_public_key"]
@@ -54,24 +55,41 @@ class SchnorrTag:
                                                     rng=rng)
         )
         self._r: Optional[int] = None
+        self._responded = False
         self.ops = OperationCount()
 
     def commit(self, rng) -> AffinePoint:
         """Round 1: R = r * P."""
+        if self._r is not None:
+            raise NoncePendingError(
+                "commit() with a pending nonce; abort() the old epoch first"
+            )
         ring = self.domain.scalar_ring
         self._r = ring.random_scalar(rng)
+        self._responded = False
         self.ops.random_bits += ring.n.bit_length()
         self.ops.point_multiplications += 1
         return self._multiplier(self._r, self.domain.generator, rng)
 
+    def abort(self) -> None:
+        """Discard a pending nonce (epoch restart / session teardown)."""
+        self._r = None
+
     def respond(self, challenge: int) -> int:
-        """Round 2: s = r + e * x."""
+        """Round 2: s = r + e * x.  The nonce is strictly single-use
+        (two responses under one r solve for the key)."""
         if self._r is None:
+            if self._responded:
+                raise NonceConsumedError(
+                    "nonce already consumed: a retransmitted round must "
+                    "use a fresh commit, never reuse r"
+                )
             raise RuntimeError("respond() called before commit()")
         ring = self.domain.scalar_ring
         s = ring.add(self._r, ring.mul(challenge, self._x))
         self.ops.modular_multiplications += 1
         self._r = None
+        self._responded = True
         return s
 
 

@@ -1,0 +1,142 @@
+"""Tests for the deterministic body-area channel simulator."""
+
+import pytest
+
+from repro.channel import (
+    BodyAreaChannel,
+    LossProfile,
+    ber_from_radio,
+    derive_channel_seed,
+)
+from repro.energy.radio import BAN_RADIO, RadioModel
+
+
+class TestSeeding:
+    def test_derivation_is_stable(self):
+        a = derive_channel_seed(1, "drop", 2, 3, 4)
+        assert a == derive_channel_seed(1, "drop", 2, 3, 4)
+
+    def test_every_coordinate_matters(self):
+        base = derive_channel_seed(1, "drop", 2, 3, 4)
+        assert base != derive_channel_seed(9, "drop", 2, 3, 4)
+        assert base != derive_channel_seed(1, "jitter", 2, 3, 4)
+        assert base != derive_channel_seed(1, "drop", 9, 3, 4)
+        assert base != derive_channel_seed(1, "drop", 2, 9, 4)
+        assert base != derive_channel_seed(1, "drop", 2, 3, 9)
+
+
+class TestBerFromRadio:
+    def test_clean_at_contact_range(self):
+        assert ber_from_radio(RadioModel(), 0.05) < 1e-10
+
+    def test_monotone_in_distance(self):
+        radio = RadioModel()
+        distances = [0.25, 0.5, 1.0, 2.0, 5.0]
+        bers = [ber_from_radio(radio, d) for d in distances]
+        assert bers == sorted(bers)
+        assert bers[-1] <= 0.5
+
+    def test_body_area_gamma_degrades_faster(self):
+        """The gamma=3 around-the-body profile errors out sooner."""
+        assert ber_from_radio(BAN_RADIO, 0.8) > \
+            ber_from_radio(RadioModel(), 0.8)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ber_from_radio(RadioModel(), -1.0)
+
+
+class TestLossProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossProfile(frame_loss=1.0)
+        with pytest.raises(ValueError):
+            LossProfile(bit_error_rate=1.5)
+        with pytest.raises(ValueError):
+            LossProfile(base_delay_s=-1.0)
+
+    def test_lossless_predicate(self):
+        assert LossProfile().lossless
+        assert not LossProfile(frame_loss=0.1).lossless
+
+    def test_scaled_keeps_other_rates(self):
+        profile = LossProfile(duplicate_rate=0.25)
+        scaled = profile.scaled(0.1)
+        assert scaled.frame_loss == 0.1
+        assert scaled.duplicate_rate == 0.25
+
+
+class TestChannel:
+    def test_lossless_channel_delivers_everything(self):
+        channel = BodyAreaChannel(LossProfile(), seed=1)
+        for frame in range(20):
+            deliveries = channel.transmit(b"hello", frame, 0, now=1.0)
+            assert len(deliveries) == 1
+            assert deliveries[0].data == b"hello"
+            assert deliveries[0].at > 1.0
+        assert channel.stats.frames_dropped == 0
+
+    def test_deterministic_replay(self):
+        def run():
+            channel = BodyAreaChannel(
+                LossProfile(frame_loss=0.3, bit_error_rate=0.01,
+                            duplicate_rate=0.2, reorder_rate=0.2),
+                seed=7, session=3)
+            schedule = []
+            for frame in range(40):
+                for delivery in channel.transmit(b"x" * 19, frame, 0):
+                    schedule.append((frame, delivery.at, delivery.data))
+            return schedule, channel.stats
+
+        first_schedule, first_stats = run()
+        second_schedule, second_stats = run()
+        assert first_schedule == second_schedule
+        assert first_stats == second_stats
+
+    def test_seed_changes_the_weather(self):
+        profile = LossProfile(frame_loss=0.5)
+        a = BodyAreaChannel(profile, seed=1)
+        b = BodyAreaChannel(profile, seed=2)
+        pattern_a = [bool(a.transmit(b"p", f, 0)) for f in range(32)]
+        pattern_b = [bool(b.transmit(b"p", f, 0)) for f in range(32)]
+        assert pattern_a != pattern_b
+
+    def test_loss_rate_is_roughly_honoured(self):
+        channel = BodyAreaChannel(LossProfile(frame_loss=0.25), seed=3)
+        drops = sum(1 for f in range(400)
+                    if not channel.transmit(b"p", f, 0))
+        assert 60 <= drops <= 140  # 100 expected
+
+    def test_duplicates_arrive_later_and_flagged(self):
+        channel = BodyAreaChannel(LossProfile(duplicate_rate=1.0), seed=4)
+        deliveries = channel.transmit(b"p", 0, 0, now=0.0)
+        assert len(deliveries) == 2
+        assert deliveries[1].duplicate and not deliveries[0].duplicate
+        assert deliveries[1].at > deliveries[0].at
+
+    def test_corruption_flips_bits_not_length(self):
+        channel = BodyAreaChannel(LossProfile(bit_error_rate=0.05), seed=5)
+        original = bytes(range(40))
+        corrupted = 0
+        for frame in range(50):
+            for delivery in channel.transmit(original, frame, 0):
+                assert len(delivery.data) == len(original)
+                if delivery.data != original:
+                    corrupted += 1
+                    assert delivery.corrupted
+        assert corrupted > 0
+        assert channel.stats.frames_corrupted == corrupted
+
+    def test_attempts_see_independent_weather(self):
+        """A retransmission must not hit the same deterministic fate."""
+        channel = BodyAreaChannel(LossProfile(frame_loss=0.5), seed=6)
+        fates = {(frame, attempt): bool(channel.transmit(b"p", frame,
+                                                         attempt))
+                 for frame in range(16) for attempt in range(2)}
+        assert any(fates[(f, 0)] != fates[(f, 1)] for f in range(16))
+
+    def test_stats_count_sender_bits_even_for_drops(self):
+        channel = BodyAreaChannel(LossProfile(frame_loss=0.999999,
+                                              base_delay_s=0.0), seed=7)
+        channel.transmit(b"12345678", 0, 0)
+        assert channel.stats.bits_sent == 64

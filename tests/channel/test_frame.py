@@ -1,0 +1,101 @@
+"""Tests for the CRC-protected frame codec and wire encodings."""
+
+import pytest
+
+from repro.channel import (
+    Frame,
+    FrameCorruptedError,
+    FrameFormatError,
+    compress_point,
+    crc16,
+    decode_frame,
+    decompress_point,
+    encode_frame,
+    frame_overhead_bits,
+    int_from_bytes,
+    int_to_bytes,
+    point_width_bytes,
+    scalar_width_bytes,
+)
+from repro.ec import NIST_K163
+from repro.ec.curves import TOY_B17
+
+
+def make_frame(**overrides):
+    fields = dict(session=0xDEADBEEF, epoch=2, round_index=1, attempt=0,
+                  sender=1, label="e", payload=b"\x01\x02\x03")
+    fields.update(overrides)
+    return Frame(**fields)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        frame = make_frame()
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_round_trip_empty_payload(self):
+        frame = make_frame(payload=b"", label="ack")
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_crc16_known_vector(self):
+        """CRC-16/CCITT-FALSE check value for '123456789'."""
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_every_single_bit_flip_is_detected(self):
+        """The CRC catches any single-bit corruption of the frame."""
+        data = encode_frame(make_frame())
+        for bit in range(len(data) * 8):
+            mutated = bytearray(data)
+            mutated[bit // 8] ^= 1 << (bit % 8)
+            with pytest.raises((FrameCorruptedError, FrameFormatError)):
+                decode_frame(bytes(mutated))
+
+    def test_truncation_rejected(self):
+        data = encode_frame(make_frame())
+        with pytest.raises((FrameFormatError, FrameCorruptedError)):
+            decode_frame(data[:-3])  # CRC no longer lines up
+        with pytest.raises(FrameFormatError):
+            decode_frame(data[:4])  # below the fixed header
+
+    def test_bad_version_rejected(self):
+        data = bytearray(encode_frame(make_frame()))
+        data[0] ^= 0x55
+        with pytest.raises((FrameFormatError, FrameCorruptedError)):
+            decode_frame(bytes(data))
+
+    def test_overhead_accounts_for_label(self):
+        assert frame_overhead_bits("ss") == frame_overhead_bits("s") + 8
+
+
+class TestFieldEncodings:
+    def test_int_round_trip(self):
+        width = scalar_width_bytes(NIST_K163.order)
+        for value in (1, 0xABCDEF, NIST_K163.order - 1):
+            assert int_from_bytes(int_to_bytes(value, width)) == value
+
+    def test_int_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(1 << 16, 2)
+
+    @pytest.mark.parametrize("domain", [TOY_B17, NIST_K163],
+                            ids=lambda d: d.name)
+    def test_point_compression_round_trip(self, domain):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(3):
+            k = domain.scalar_ring.random_scalar(rng)
+            point = domain.curve.multiply_naive(k, domain.generator)
+            data = compress_point(domain.curve, point)
+            assert len(data) == point_width_bytes(domain.field.m)
+            assert decompress_point(domain.curve, data) == point
+
+    def test_off_curve_x_rejected(self):
+        width = point_width_bytes(TOY_B17.field.m)
+        for x in range(2, 40):
+            data = int_to_bytes(x, width - 1) + bytes([0])
+            if TOY_B17.curve.lift_x(x) is None:
+                with pytest.raises(FrameFormatError):
+                    decompress_point(TOY_B17.curve, data)
+                return
+        pytest.skip("no off-curve x found in probe range")

@@ -220,3 +220,59 @@ class TestFailureLifecycle:
         with pytest.raises(ValueError, match="worker processes"):
             main(self.ACQUIRE + ["--dir", str(tmp_path / "camp"),
                                  "--chaos", "crash=1.0"])
+
+
+class TestProtocolVerbs:
+    """`repro protocol run|soak` — resilient sessions from the CLI."""
+
+    def test_run_narrates_sessions(self, capsys):
+        assert main(["protocol", "run", "--sessions", "2", "--loss",
+                     "0.1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "peeters-hermans" in out
+        assert out.count("session") >= 2
+        assert "uJ" in out
+
+    def test_run_events_show_the_frame_log(self, capsys):
+        assert main(["protocol", "run", "--sessions", "1", "--loss",
+                     "0.0", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "tx tag R" in out
+        assert "concluded" in out
+
+    def test_run_mutual_auth_needs_no_curve(self, capsys):
+        assert main(["protocol", "run", "--protocol", "mutual-auth",
+                     "--sessions", "1", "--loss", "0.0"]) == 0
+        assert "mutual-auth" in capsys.readouterr().out
+
+    def test_soak_clean_exit_zero(self, capsys):
+        assert main(["protocol", "soak", "--sessions", "12", "--sweep",
+                     "0,0.05", "--workers", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "100.00%" in out
+
+    def test_soak_reports_the_energy_trend(self, capsys):
+        assert main(["protocol", "soak", "--sessions", "15", "--sweep",
+                     "0,0.1", "--workers", "0", "--quiet"]) == 0
+        assert "energy vs loss" in capsys.readouterr().out
+
+    def test_soak_degraded_exit_three(self, capsys):
+        # an aggressive sweep point with a tiny epoch budget cannot
+        # stay at 100%; with a permissive floor that is "degraded"
+        code = main(["protocol", "soak", "--sessions", "8", "--sweep",
+                     "0.6", "--workers", "0", "--quiet",
+                     "--min-availability", "0"])
+        assert code == 3
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_soak_failed_exit_one_below_floor(self):
+        code = main(["protocol", "soak", "--sessions", "8", "--sweep",
+                     "0.6", "--workers", "0", "--quiet",
+                     "--min-availability", "0.99"])
+        assert code == 1
+
+    def test_unknown_curve_fails_cleanly(self, capsys):
+        assert main(["protocol", "run", "--curve", "Q-999",
+                     "--sessions", "1"]) == 1
+        assert "protocol error" in capsys.readouterr().err

@@ -18,7 +18,8 @@ ALL_CURVES = [NIST_K163, NIST_B163, NIST_K233, NIST_B233]
 
 class TestRegistry:
     def test_all_registered(self):
-        assert set(CURVE_REGISTRY) == {"K-163", "B-163", "K-233", "B-233"}
+        assert set(CURVE_REGISTRY) == {"K-163", "B-163", "K-233", "B-233",
+                                       "TOY-B17"}
 
     def test_get_curve(self):
         assert get_curve("K-163") is NIST_K163

@@ -6,6 +6,8 @@ import pytest
 
 from repro.ec import AffinePoint, NIST_K163
 from repro.protocols import (
+    NonceConsumedError,
+    NoncePendingError,
     PeetersHermansReader,
     PeetersHermansTag,
     run_identification,
@@ -152,3 +154,95 @@ class TestRobustness:
         assert reader.identify(commitment, e1, s1) == 3
         e2 = reader.challenge(rng)
         assert reader.identify(commitment, e2, s1) is None
+
+
+class TestScalarRangeValidation:
+    """The reader rejects out-of-range wire scalars before any point
+    arithmetic (non-canonical encodings must not verify)."""
+
+    def make_session(self, seed=16):
+        rng = random.Random(seed)
+        tag, reader = make_pair(rng, identity=9)
+        commitment = tag.commit(rng)
+        e = reader.challenge(rng)
+        s = tag.respond(e, rng)
+        return reader, commitment, e, s
+
+    def test_honest_values_still_accept(self):
+        reader, commitment, e, s = self.make_session()
+        assert reader.identify(commitment, e, s) == 9
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_s_rejected(self, bad):
+        reader, commitment, e, s = self.make_session()
+        assert reader.identify(commitment, e, bad) is None
+        assert reader.identify(commitment, e, RING.n) is None
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_bad_e_rejected(self, bad):
+        reader, commitment, e, s = self.make_session()
+        assert reader.identify(commitment, bad, s) is None
+        assert reader.identify(commitment, RING.n + 3, s) is None
+
+    def test_non_canonical_encoding_of_valid_transcript_rejected(self):
+        """s + n verifies the same equation mod n; accepting it would
+        let a replayed transcript slip past exact-match replay caches."""
+        reader, commitment, e, s = self.make_session()
+        assert reader.identify(commitment, e, s + RING.n) is None
+        assert reader.identify(commitment, e + RING.n, s) is None
+
+    def test_rejection_costs_no_point_multiplications(self):
+        reader, commitment, e, s = self.make_session()
+        before = reader.ops.point_multiplications
+        reader.identify(commitment, e, RING.n)
+        assert reader.ops.point_multiplications == before
+
+
+class TestNonceLifecycle:
+    """The strict single-use nonce contract the session layer relies on."""
+
+    def test_second_respond_raises_typed_error(self):
+        rng = random.Random(17)
+        tag, reader = make_pair(rng)
+        tag.commit(rng)
+        tag.respond(5, rng)
+        with pytest.raises(NonceConsumedError):
+            tag.respond(5, rng)
+
+    def test_s_never_emitted_twice_under_one_r(self):
+        """Pin the invariant directly: for any one commit, at most one
+        s ever leaves the tag — even a byte-identical retransmitted
+        challenge cannot extract a second response."""
+        rng = random.Random(18)
+        tag, reader = make_pair(rng)
+        emitted = []
+        for _ in range(5):
+            tag.commit(rng)
+            e = reader.challenge(rng)
+            emitted.append(tag.respond(e, rng))
+            for retry in range(3):  # replayed challenge, same epoch
+                with pytest.raises(NonceConsumedError):
+                    tag.respond(e, rng)
+        assert len(set(emitted)) == len(emitted)
+
+    def test_commit_requires_explicit_abort(self):
+        rng = random.Random(19)
+        tag, __ = make_pair(rng)
+        tag.commit(rng)
+        with pytest.raises(NoncePendingError):
+            tag.commit(rng)
+        tag.abort()
+        commitment = tag.commit(rng)
+        assert commitment is not None
+
+    def test_fresh_commits_give_fresh_responses(self):
+        """Epoch restarts (the session layer's loss recovery) are safe:
+        same challenge, different r, different s."""
+        rng = random.Random(20)
+        tag, reader = make_pair(rng)
+        e = reader.challenge(rng)
+        s_values = set()
+        for _ in range(4):
+            tag.commit(rng)
+            s_values.add(tag.respond(e, rng))
+        assert len(s_values) == 4

@@ -81,6 +81,7 @@ class TestTraceability:
         )
 
 
+@pytest.mark.slow
 class TestPrivacyGame:
     """The paper's protocol-level claim, as an experiment: Schnorr is
     traceable, Peeters-Hermans is not."""

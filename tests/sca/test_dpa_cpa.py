@@ -36,6 +36,7 @@ class TestUnprotectedScenario:
         assert needed <= 240
 
 
+@pytest.mark.slow
 class TestKnownRandomnessScenario:
     """White-box: randomization on but Z known -> the attack still works,
     validating its soundness (Section 7)."""
@@ -58,6 +59,7 @@ class TestKnownRandomnessScenario:
         assert not result.significant_success()
 
 
+@pytest.mark.slow
 class TestProtectedScenario:
     """Countermeasure on, randomness secret: the attack must fail."""
 

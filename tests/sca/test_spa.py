@@ -93,6 +93,7 @@ class TestSpaResult:
         assert SpaResult([1], [1]).success
 
 
+@pytest.mark.slow
 class TestProfiledSpa:
     """The Section 7 residual: balanced encoding + layout mismatch."""
 

@@ -29,6 +29,7 @@ def collect(config, key, n_traces, seed):
     return np.vstack(rows), execution
 
 
+@pytest.mark.slow
 class TestTemplateAttack:
     MISMATCH = 0.05
     TRACES = 100
