@@ -30,10 +30,14 @@ reproducing the paper's 9.8 point multiplications/s at 847.5 kHz.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
+from time import perf_counter as _perf_counter
 from typing import Optional
 
 from ..ec.curves import NamedCurve, NIST_K163
 from ..ec.point import AffinePoint
+from ..obs import profile as obs_profile
+from ..obs import runtime as obs_runtime
+from ..obs.metrics import DEFAULT_CYCLE_BUCKETS
 from .clockgate import ClockGatingPolicy, ClockTreeModel
 from .control import BalancedEncoding, MuxEncoding
 from .isa import Instruction, InstructionTiming, Opcode
@@ -254,6 +258,7 @@ class EccCoprocessor:
             (k_padded >> i) & 1 for i in range(k_padded.bit_length() - 2, -1, -1)
         ]
         previous_bit = 1  # the implicit leading MSB
+        profiling = obs_profile.enabled()
         for index, bit in enumerate(bits):
             if max_iterations is not None and index >= max_iterations:
                 break
@@ -261,7 +266,12 @@ class EccCoprocessor:
             self._pending_control = self.config.mux_encoding.transition_weight(
                 previous_bit, bit
             )
-            self._ladder_iteration(bit)
+            if profiling:
+                t0 = _perf_counter()
+                self._ladder_iteration(bit)
+                obs_profile.observe("ladder_step", _perf_counter() - t0)
+            else:
+                self._ladder_iteration(bit)
             trace.iterations.append(
                 IterationSpan(start=start, end=self._cycle, key_bit=bit)
             )
@@ -276,7 +286,48 @@ class EccCoprocessor:
                 trace.result_x_only = self._final_x()
         trace.check_consistency()
         self._trace = None
+        rt = obs_runtime.current()
+        if rt is not None:
+            self._record_execution_metrics(rt.registry, trace)
         return trace
+
+    def _record_execution_metrics(self, registry, trace: ExecutionTrace):
+        """Fold one execution's instruction mix into the obs registry.
+
+        Everything recorded here is cycle-exact simulator state, so the
+        same campaign seed always reproduces the same values — these
+        are the series ``obs diff`` watches for cycle regressions.
+        """
+        counts: dict = {}
+        mults = 0
+        for instruction in trace.instructions:
+            name = instruction.opcode.value
+            counts[name] = counts.get(name, 0) + 1
+            if instruction.opcode is Opcode.MUL:
+                mults += 1
+        ops = registry.counter("repro_arch_instructions_total",
+                               "executed instructions by opcode")
+        for name in sorted(counts):
+            ops.inc(counts[name], op=name)
+        registry.counter("repro_arch_pointmults_total",
+                         "point multiplications executed").inc()
+        registry.histogram(
+            "repro_arch_pointmult_cycles",
+            "cycles per point multiplication (or truncated ladder)",
+            buckets=DEFAULT_CYCLE_BUCKETS,
+        ).observe(trace.cycles)
+        steps = registry.histogram(
+            "repro_arch_ladder_step_cycles",
+            "cycles per Montgomery-ladder iteration",
+            buckets=(50, 100, 200, 400, 800, 1600, 3200),
+        )
+        for span in trace.iterations:
+            steps.observe(span.end - span.start)
+        registry.histogram(
+            "repro_arch_gf2m_mults_per_pointmult",
+            "GF(2^m) multiplier dispatches per execution",
+            buckets=(10, 30, 100, 300, 1000, 3000, 10000),
+        ).observe(mults)
 
     def cycles_per_point_multiplication(self) -> int:
         """Cycle count of a full point multiplication (any scalar)."""

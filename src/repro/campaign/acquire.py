@@ -26,12 +26,15 @@ back.  That is what makes the campaign:
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs import runtime as obs_runtime
+from ..obs.tracing import derive_span_id
 from ..power.simulator import PowerTraceSimulator
 from .chaos import ChaosConfig
 from .errors import DATA_INTEGRITY, ScheduleMismatchError
@@ -82,7 +85,37 @@ def acquire_shard(spec: CampaignSpec, directory: str,
     * ``points/<shard>`` — the per-trace base points,
     * ``z/<shard>``      — the per-trace Z-randomization,
     * ``noise/<shard>``  — the oscilloscope noise (numpy Generator).
+
+    When tracing is on (the coordinator configured :mod:`repro.obs`),
+    the shard emits ``shard`` > ``trace`` > ``ladder.step`` spans with
+    cycle and µJ attribution and writes its metric snapshot for the
+    coordinator to merge; the traces themselves are byte-identical
+    either way — observation never perturbs the measurement.
     """
+    with obs_runtime.shard_scope(shard_index) as obs:
+        return _acquire_shard_observed(spec, directory, shard_index, obs)
+
+
+def _shard_energy_reporter(spec: CampaignSpec, coprocessor, obs):
+    """Per-execution (total µJ, per-cycle consumed) attribution, or a
+    no-op when tracing is off (the energy model costs a calibration
+    point-multiply, so it is only built under observation)."""
+    if obs is None:
+        return None
+    from ..power.energy import calibrate_energy_model
+
+    model = calibrate_energy_model(coprocessor)
+
+    def attribute(execution):
+        report = model.report(execution)
+        consumed = model.leakage_model.consumed(execution)
+        return report.energy_joules * 1e6, consumed
+
+    return attribute
+
+
+def _acquire_shard_observed(spec: CampaignSpec, directory: str,
+                            shard_index: int, obs) -> dict:
     started = time.perf_counter()
     coprocessor = spec.build_coprocessor()
     simulator = PowerTraceSimulator(
@@ -93,34 +126,63 @@ def acquire_shard(spec: CampaignSpec, directory: str,
     z_rng = derive_rng(spec.seed, "z", shard_index)
     key = spec.resolve_key()
     field = coprocessor.domain.field
+    attribute = _shard_energy_reporter(spec, coprocessor, obs)
 
     n = spec.shard_trace_count(shard_index)
     rows, points = [], []
     z_values = [] if spec.scenario == "known_randomness" else None
     iteration_slices = None
     key_bits = None
-    for _ in range(n):
-        point = random_protocol_point(coprocessor.domain, point_rng)
-        if spec.scenario == "unprotected":
-            z0 = 1
-        else:
-            z0 = 0
-            while z0 == 0:
-                z0 = z_rng.getrandbits(field.m) & (field.order - 1)
-        execution = coprocessor.point_multiply(
-            key,
-            point,
-            initial_z=z0,
-            max_iterations=spec.max_iterations,
-            recover_y=False,
-        )
-        rows.append(simulator.measure(execution))
-        points.append(point)
-        if z_values is not None:
-            z_values.append(z0)
-        if iteration_slices is None:
-            iteration_slices = execution.iteration_slices()
-            key_bits = list(execution.key_bits)
+    shard_uj = 0.0
+    with contextlib.ExitStack() as stack:
+        shard_span = None
+        if obs is not None:
+            # the shard's parent is the engine's root span, derived —
+            # not communicated — so worker and coordinator agree on it.
+            root_id = derive_span_id(obs.tracer.trace_id, None,
+                                     "campaign.acquire", 0)
+            shard_span = stack.enter_context(obs.tracer.span(
+                "shard", key=shard_index, parent_id=root_id,
+                shard=shard_index,
+            ))
+        for trace_index in range(n):
+            point = random_protocol_point(coprocessor.domain, point_rng)
+            if spec.scenario == "unprotected":
+                z0 = 1
+            else:
+                z0 = 0
+                while z0 == 0:
+                    z0 = z_rng.getrandbits(field.m) & (field.order - 1)
+            with contextlib.ExitStack() as trace_stack:
+                trace_span = None
+                if obs is not None:
+                    trace_span = trace_stack.enter_context(
+                        obs.tracer.span("trace", key=trace_index)
+                    )
+                execution = coprocessor.point_multiply(
+                    key,
+                    point,
+                    initial_z=z0,
+                    max_iterations=spec.max_iterations,
+                    recover_y=False,
+                )
+                rows.append(simulator.measure(execution))
+                if trace_span is not None:
+                    uj = _attribute_trace(obs, trace_span, execution,
+                                          attribute)
+                    shard_uj += uj
+            points.append(point)
+            if z_values is not None:
+                z_values.append(z0)
+            if iteration_slices is None:
+                iteration_slices = execution.iteration_slices()
+                key_bits = list(execution.key_bits)
+        if shard_span is not None:
+            shard_span.set(uj=shard_uj, traces=n)
+            obs.registry.counter(
+                "repro_campaign_energy_uj_total",
+                "simulated microjoules across acquired traces",
+            ).inc(shard_uj)
 
     store = TraceStore(directory)
     record = store.write_shard(shard_index, np.vstack(rows), points, z_values)
@@ -128,6 +190,30 @@ def acquire_shard(spec: CampaignSpec, directory: str,
     record["iteration_slices"] = iteration_slices
     record["key_bits"] = key_bits
     return record
+
+
+def _attribute_trace(obs, trace_span, execution, attribute) -> float:
+    """Set the trace span's cycles/µJ and emit its ladder.step events.
+
+    Each ladder iteration's share is its fraction of the execution's
+    per-cycle consumed charge, so the children partition exactly the
+    window they cover and the prologue/epilogue stays with the trace —
+    the rollup's total equals the model's total by construction.
+    """
+    uj, consumed = attribute(execution)
+    trace_span.set(cycles=execution.cycles, uj=uj)
+    total = float(consumed.sum())
+    for step_index, span in enumerate(execution.iterations):
+        share = 0.0
+        if total > 0:
+            share = uj * float(
+                consumed[span.start:span.end].sum()
+            ) / total
+        obs.tracer.event(
+            "ladder.step", key=step_index, level=2,
+            cycles=span.end - span.start, uj=share, bit=span.key_bit,
+        )
+    return uj
 
 
 class AcquisitionEngine:
@@ -229,45 +315,115 @@ class AcquisitionEngine:
         the next run).
         """
         started = time.perf_counter()
-        store, pending = self.plan()
-        spec = self.spec
-        held = [i for i in self.quarantine.indices() if i in set(pending)]
-        attemptable = [i for i in pending if i not in set(held)]
-        metrics = CampaignMetrics(
-            total_shards=spec.n_shards,
-            total_traces=spec.n_traces,
-            skipped_shards=spec.n_shards - len(pending),
-            quarantined_shards=list(held),
-        )
-        workers = min(self.workers, len(attemptable)) or 1
-        self.reporter.on_start(spec.n_shards, spec.n_traces,
-                               len(attemptable), workers)
-        if attemptable:
-            def on_success(record: dict, attempt: int) -> None:
-                shard = self._absorb(store, record)
-                self._note_shard(store, shard, metrics, started)
+        obs = obs_runtime.current()
+        with contextlib.ExitStack() as stack:
+            root_span = None
+            if obs is not None:
+                # key=0 and no parent: this is the id every shard
+                # worker independently derives as its parent.
+                root_span = stack.enter_context(obs.tracer.span(
+                    "campaign.acquire", key=0,
+                    spec=self.spec.digest(),
+                    traces=self.spec.n_traces,
+                    shards=self.spec.n_shards,
+                ))
+            with (obs.tracer.span("campaign.plan")
+                  if obs is not None else contextlib.nullcontext()):
+                store, pending = self.plan()
+            spec = self.spec
+            held = [i for i in self.quarantine.indices()
+                    if i in set(pending)]
+            attemptable = [i for i in pending if i not in set(held)]
+            metrics = CampaignMetrics(
+                total_shards=spec.n_shards,
+                total_traces=spec.n_traces,
+                skipped_shards=spec.n_shards - len(pending),
+                quarantined_shards=list(held),
+            )
+            workers = min(self.workers, len(attemptable)) or 1
+            self.reporter.on_start(spec.n_shards, spec.n_traces,
+                                   len(attemptable), workers)
+            completed: list = []
+            if attemptable:
+                def on_success(record: dict, attempt: int) -> None:
+                    shard = self._absorb(store, record)
+                    completed.append(shard.index)
+                    self._note_shard(store, shard, metrics, started)
 
-            supervisor = ShardSupervisor(
-                spec, self.directory,
-                workers=workers,
-                use_processes=self.workers > 1,
-                policy=self.retry_policy,
-                chaos=self.chaos,
-                shard_timeout=self.shard_timeout,
-                on_success=on_success,
-                on_event=self.reporter.on_failure,
-            )
-            result = supervisor.run(attemptable)
-            metrics.retried_attempts = result.retried_attempts
-            metrics.failure_events = result.failure_events
-            metrics.quarantined_shards = sorted(
-                set(held) | set(result.quarantined)
-            )
-        metrics.elapsed_seconds = time.perf_counter() - started
-        self.metrics = metrics
-        self.outcome = "degraded" if metrics.quarantined_shards else "clean"
-        self.reporter.on_finish(metrics)
+                supervisor = ShardSupervisor(
+                    spec, self.directory,
+                    workers=workers,
+                    use_processes=self.workers > 1,
+                    policy=self.retry_policy,
+                    chaos=self.chaos,
+                    shard_timeout=self.shard_timeout,
+                    on_success=on_success,
+                    on_event=self._on_failure_event,
+                )
+                result = supervisor.run(attemptable)
+                metrics.retried_attempts = result.retried_attempts
+                metrics.failure_events = result.failure_events
+                metrics.quarantined_shards = sorted(
+                    set(held) | set(result.quarantined)
+                )
+            metrics.elapsed_seconds = time.perf_counter() - started
+            self.metrics = metrics
+            self.outcome = ("degraded" if metrics.quarantined_shards
+                            else "clean")
+            if obs is not None:
+                self._record_run_metrics(obs, metrics, completed)
+                root_span.set(outcome=self.outcome,
+                              acquired=metrics.acquired_shards,
+                              quarantined=len(metrics.quarantined_shards))
+            self.reporter.on_finish(metrics)
         return store
+
+    def _on_failure_event(self, event) -> None:
+        obs = obs_runtime.current()
+        if obs is not None:
+            obs.registry.counter(
+                "repro_campaign_failures_total",
+                "failed shard attempts by kind and action",
+            ).inc(kind=event.kind, action=event.action)
+        self.reporter.on_failure(event)
+
+    def _record_run_metrics(self, obs, metrics: CampaignMetrics,
+                            completed: list) -> None:
+        """Fold worker snapshots + run totals into the coordinator.
+
+        Shard snapshots merge in shard order (not completion order),
+        so the final registry is identical whatever the scheduling.
+        """
+        obs_runtime.merge_shard_metrics(obs, completed)
+        registry = obs.registry
+        registry.counter(
+            "repro_campaign_shards_total", "shards acquired this run",
+        ).inc(metrics.acquired_shards)
+        registry.counter(
+            "repro_campaign_traces_total", "traces acquired this run",
+        ).inc(metrics.acquired_traces)
+        registry.counter(
+            "repro_campaign_retries_total",
+            "failed attempts that were retried",
+        ).inc(metrics.retried_attempts)
+        registry.gauge(
+            "repro_campaign_quarantined", "shards quarantined",
+        ).set(len(metrics.quarantined_shards))
+        registry.gauge(
+            "repro_campaign_resumed_shards",
+            "shards already on disk when this run started",
+        ).set(metrics.skipped_shards)
+        walls = registry.histogram(
+            "repro_campaign_shard_wall_seconds",
+            "per-shard acquisition wall clock",
+            buckets=(0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0),
+        )
+        for wall in metrics.shard_walls:
+            walls.observe(wall)
+        registry.gauge(
+            "repro_campaign_rate_traces_per_second",
+            "coordinator-side acquisition throughput",
+        ).set(metrics.traces_per_second)
 
     def _note_shard(self, store, shard, metrics, started) -> None:
         metrics.acquired_shards += 1

@@ -37,11 +37,15 @@ wrong side-channel conclusions get published.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from time import perf_counter as _perf_counter
 from typing import Optional
 
 import numpy as np
 
+from ..obs import profile as _obs_profile
+from ..obs import runtime as _obs_runtime
 from ..sca.dpa import BitDecision, DpaResult
 from ..sca.predict import ActivityPredictor
 from ..sca.spa import SpaResult, transition_spa
@@ -127,6 +131,15 @@ class OnlineMoments:
 
     def update(self, block: np.ndarray,
                mask: Optional[np.ndarray] = None) -> None:
+        if _obs_profile.enabled():
+            t0 = _perf_counter()
+            self._update(block, mask)
+            _obs_profile.observe("moments_update", _perf_counter() - t0)
+        else:
+            self._update(block, mask)
+
+    def _update(self, block: np.ndarray,
+                mask: Optional[np.ndarray]) -> None:
         block = np.asarray(block, dtype=np.float64)
         if mask is None:
             self.count += block.shape[0]
@@ -210,14 +223,48 @@ class _StreamingLadderAttack:
         """
         if n_bits < 1 or n_bits > len(self.store.iteration_slices):
             raise ValueError("n_bits out of range for this campaign")
+        rt = _obs_runtime.current()
         decisions = []
         prefix = []
-        for bit_index in range(n_bits):
-            decision = self.attack_bit(bit_index, prefix, max_traces)
-            decisions.append(decision)
-            prefix.append(decision.chosen)
+        with contextlib.ExitStack() as stack:
+            if rt is not None:
+                stack.enter_context(rt.span(
+                    "campaign.attack",
+                    attack=type(self).__name__, bits=n_bits,
+                ))
+            for bit_index in range(n_bits):
+                decision = self.attack_bit(bit_index, prefix, max_traces)
+                decisions.append(decision)
+                prefix.append(decision.chosen)
+                if rt is not None:
+                    self._observe_decision(rt, decision)
         self.last_provenance = store_provenance(self.store, max_traces)
         return DpaResult(decisions)
+
+    def _observe_decision(self, rt, decision: BitDecision) -> None:
+        """One attacked bit into the span stream and the peak gauges.
+
+        The per-bit ``repro_campaign_attack_peak_statistic`` series is
+        the DPA peak evolution an analyst plots to see the attack gain
+        (or lose) confidence as it walks down the key.
+        """
+        rt.tracer.event(
+            "attack.bit", key=decision.bit_index, level=2,
+            chosen=decision.chosen, true_bit=decision.true_bit,
+            statistic_zero=decision.statistic_zero,
+            statistic_one=decision.statistic_one,
+        )
+        peaks = rt.registry.gauge(
+            "repro_campaign_attack_peak_statistic",
+            "streamed attack peak statistic per bit and hypothesis",
+        )
+        bit = str(decision.bit_index)
+        peaks.set(decision.statistic_zero, bit=bit, hyp="0")
+        peaks.set(decision.statistic_one, bit=bit, hyp="1")
+        rt.registry.counter(
+            "repro_campaign_attack_bits_total",
+            "attacked bits by correctness",
+        ).inc(correct=str(decision.chosen == decision.true_bit).lower())
 
     def _significance_threshold(self, n: int) -> float:
         return 4.5

@@ -126,6 +126,8 @@ class FailureEvent:
     delay_seconds: float = 0.0
     wall_time: float = 0.0
     spec_digest: str = ""
+    attempt_wall_seconds: float = 0.0   # how long the attempt ran
+    worker_pid: int = 0                 # 0 when unknown (e.g. old logs)
 
     def to_dict(self) -> dict:
         return {
@@ -137,6 +139,8 @@ class FailureEvent:
             "delay_seconds": round(self.delay_seconds, 4),
             "wall_time": self.wall_time,
             "spec_digest": self.spec_digest,
+            "attempt_wall_seconds": round(self.attempt_wall_seconds, 4),
+            "worker_pid": self.worker_pid,
         }
 
 
@@ -307,14 +311,16 @@ class SupervisorOutcome:
 class _Active:
     """One in-flight worker process and its result pipe."""
 
-    __slots__ = ("shard", "attempt", "process", "conn", "deadline")
+    __slots__ = ("shard", "attempt", "process", "conn", "deadline",
+                 "started")
 
-    def __init__(self, shard, attempt, process, conn, deadline):
+    def __init__(self, shard, attempt, process, conn, deadline, started):
         self.shard = shard
         self.attempt = attempt
         self.process = process
         self.conn = conn
         self.deadline = deadline
+        self.started = started
 
 
 class ShardSupervisor:
@@ -425,6 +431,7 @@ class ShardSupervisor:
                 queue.append((shard, attempt + 1,
                               time.monotonic() + delay))
 
+            started = time.monotonic()
             try:
                 record = self.task(self.spec_dict, self.directory, shard,
                                    attempt, self.chaos_dict)
@@ -434,9 +441,13 @@ class ShardSupervisor:
                 self._failed(shard, attempt,
                              classify_exception(type(exc).__name__),
                              f"{type(exc).__name__}: {exc}",
-                             outcome, schedule)
+                             outcome, schedule,
+                             attempt_wall=time.monotonic() - started,
+                             pid=os.getpid())
                 continue
-            self._complete(shard, attempt, record, outcome, schedule)
+            self._complete(shard, attempt, record, outcome, schedule,
+                           attempt_wall=time.monotonic() - started,
+                           pid=os.getpid())
 
     # ------------------------------------------------------------------
     # process mode
@@ -497,9 +508,11 @@ class ShardSupervisor:
         )
         process.start()
         sender.close()                # child holds the only send end now
+        started = time.monotonic()
         deadline = (None if self.shard_timeout is None
-                    else time.monotonic() + self.shard_timeout)
-        return _Active(shard, attempt, process, receiver, deadline)
+                    else started + self.shard_timeout)
+        return _Active(shard, attempt, process, receiver, deadline,
+                       started)
 
     def _wait_timeout(self, retries: list, active: list) -> Optional[float]:
         bounds = [ready_at for ready_at, _, _ in retries[:1]]
@@ -513,6 +526,8 @@ class ShardSupervisor:
                 schedule: Callable) -> bool:
         """Handle one slot; True when it no longer occupies a worker."""
         message = None
+        pid = slot.process.pid or 0
+        wall = time.monotonic() - slot.started
         if slot.conn.poll():
             try:
                 message = slot.conn.recv()
@@ -523,13 +538,15 @@ class ShardSupervisor:
             self._reap(slot)
             if tag == "ok":
                 self._complete(slot.shard, slot.attempt, payload,
-                               outcome, schedule)
+                               outcome, schedule,
+                               attempt_wall=wall, pid=pid)
             else:
                 kind = classify_exception(payload.get("type", ""))
                 reason = (f"{payload.get('type', 'Exception')}: "
                           f"{payload.get('message', '')}")
                 self._failed(slot.shard, slot.attempt, kind, reason,
-                             outcome, schedule)
+                             outcome, schedule,
+                             attempt_wall=wall, pid=pid)
             return True
         if not slot.process.is_alive():
             exitcode = slot.process.exitcode
@@ -537,14 +554,16 @@ class ShardSupervisor:
             self._failed(slot.shard, slot.attempt, TRANSIENT,
                          f"worker exited with code {exitcode} without "
                          "delivering a result",
-                         outcome, schedule)
+                         outcome, schedule,
+                         attempt_wall=wall, pid=pid)
             return True
         if slot.deadline is not None and time.monotonic() >= slot.deadline:
             self._kill(slot)
             self._failed(slot.shard, slot.attempt, TRANSIENT,
                          f"watchdog: no result within "
                          f"{self.shard_timeout:.1f}s; worker killed",
-                         outcome, schedule)
+                         outcome, schedule,
+                         attempt_wall=wall, pid=pid)
             return True
         return False
 
@@ -576,11 +595,13 @@ class ShardSupervisor:
     # ------------------------------------------------------------------
 
     def _complete(self, shard: int, attempt: int, record: dict,
-                  outcome: SupervisorOutcome, schedule: Callable) -> None:
+                  outcome: SupervisorOutcome, schedule: Callable,
+                  attempt_wall: float = 0.0, pid: int = 0) -> None:
         reason = self._integrity_reason(record)
         if reason is not None:
             self._failed(shard, attempt, DATA_INTEGRITY, reason,
-                         outcome, schedule)
+                         outcome, schedule,
+                         attempt_wall=attempt_wall, pid=pid)
             return
         self.on_success(record, attempt)
         outcome.completed.append(shard)
@@ -599,7 +620,8 @@ class ShardSupervisor:
         return None
 
     def _failed(self, shard: int, attempt: int, kind: str, reason: str,
-                outcome: SupervisorOutcome, schedule: Callable) -> None:
+                outcome: SupervisorOutcome, schedule: Callable,
+                attempt_wall: float = 0.0, pid: int = 0) -> None:
         attempts_used = attempt + 1
         counts = self._kind_counts.setdefault(shard, {})
         counts[kind] = counts.get(kind, 0) + 1
@@ -618,6 +640,7 @@ class ShardSupervisor:
             shard_index=shard, attempt=attempt, kind=kind, reason=reason,
             action=action, delay_seconds=delay, wall_time=time.time(),
             spec_digest=self.spec_digest,
+            attempt_wall_seconds=attempt_wall, worker_pid=pid,
         )
         self.failure_log.append(event)
         outcome.failure_events += 1

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import profile as _obs_profile
+
 __all__ = ["Frame", "FrameError", "FrameCorruptedError", "FrameFormatError",
            "crc16", "encode_frame", "decode_frame", "frame_overhead_bits",
            "int_to_bytes", "int_from_bytes", "compress_point",
@@ -95,15 +97,16 @@ def frame_overhead_bits(label: str) -> int:
 
 def encode_frame(frame: Frame) -> bytes:
     """Serialize a frame; the CRC covers everything before it."""
-    label = frame.label.encode()
-    body = bytes([FRAME_VERSION])
-    body += frame.session.to_bytes(4, "big")
-    body += bytes([frame.epoch, frame.round_index, frame.attempt,
-                   frame.sender, len(label)])
-    body += label
-    body += len(frame.payload).to_bytes(2, "big")
-    body += frame.payload
-    return body + crc16(body).to_bytes(2, "big")
+    with _obs_profile.timed("frame_encode"):
+        label = frame.label.encode()
+        body = bytes([FRAME_VERSION])
+        body += frame.session.to_bytes(4, "big")
+        body += bytes([frame.epoch, frame.round_index, frame.attempt,
+                       frame.sender, len(label)])
+        body += label
+        body += len(frame.payload).to_bytes(2, "big")
+        body += frame.payload
+        return body + crc16(body).to_bytes(2, "big")
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -113,26 +116,28 @@ def decode_frame(data: bytes) -> Frame:
     normal fate of a frame that took bit errors) and
     :class:`FrameFormatError` for truncation or unknown versions.
     """
-    if len(data) < _FIXED_OVERHEAD_BYTES:
-        raise FrameFormatError("frame shorter than the fixed header")
-    if crc16(data[:-2]) != int.from_bytes(data[-2:], "big"):
-        raise FrameCorruptedError("frame CRC mismatch")
-    if data[0] != FRAME_VERSION:
-        raise FrameFormatError(f"unknown frame version {data[0]}")
-    session = int.from_bytes(data[1:5], "big")
-    epoch, round_index, attempt, sender, label_len = data[5:10]
-    offset = 10
-    if len(data) < offset + label_len + 2 + 2:
-        raise FrameFormatError("frame truncated inside the label")
-    label = data[offset:offset + label_len].decode()
-    offset += label_len
-    payload_len = int.from_bytes(data[offset:offset + 2], "big")
-    offset += 2
-    if len(data) != offset + payload_len + 2:
-        raise FrameFormatError("payload length disagrees with frame size")
-    payload = data[offset:offset + payload_len]
-    return Frame(session, epoch, round_index, attempt, sender, label,
-                 payload)
+    with _obs_profile.timed("frame_decode"):
+        if len(data) < _FIXED_OVERHEAD_BYTES:
+            raise FrameFormatError("frame shorter than the fixed header")
+        if crc16(data[:-2]) != int.from_bytes(data[-2:], "big"):
+            raise FrameCorruptedError("frame CRC mismatch")
+        if data[0] != FRAME_VERSION:
+            raise FrameFormatError(f"unknown frame version {data[0]}")
+        session = int.from_bytes(data[1:5], "big")
+        epoch, round_index, attempt, sender, label_len = data[5:10]
+        offset = 10
+        if len(data) < offset + label_len + 2 + 2:
+            raise FrameFormatError("frame truncated inside the label")
+        label = data[offset:offset + label_len].decode()
+        offset += label_len
+        payload_len = int.from_bytes(data[offset:offset + 2], "big")
+        offset += 2
+        if len(data) != offset + payload_len + 2:
+            raise FrameFormatError(
+                "payload length disagrees with frame size")
+        payload = data[offset:offset + payload_len]
+        return Frame(session, epoch, round_index, attempt, sender, label,
+                     payload)
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass, field as dataclass_field, replace
 from typing import TYPE_CHECKING, List, Optional
 
+from ..obs import runtime as _obs_runtime
+
 if TYPE_CHECKING:  # imported lazily at runtime (channel -> energy ->
     # protocols -> channel would otherwise be a cycle)
     from ..energy.radio import RadioModel
@@ -198,9 +200,11 @@ class BodyAreaChannel:
         profile = self.profile
         self.stats.frames_sent += 1
         self.stats.bits_sent += len(data) * 8
+        self._obs_count("sent")
 
         if self._roll("drop", frame, attempt) < profile.frame_loss:
             self.stats.frames_dropped += 1
+            self._obs_count("dropped")
             return []
 
         delay = profile.base_delay_s + profile.jitter_s * \
@@ -210,10 +214,12 @@ class BodyAreaChannel:
                 < profile.reorder_rate):
             delay += profile.reorder_delay_s
             self.stats.frames_reordered += 1
+            self._obs_count("reordered")
 
         payload, corrupted = self._corrupt(data, frame, attempt)
         if corrupted:
             self.stats.frames_corrupted += 1
+            self._obs_count("corrupted")
 
         deliveries = [Delivery(payload, now + delay, corrupted)]
         if (profile.duplicate_rate > 0.0
@@ -224,9 +230,19 @@ class BodyAreaChannel:
             deliveries.append(Delivery(payload, now + echo_delay,
                                        corrupted, duplicate=True))
             self.stats.frames_duplicated += 1
+            self._obs_count("duplicated")
         for delivery in deliveries:
             self.stats.bits_delivered += len(delivery.data) * 8
+        self._obs_count("delivered", len(deliveries))
         return deliveries
+
+    def _obs_count(self, event: str, amount: int = 1) -> None:
+        rt = _obs_runtime.current()
+        if rt is not None:
+            rt.registry.counter(
+                "repro_channel_frames_total",
+                "channel-level frame events (sender side)",
+            ).inc(amount, event=event)
 
     def _corrupt(self, data: bytes, frame: int,
                  attempt: int) -> "tuple[bytes, bool]":

@@ -29,6 +29,8 @@ Campaign exit codes form a small contract for scripts and CI:
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import random
 import sys
 
@@ -36,6 +38,7 @@ __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_evaluate", "cmd_campaign_acquire", "cmd_campaign_status",
            "cmd_campaign_attack", "cmd_campaign_doctor",
            "cmd_protocol_run", "cmd_protocol_soak",
+           "cmd_obs_report", "cmd_obs_diff",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
 
 EXIT_OK = 0
@@ -158,18 +161,30 @@ def _campaign_spec_from_args(args) -> "object":
         seed=args.seed,
         max_iterations=None if args.bits is None else args.bits + 1,
         noise_sigma=args.noise,
+        curve=args.curve,
     )
+
+
+def _obs_session(obs_dir, **kwargs):
+    """An obs session context, or a no-op when tracing is off."""
+    if not obs_dir:
+        return contextlib.nullcontext()
+    from .obs import runtime as obs_runtime
+
+    return obs_runtime.session(str(obs_dir), **kwargs)
 
 
 def cmd_campaign_acquire(directory: str, spec, workers=None,
                          quiet: bool = False, shard_timeout=None,
                          max_attempts=None, chaos: str = None,
                          chaos_seed: int = 0,
-                         chaos_shards=None) -> tuple:
+                         chaos_shards=None, obs: bool = False,
+                         obs_profile: bool = False) -> tuple:
     """Acquire (or resume) a campaign into ``directory``.
 
     Returns ``(report, exit_code)`` — ``EXIT_OK`` on full coverage,
-    ``EXIT_DEGRADED`` when shards ended up quarantined.
+    ``EXIT_DEGRADED`` when shards ended up quarantined.  With ``obs``
+    (or ``obs_profile``) the run is traced into ``<directory>/obs``.
     """
     from .campaign import AcquisitionEngine, ChaosConfig, ConsoleReporter, \
         NullReporter, RetryPolicy
@@ -187,12 +202,18 @@ def cmd_campaign_acquire(directory: str, spec, workers=None,
     if chaos:
         chaos_config = ChaosConfig.parse(chaos, seed=chaos_seed,
                                          only_shards=chaos_shards)
+    obs_dir = os.path.join(str(directory), "obs") \
+        if (obs or obs_profile) else None
     engine = AcquisitionEngine(directory, spec, workers=workers,
                                reporter=reporter,
                                shard_timeout=shard_timeout,
                                retry_policy=policy,
                                chaos=chaos_config)
-    store = engine.run()
+    with _obs_session(obs_dir, kind="campaign", seed=spec.seed,
+                      config_digest=spec.digest(), profile=obs_profile,
+                      argv=["campaign", "acquire", "--dir",
+                            str(directory)]):
+        store = engine.run()
     m = engine.metrics
     lines = [
         f"campaign {directory}: {store.n_traces_on_disk}/"
@@ -200,6 +221,11 @@ def cmd_campaign_acquire(directory: str, spec, workers=None,
         f"({len(store.shard_records)} shard(s))",
         m.summary(),
     ]
+    if obs_dir:
+        lines.append(
+            f"observability: {obs_dir} "
+            f"(read with `python -m repro obs report --dir {directory}`)"
+        )
     if m.degraded:
         lines += [
             f"DEGRADED: shard(s) {m.quarantined_shards} quarantined — "
@@ -214,10 +240,18 @@ def cmd_campaign_acquire(directory: str, spec, workers=None,
 
 
 def cmd_campaign_status(directory: str) -> str:
-    """Manifest summary: progress, throughput, integrity."""
-    from .campaign import TraceStore
+    """Manifest summary: progress, throughput, integrity.
 
+    Every number in this view is read back out of an obs metrics
+    snapshot built by :func:`repro.obs.integration.record_store` — the
+    one aggregation path shared with the exported metrics, so the
+    status line can never disagree with ``metrics.json``.
+    """
+    from .campaign import TraceStore
     from .campaign.supervisor import FailureLog, Quarantine
+    from .obs.integration import record_store, snapshot_histogram, \
+        snapshot_value
+    from .obs.metrics import MetricRegistry
 
     store = TraceStore(directory)
     if not store.exists:
@@ -225,39 +259,56 @@ def cmd_campaign_status(directory: str) -> str:
     store.load()
     spec = store.spec
     missing = store.missing_shards()
-    walls = [r.wall_seconds for r in store.shard_records]
-    rate = (store.n_traces_on_disk / sum(walls)) if walls else 0.0
+    log = FailureLog(directory)
+    quarantine = Quarantine(directory)
+    snapshot = record_store(MetricRegistry(), store, log,
+                            quarantine).snapshot()
+    n_traces = int(snapshot_value(snapshot, "repro_campaign_store_traces"))
+    n_shards = int(snapshot_value(snapshot, "repro_campaign_store_shards"))
+    walls = snapshot_histogram(snapshot,
+                               "repro_campaign_store_wall_seconds")
+    rate = snapshot_value(snapshot,
+                          "repro_campaign_store_rate_traces_per_second")
     lines = [
         f"campaign {directory}",
         f"  scenario: {spec.scenario}  curve: {spec.curve}  "
         f"seed: {spec.seed}",
-        f"  traces: {store.n_traces_on_disk}/{spec.n_traces} "
-        f"({len(store.shard_records)}/{spec.n_shards} shards, "
+        f"  traces: {n_traces}/{spec.n_traces} "
+        f"({n_shards}/{spec.n_shards} shards, "
         f"shard size {spec.shard_size})",
         f"  coverage: {store.coverage().render()}",
         f"  missing shards: {missing if missing else 'none — complete'}",
     ]
-    quarantined = Quarantine(directory).entries()
+    quarantined = quarantine.entries()
     if quarantined:
         lines.append(
             f"  quarantined shards: {sorted(quarantined)} "
             f"(release with `campaign doctor --clear`)"
         )
-    log = FailureLog(directory)
     if log.exists:
-        tally = log.tally()
-        kinds = ", ".join(f"{k}={n}" for k, n in
-                          sorted(tally["by_kind"].items()))
+        by_kind = {
+            item["labels"]["kind"]: int(item["value"])
+            for item in snapshot["metrics"].get(
+                "repro_campaign_store_failures_total",
+                {"values": []})["values"]
+        }
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(by_kind.items()))
+        retries = int(snapshot_value(
+            snapshot, "repro_campaign_store_failure_actions_total",
+            action="retry"))
+        quarantines = int(snapshot_value(
+            snapshot, "repro_campaign_store_failure_actions_total",
+            action="quarantine"))
         lines.append(
             f"  failures: {kinds or 'none'} "
-            f"({tally['retries']} retried, "
-            f"{tally['quarantines']} quarantined) — {log.path}"
+            f"({retries} retried, "
+            f"{quarantines} quarantined) — {log.path}"
         )
-    if walls:
+    if walls["count"]:
         lines.append(
-            f"  acquisition wall: {sum(walls):.2f}s total, "
+            f"  acquisition wall: {walls['sum']:.2f}s total, "
             f"{rate:.1f} traces/s per worker "
-            f"(per-shard {min(walls):.2f}-{max(walls):.2f}s)"
+            f"(per-shard {walls['min']:.2f}-{walls['max']:.2f}s)"
         )
     return "\n".join(lines)
 
@@ -286,9 +337,16 @@ def cmd_campaign_doctor(directory: str, clear: bool = False,
         f"({tally['retries']} retried, {tally['quarantines']} quarantined)"
     )
     for event in events[-last:]:
+        provenance = ""
+        if event.get("worker_pid"):
+            provenance = (
+                f" (pid {event['worker_pid']}, ran "
+                f"{event.get('attempt_wall_seconds', 0.0):.2f}s)"
+            )
         lines.append(
             f"    shard {event['shard']} attempt {event['attempt'] + 1} "
             f"[{event['kind']}] {event['action']}: {event['reason']}"
+            f"{provenance}"
         )
     entries = quarantine.entries()
     if entries:
@@ -379,9 +437,11 @@ def cmd_protocol_run(protocol: str = "peeters-hermans",
                      curve: str = "TOY-B17", loss: float = 0.1,
                      sessions: int = 5, seed: int = 2013,
                      distance: float = 0.5,
-                     events: bool = False) -> str:
+                     events: bool = False, obs_dir=None,
+                     obs_profile: bool = False) -> str:
     """Run a handful of resilient sessions and narrate each one."""
     from .ec.curves import get_curve
+    from .obs.integration import fleet_spec_digest
     from .protocols.fleet import FleetSpec
     from .protocols.session import make_adapter, run_resilient_session
 
@@ -390,15 +450,20 @@ def cmd_protocol_run(protocol: str = "peeters-hermans",
     domain = None if protocol == "mutual-auth" else get_curve(curve)
     profile = spec.profile(loss)
     lines = [f"{protocol} over a channel with {profile.describe()}"]
-    for index in range(sessions):
-        adapter = make_adapter(protocol, domain, seed=seed,
-                               session_index=index)
-        result = run_resilient_session(adapter, profile, spec.policy(),
-                                       seed=seed, session_index=index,
-                                       distance_m=distance)
-        lines.append(result.summary())
-        if events:
-            lines.extend(f"    {event}" for event in result.events)
+    with _obs_session(obs_dir, kind="protocol-run", seed=seed,
+                      config_digest=fleet_spec_digest(spec),
+                      profile=obs_profile,
+                      argv=["protocol", "run", "--protocol", protocol]):
+        for index in range(sessions):
+            adapter = make_adapter(protocol, domain, seed=seed,
+                                   session_index=index)
+            result = run_resilient_session(adapter, profile,
+                                           spec.policy(),
+                                           seed=seed, session_index=index,
+                                           distance_m=distance)
+            lines.append(result.summary())
+            if events:
+                lines.extend(f"    {event}" for event in result.events)
     return "\n".join(lines)
 
 
@@ -407,7 +472,8 @@ def cmd_protocol_soak(protocol: str = "peeters-hermans",
                       seed: int = 2013, sweep=None,
                       workers=None, distance: float = 0.5,
                       min_availability: float = 0.99,
-                      quiet: bool = False) -> "tuple[str, int]":
+                      quiet: bool = False, obs_dir=None,
+                      obs_profile: bool = False) -> "tuple[str, int]":
     """Run the availability sweep; ``(report, exit_code)``.
 
     Exit-code contract (the campaign one): ``0`` when every session at
@@ -415,6 +481,7 @@ def cmd_protocol_soak(protocol: str = "peeters-hermans",
     aborted but every sweep point stayed at or above
     ``min_availability``; ``1`` when availability fell below the floor.
     """
+    from .obs.integration import fleet_spec_digest
     from .protocols.fleet import DEFAULT_SWEEP, FleetSpec, run_fleet
 
     spec = FleetSpec(protocol=protocol, curve=curve, sessions=sessions,
@@ -425,7 +492,11 @@ def cmd_protocol_soak(protocol: str = "peeters-hermans",
         def progress(done, total):
             print(f"\r  slices {done}/{total}", end="",
                   file=sys.stderr, flush=True)
-    report = run_fleet(spec, workers=workers, progress=progress)
+    with _obs_session(obs_dir, kind="protocol-soak", seed=seed,
+                      config_digest=fleet_spec_digest(spec),
+                      profile=obs_profile,
+                      argv=["protocol", "soak", "--protocol", protocol]):
+        report = run_fleet(spec, workers=workers, progress=progress)
     if not quiet:
         print(file=sys.stderr)
     floor = min(point.availability for point in report.points)
@@ -436,6 +507,59 @@ def cmd_protocol_soak(protocol: str = "peeters-hermans",
     else:
         code = EXIT_FAILED
     return report.summary(), code
+
+
+# ----------------------------------------------------------------------
+# obs verbs
+# ----------------------------------------------------------------------
+
+def cmd_obs_report(directory: str, as_json: bool = False, top: int = 10,
+                   require_spans=None,
+                   require_metrics=None) -> "tuple[str, int]":
+    """Render one traced run; ``(report, exit_code)``.
+
+    Exits ``EXIT_FAILED`` when a required span name or metric family
+    is absent (the CI guard against silently-degraded tracing).
+    """
+    import json as _json
+
+    from .obs import report as obs_report
+
+    if as_json:
+        output = _json.dumps(obs_report.report_json(directory, top=top),
+                             indent=1, sort_keys=True)
+    else:
+        output = obs_report.render_report(directory, top=top)
+    code = EXIT_OK
+    if require_spans or require_metrics:
+        missing = obs_report.check_required(directory, require_spans,
+                                            require_metrics)
+        problems = []
+        if missing["missing_spans"]:
+            problems.append("missing span name(s): "
+                            + ", ".join(missing["missing_spans"]))
+        if missing["missing_metrics"]:
+            problems.append("missing metric famil(ies): "
+                            + ", ".join(missing["missing_metrics"]))
+        if problems:
+            output += "\n" + "\n".join(f"  {p}" for p in problems)
+            code = EXIT_FAILED
+    return output, code
+
+
+def cmd_obs_diff(path_a: str, path_b: str, patterns=None,
+                 max_regression=None) -> "tuple[str, int]":
+    """Regression table between two runs; ``(table, exit_code)``.
+
+    ``EXIT_FAILED`` when any matched metric increased by more than
+    ``max_regression`` percent.
+    """
+    from .obs import report as obs_report
+
+    output, regressions = obs_report.render_diff(
+        path_a, path_b, patterns=patterns, max_regression=max_regression,
+    )
+    return output, EXIT_FAILED if regressions else EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -493,6 +617,13 @@ def main(argv=None) -> int:
     acquire.add_argument("--chaos-shards", default=None,
                          help="comma-separated shard indices the chaos "
                               "faults apply to (default: all)")
+    acquire.add_argument("--curve", default="K-163",
+                         help="named curve (K-163, B-163, TOY-B17)")
+    acquire.add_argument("--obs", action="store_true",
+                         help="trace the run into <dir>/obs "
+                              "(spans, metrics, manifest)")
+    acquire.add_argument("--obs-profile", action="store_true",
+                         help="--obs plus perf_counter hot-path timers")
 
     status = verbs.add_parser("status", help="manifest summary")
     status.add_argument("--dir", required=True)
@@ -538,6 +669,10 @@ def main(argv=None) -> int:
                       help="radio distance in meters (sets the BER)")
     prun.add_argument("--events", action="store_true",
                       help="print the per-frame event log")
+    prun.add_argument("--obs-dir", default=None,
+                      help="trace the sessions into this directory")
+    prun.add_argument("--obs-profile", action="store_true",
+                      help="also time the hot paths (needs --obs-dir)")
 
     psoak = pverbs.add_parser(
         "soak", help="availability/energy sweep over loss rates"
@@ -560,6 +695,47 @@ def main(argv=None) -> int:
                        help="floor below which the soak FAILS "
                             "(above it but short of 100%% = degraded)")
     psoak.add_argument("--quiet", action="store_true")
+    psoak.add_argument("--obs-dir", default=None,
+                       help="trace the soak into this directory")
+    psoak.add_argument("--obs-profile", action="store_true",
+                       help="also time the hot paths (needs --obs-dir)")
+
+    obs = sub.add_parser(
+        "obs", help="observability reports over a traced run"
+    )
+    overbs = obs.add_subparsers(dest="verb", required=True)
+
+    oreport = overbs.add_parser(
+        "report", help="span/energy/metric report of one run"
+    )
+    oreport.add_argument("--dir", required=True,
+                         help="run directory (or its obs/ subdir)")
+    oreport.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    oreport.add_argument("--top", type=int, default=10,
+                         help="slowest spans to list")
+    oreport.add_argument("--require-spans", default=None,
+                         help="comma-separated span names that must "
+                              "appear (exit 1 otherwise)")
+    oreport.add_argument("--require-metrics", default=None,
+                         help="comma-separated metric families that "
+                              "must appear (exit 1 otherwise)")
+
+    odiff = overbs.add_parser(
+        "diff", help="metric regression table between two runs"
+    )
+    odiff.add_argument("a", help="baseline: run dir, obs dir or "
+                                 "metrics.json")
+    odiff.add_argument("b", help="candidate: run dir, obs dir or "
+                                 "metrics.json")
+    odiff.add_argument("--filter", action="append", default=None,
+                       metavar="GLOB",
+                       help="only diff metrics matching this glob "
+                            "(repeatable)")
+    odiff.add_argument("--max-regression", type=float, default=None,
+                       metavar="PCT",
+                       help="exit 1 when any metric rose by more than "
+                            "this percentage")
 
     args = parser.parse_args(argv)
 
@@ -576,6 +752,8 @@ def main(argv=None) -> int:
                               else sys.argv[1:])
     elif args.command == "protocol":
         return _protocol_main(args)
+    elif args.command == "obs":
+        return _obs_main(args)
     else:
         output = cmd_evaluate(weak=args.weak, traces=args.traces,
                               seed=args.seed)
@@ -590,6 +768,30 @@ def _print(output: str) -> None:
         pass
 
 
+def _obs_main(args) -> int:
+    """Dispatch an ``obs`` verb under the exit-code contract."""
+    try:
+        if args.verb == "report":
+            output, code = cmd_obs_report(
+                args.dir, as_json=args.json, top=args.top,
+                require_spans=[s for s in
+                               (args.require_spans or "").split(",") if s],
+                require_metrics=[s for s in
+                                 (args.require_metrics or "").split(",")
+                                 if s],
+            )
+        else:
+            output, code = cmd_obs_diff(
+                args.a, args.b, patterns=args.filter,
+                max_regression=args.max_regression,
+            )
+    except FileNotFoundError as exc:
+        print(f"obs error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
+
+
 def _protocol_main(args) -> int:
     """Dispatch a ``protocol`` verb under the exit-code contract."""
     code = EXIT_OK
@@ -599,6 +801,7 @@ def _protocol_main(args) -> int:
                 protocol=args.protocol, curve=args.curve, loss=args.loss,
                 sessions=args.sessions, seed=args.seed,
                 distance=args.distance, events=args.events,
+                obs_dir=args.obs_dir, obs_profile=args.obs_profile,
             )
         else:
             sweep = None
@@ -609,6 +812,7 @@ def _protocol_main(args) -> int:
                 sessions=args.sessions, seed=args.seed, sweep=sweep,
                 workers=args.workers, distance=args.distance,
                 min_availability=args.min_availability, quiet=args.quiet,
+                obs_dir=args.obs_dir, obs_profile=args.obs_profile,
             )
     except KeyboardInterrupt:
         print("\ninterrupted — the sweep is deterministic; rerunning "
@@ -640,6 +844,7 @@ def _campaign_main(args, argv) -> int:
                 max_attempts=args.max_attempts,
                 chaos=args.chaos, chaos_seed=args.chaos_seed,
                 chaos_shards=chaos_shards,
+                obs=args.obs, obs_profile=args.obs_profile,
             )
         elif args.verb == "status":
             output = cmd_campaign_status(args.dir)

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field as dataclass_field
+from time import perf_counter as _perf_counter
 
+from ..obs import profile as _obs_profile
 from .field import BinaryField
 from .polynomial import clmul
 
@@ -102,6 +104,14 @@ class DigitSerialMultiplier:
         The returned product equals ``field.mul_raw(a, b)`` — the
         datapath model is bit-exact against the reference arithmetic.
         """
+        if _obs_profile.enabled():
+            t0 = _perf_counter()
+            result = self._multiply(a, b)
+            _obs_profile.observe("gf2m_multiply", _perf_counter() - t0)
+            return result
+        return self._multiply(a, b)
+
+    def _multiply(self, a: int, b: int) -> tuple[int, MultiplicationTrace]:
         f = self.field
         d = self.digit_size
         mask = (1 << f.m) - 1

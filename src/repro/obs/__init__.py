@@ -1,0 +1,53 @@
+"""repro.obs — tracing, metrics and energy-provenance telemetry.
+
+The paper's thesis is that security is a *design dimension* to be
+traded against area, speed, power and energy; this package is the
+instrument that makes those trades measurable across the whole
+reproduction.  Three pillars, one API:
+
+* **tracing** (:mod:`.tracing`) — hierarchical spans
+  (``campaign.acquire`` > ``shard`` > ``trace`` > ``ladder.step``)
+  with wall-time, simulated-cycle and µJ attribution, deterministic
+  span ids, fsync-batched JSONL persistence;
+* **metrics** (:mod:`.metrics`) — a process-local registry of
+  counters/gauges/fixed-bucket histograms with a Prometheus-text
+  exporter and diffable JSON snapshots;
+* **profiling** (:mod:`.profile`) — opt-in perf_counter timers on the
+  hot paths, feeding the same histograms.
+
+Nothing here depends on anything outside the stdlib; the rest of the
+package depends on it (guarded, so tracing off costs one global
+read).  :mod:`.runtime` owns the on/off switch and worker
+propagation, :mod:`.report` reads a finished run back, and
+:mod:`.integration` is the single aggregation path behind ``campaign
+status`` and ``protocol soak``.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    diff_snapshots,
+    strip_wall_metrics,
+)
+from .runtime import (
+    ObsRuntime,
+    configure,
+    current,
+    enabled,
+    session,
+    shard_scope,
+    shutdown,
+)
+from .tracing import Span, SpanWriter, Tracer, derive_span_id, \
+    derive_trace_id
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricError", "MetricRegistry",
+    "diff_snapshots", "strip_wall_metrics",
+    "ObsRuntime", "configure", "current", "enabled", "session",
+    "shard_scope", "shutdown",
+    "Span", "SpanWriter", "Tracer", "derive_span_id", "derive_trace_id",
+]

@@ -1,0 +1,191 @@
+"""Bridges from domain objects into the metric registry.
+
+The CLI's summary views used to aggregate on their own — ``campaign
+status`` summed shard walls one way, the acquire reporter another,
+``protocol soak`` had a third set of loops — which is exactly how
+numbers drift apart.  These recorders are now the *only* aggregation
+path: they fold a :class:`~repro.campaign.store.TraceStore` or a
+:class:`~repro.protocols.fleet.FleetReport` into a
+:class:`~repro.obs.metrics.MetricRegistry`, and every rendered number
+is read back out of the snapshot.
+
+Imports of campaign/protocol types stay inside the functions so that
+:mod:`repro.obs` itself remains import-light (instrumented modules
+import it at module scope).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from .metrics import MetricRegistry
+
+__all__ = ["record_store", "record_fleet_report", "fleet_spec_digest",
+           "fleet_point_stats", "snapshot_value", "snapshot_histogram"]
+
+
+def snapshot_value(snapshot: dict, name: str, **labels) -> float:
+    """A counter/gauge value out of a snapshot (0.0 when absent)."""
+    entry = snapshot.get("metrics", {}).get(name)
+    if entry is None:
+        return 0.0
+    wanted = {k: str(v) for k, v in labels.items()}
+    for item in entry["values"]:
+        if item["labels"] == wanted:
+            return float(item["value"])
+    return 0.0
+
+
+def snapshot_histogram(snapshot: dict, name: str, **labels) -> dict:
+    """``{count, sum, min, max}`` of one histogram series (zeros when
+    absent)."""
+    entry = snapshot.get("metrics", {}).get(name)
+    empty = {"count": 0, "sum": 0.0, "min": None, "max": None}
+    if entry is None or entry.get("kind") != "histogram":
+        return empty
+    wanted = {k: str(v) for k, v in labels.items()}
+    for item in entry["values"]:
+        if item["labels"] == wanted:
+            return {"count": item["count"], "sum": item["sum"],
+                    "min": item["min"], "max": item["max"]}
+    return empty
+
+
+# ----------------------------------------------------------------------
+# campaign store -> registry (the `campaign status` aggregation)
+# ----------------------------------------------------------------------
+
+def record_store(registry: MetricRegistry, store,
+                 failure_log=None, quarantine=None) -> MetricRegistry:
+    """Fold a loaded TraceStore (plus failure state) into ``registry``.
+
+    Gauges describe the store as it stands on disk; the wall-seconds
+    histogram carries per-shard acquisition walls (sum/min/max feed
+    the status line's throughput figures).
+    """
+    spec = store.spec
+    registry.gauge("repro_campaign_store_traces",
+                   "traces on disk").set(store.n_traces_on_disk)
+    registry.gauge("repro_campaign_store_traces_planned",
+                   "traces the spec plans").set(spec.n_traces)
+    registry.gauge("repro_campaign_store_shards",
+                   "completed shards on disk").set(len(store.shard_records))
+    registry.gauge("repro_campaign_store_shards_planned",
+                   "shards the spec plans").set(spec.n_shards)
+    walls = registry.histogram(
+        "repro_campaign_store_wall_seconds",
+        "per-shard acquisition wall clock",
+        buckets=(0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0),
+    )
+    for record in store.shard_records:
+        walls.observe(record.wall_seconds)
+    total_wall = sum(r.wall_seconds for r in store.shard_records)
+    rate = store.n_traces_on_disk / total_wall if total_wall > 0 else 0.0
+    registry.gauge("repro_campaign_store_rate_traces_per_second",
+                   "traces per worker-wall second").set(rate)
+    if failure_log is not None and failure_log.exists:
+        failures = registry.counter(
+            "repro_campaign_store_failures_total",
+            "recorded shard-attempt failures by kind",
+        )
+        actions = registry.counter(
+            "repro_campaign_store_failure_actions_total",
+            "recorded failure outcomes (retry/quarantine)",
+        )
+        for event in failure_log.events():
+            failures.inc(kind=event.get("kind", "?"))
+            actions.inc(action=event.get("action", "?"))
+    if quarantine is not None:
+        registry.gauge(
+            "repro_campaign_store_quarantined",
+            "shards currently quarantined",
+        ).set(len(quarantine.entries()))
+    return registry
+
+
+# ----------------------------------------------------------------------
+# fleet report -> registry (the `protocol soak` aggregation)
+# ----------------------------------------------------------------------
+
+def fleet_spec_digest(spec) -> str:
+    """Stable fingerprint of a FleetSpec (manifests, trace ids)."""
+    from dataclasses import asdict
+
+    payload = json.dumps(asdict(spec), sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _loss_label(frame_loss: float) -> str:
+    return f"{frame_loss:g}"
+
+
+def record_fleet_report(registry: MetricRegistry,
+                        report) -> MetricRegistry:
+    """Fold every sweep point's session records into ``registry``."""
+    sessions = registry.counter("repro_fleet_sessions_total",
+                                "sessions by sweep point and outcome")
+    epochs = registry.counter("repro_fleet_epochs_total",
+                              "protocol epochs consumed")
+    frames = registry.counter("repro_fleet_frames_total",
+                              "frames transmitted")
+    retx = registry.counter("repro_fleet_retransmissions_total",
+                            "frames beyond the lossless three")
+    rejections = registry.counter("repro_fleet_rejections_total",
+                                  "receiver-side frame rejections")
+    energy = registry.counter("repro_fleet_energy_uj_total",
+                              "microjoules spent, by role")
+    availability = registry.gauge("repro_fleet_availability",
+                                  "fraction of sessions that identified")
+    for point in sorted(report.points, key=lambda p: p.frame_loss):
+        loss = _loss_label(point.frame_loss)
+        for record in point.records:
+            if record.accepted:
+                outcome = "accepted"
+            elif record.completed:
+                outcome = "rejected"
+            else:
+                outcome = "aborted"
+            sessions.inc(loss=loss, outcome=outcome)
+            epochs.inc(record.epochs_used, loss=loss)
+            frames.inc(record.frames_sent, loss=loss)
+            retx.inc(record.retransmissions, loss=loss)
+            for kind, count in (("corrupt", record.corrupt_rejections),
+                                ("stale", record.stale_rejections),
+                                ("replay", record.replay_rejections)):
+                if count:
+                    rejections.inc(count, loss=loss, kind=kind)
+            energy.inc(record.initiator_uj, loss=loss, role="initiator")
+            energy.inc(record.responder_uj, loss=loss, role="responder")
+        availability.set(point.availability, loss=loss)
+    return registry
+
+
+def fleet_point_stats(snapshot: dict, frame_loss: float) -> dict:
+    """One sweep point's summary figures, read back from a snapshot."""
+    loss = _loss_label(frame_loss)
+    n = sum(
+        snapshot_value(snapshot, "repro_fleet_sessions_total",
+                       loss=loss, outcome=outcome)
+        for outcome in ("accepted", "rejected", "aborted")
+    )
+    accepted = snapshot_value(snapshot, "repro_fleet_sessions_total",
+                              loss=loss, outcome="accepted")
+    stats = {
+        "sessions": int(n),
+        "accepted": int(accepted),
+        "availability": accepted / n if n else 0.0,
+        "mean_epochs": (snapshot_value(
+            snapshot, "repro_fleet_epochs_total", loss=loss) / n
+            if n else 0.0),
+        "mean_frames": (snapshot_value(
+            snapshot, "repro_fleet_frames_total", loss=loss) / n
+            if n else 0.0),
+        "retransmissions": int(snapshot_value(
+            snapshot, "repro_fleet_retransmissions_total", loss=loss)),
+        "mean_initiator_uj": (snapshot_value(
+            snapshot, "repro_fleet_energy_uj_total",
+            loss=loss, role="initiator") / n if n else 0.0),
+    }
+    return stats

@@ -1,0 +1,96 @@
+"""The run manifest: what produced this run directory.
+
+Every traced run writes ``run.json`` next to its spans and metrics —
+seed, config digest, command line, git revision, library versions —
+so any number quoted from an ``obs report`` can be traced back to the
+exact code and configuration that produced it.  That is the
+reproducibility contract README/DESIGN lean on: a report without its
+manifest is an anecdote.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Optional
+
+from .metrics import atomic_write_bytes
+
+__all__ = ["MANIFEST_NAME", "build_manifest", "write_manifest",
+           "load_manifest"]
+
+MANIFEST_NAME = "run.json"
+
+MANIFEST_SCHEMA = 1
+
+
+def _git_rev() -> Optional[str]:
+    """Current git revision, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:       # obs itself never requires numpy
+        return None
+    return numpy.__version__
+
+
+def build_manifest(kind: str, seed=None, config_digest: str = "",
+                   argv: Optional[list] = None,
+                   extra: Optional[dict] = None) -> dict:
+    """Assemble the manifest dict for one run.
+
+    ``kind`` names what ran (``campaign.acquire``, ``protocol.soak``);
+    ``seed`` and ``config_digest`` are the determinism roots the trace
+    id is derived from; everything else is provenance.
+    """
+    from .. import __version__
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "seed": seed,
+        "config_digest": config_digest,
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+        "created_unix": time.time(),
+        "git_rev": _git_rev(),
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+        "numpy_version": _numpy_version(),
+        "platform": platform.platform(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(obs_dir: str, manifest: dict) -> str:
+    path = os.path.join(obs_dir, MANIFEST_NAME)
+    atomic_write_bytes(
+        path, json.dumps(manifest, sort_keys=True, indent=1).encode()
+    )
+    return path
+
+
+def load_manifest(obs_dir: str) -> Optional[dict]:
+    path = os.path.join(obs_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)

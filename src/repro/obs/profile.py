@@ -1,0 +1,64 @@
+"""Opt-in perf_counter profiling hooks for the hot paths.
+
+The simulator's inner loops (digit-serial multiply, ladder step,
+streaming-attack update, frame codec) are instrumented with
+``if profile.enabled(): ...`` guards that cost one global read when
+profiling is off.  When the runtime is configured with
+``profile=True`` (CLI ``--obs-profile``), each section feeds a
+``repro_profile_<section>_seconds`` histogram in the same registry
+every other metric lives in, so ``obs report``/``obs diff`` see
+profiling data with no extra machinery.
+
+Section timings are wall-clock and therefore excluded from the
+determinism guarantees (the ``_seconds`` suffix is what
+:func:`repro.obs.metrics.strip_wall_metrics` keys on).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+from . import runtime as _runtime
+from .metrics import DEFAULT_LATENCY_BUCKETS
+
+__all__ = ["enabled", "observe", "timed"]
+
+
+def enabled() -> bool:
+    """Cheap hot-path guard: is a profiling runtime active?"""
+    rt = _runtime.current()
+    return rt is not None and rt.profile
+
+
+def observe(section: str, seconds: float) -> None:
+    """Record one timed section into its latency histogram."""
+    rt = _runtime.current()
+    if rt is None or not rt.profile:
+        return
+    rt.registry.histogram(
+        f"repro_profile_{section}_seconds",
+        help=f"wall time of the {section} hot path",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    ).observe(seconds)
+
+
+@contextmanager
+def timed(section: str):
+    """``with profile.timed("frame_encode"):`` around a cold-ish path.
+
+    For the truly hot paths prefer the explicit guard —
+
+    >>> if profile.enabled():
+    ...     t0 = perf_counter(); work(); profile.observe(s, perf_counter() - t0)
+
+    — which costs nothing when profiling is off.
+    """
+    if not enabled():
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        observe(section, perf_counter() - t0)

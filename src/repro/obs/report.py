@@ -1,0 +1,362 @@
+"""Reading a traced run back: trees, rollups, reports, diffs.
+
+This is the consumer side of :mod:`repro.obs`: given a run directory
+it loads the manifest, every span file (coordinator + per-shard) and
+the merged metric snapshot, and renders
+
+* the **human report** — manifest provenance, per-span-name rollup
+  (count / wall / simulated cycles / µJ), the top-N slowest spans and
+  the energy-by-span rollup whose total matches the energy model's
+  total by construction (self-energy = a span's µJ minus its
+  children's, so partitioned attribution sums back exactly);
+* the **JSON report** — the same data machine-readable;
+* the **canonical span tree** — wall-time and pid stripped, children
+  sorted by deterministic span id, serialized with sorted keys — the
+  byte-comparable artifact the deterministic-replay tests assert on;
+* the **diff** — a regression table between two metric snapshots with
+  percent deltas, and a threshold check CI fails builds on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .manifest import load_manifest
+from .metrics import MetricRegistry, diff_snapshots, strip_wall_metrics
+from .runtime import METRICS_NAME, OBS_DIRNAME, SPANS_NAME
+
+__all__ = ["resolve_obs_dir", "load_spans", "load_metrics",
+           "canonical_span_tree", "canonical_span_bytes",
+           "canonical_metrics_bytes", "energy_rollup", "name_rollup",
+           "render_report", "report_json", "check_required",
+           "render_diff"]
+
+
+def resolve_obs_dir(path: str) -> str:
+    """Accept a run dir, its parent (campaign dir), or a file inside."""
+    path = os.path.abspath(path)
+    candidates = [path, os.path.join(path, OBS_DIRNAME)]
+    for candidate in candidates:
+        if os.path.exists(os.path.join(candidate, SPANS_NAME)) \
+                or os.path.exists(os.path.join(candidate, METRICS_NAME)):
+            return candidate
+    raise FileNotFoundError(
+        f"no observability data under {path} (expected {SPANS_NAME} or "
+        f"{METRICS_NAME}, directly or in an '{OBS_DIRNAME}/' subdir) — "
+        "was the run started with tracing on (--obs / --obs-dir)?"
+    )
+
+
+def load_spans(obs_dir: str) -> List[dict]:
+    """Every span record: coordinator file first, then shards in
+    index order.  Torn trailing lines (a crashed writer) are skipped,
+    like the failure log's reader."""
+    paths = []
+    main = os.path.join(obs_dir, SPANS_NAME)
+    if os.path.exists(main):
+        paths.append(main)
+    paths += sorted(
+        os.path.join(obs_dir, name) for name in os.listdir(obs_dir)
+        if name.startswith("spans-shard-") and name.endswith(".jsonl")
+    )
+    spans = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    spans.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    return spans
+
+
+def load_metrics(obs_dir: str) -> Optional[dict]:
+    path = os.path.join(obs_dir, METRICS_NAME)
+    if not os.path.exists(path):
+        return None
+    return MetricRegistry.load_snapshot(path)
+
+
+def _snapshot_from(path: str) -> dict:
+    """A metrics snapshot from a run dir, an obs dir, or a .json file."""
+    if os.path.isfile(path):
+        return MetricRegistry.load_snapshot(path)
+    snapshot = load_metrics(resolve_obs_dir(path))
+    if snapshot is None:
+        raise FileNotFoundError(f"no {METRICS_NAME} under {path}")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# tree + rollups
+# ----------------------------------------------------------------------
+
+def _index_spans(spans: List[dict]) -> Tuple[dict, dict]:
+    """``(by_id, children)`` — duplicates collapse to the last record."""
+    by_id = {}
+    for record in spans:
+        by_id[record["span"]] = record
+    children: Dict[Optional[str], list] = {}
+    for record in by_id.values():
+        parent = record.get("parent")
+        if parent not in by_id:
+            parent = None          # orphan (or true root) -> top level
+        children.setdefault(parent, []).append(record)
+    return by_id, children
+
+
+def canonical_span_tree(obs_dir: str) -> list:
+    """The deterministic projection of the span forest.
+
+    Wall-clock fields (``start_s``/``end_s``) and ``pid`` are
+    stripped; siblings sort by span id (itself derived from seed-
+    rooted content, so the sort is replay-stable).  Two same-seed runs
+    produce byte-identical serializations of this tree.
+    """
+    spans = load_spans(obs_dir)
+    _, children = _index_spans(spans)
+
+    def node(record: dict) -> dict:
+        shaped = {
+            "name": record["name"],
+            "span": record["span"],
+            "parent": record.get("parent"),
+            "key": record.get("key"),
+        }
+        for field in ("cycles", "uj", "attrs"):
+            if field in record:
+                shaped[field] = record[field]
+        kids = sorted(children.get(record["span"], []),
+                      key=lambda r: r["span"])
+        shaped["children"] = [node(kid) for kid in kids]
+        return shaped
+
+    roots = sorted(children.get(None, []), key=lambda r: r["span"])
+    return [node(root) for root in roots]
+
+
+def canonical_span_bytes(obs_dir: str) -> bytes:
+    return json.dumps(canonical_span_tree(obs_dir),
+                      sort_keys=True).encode()
+
+
+def canonical_metrics_bytes(obs_dir: str) -> bytes:
+    """The metric snapshot minus wall-clock families, byte-stable."""
+    snapshot = load_metrics(obs_dir)
+    if snapshot is None:
+        return b"{}"
+    return json.dumps(strip_wall_metrics(snapshot),
+                      sort_keys=True).encode()
+
+
+def name_rollup(spans: List[dict]) -> dict:
+    """Per span name: count, wall seconds, cycles, µJ (all totals)."""
+    rollup: Dict[str, dict] = {}
+    for record in spans:
+        entry = rollup.setdefault(record["name"], {
+            "count": 0, "wall_s": 0.0, "cycles": 0, "uj": 0.0,
+        })
+        entry["count"] += 1
+        start, end = record.get("start_s"), record.get("end_s")
+        if start is not None and end is not None:
+            entry["wall_s"] += max(0.0, end - start)
+        entry["cycles"] += record.get("cycles") or 0
+        entry["uj"] += record.get("uj") or 0.0
+    return rollup
+
+
+def energy_rollup(spans: List[dict]) -> dict:
+    """Self-energy per span name; totals match the model exactly.
+
+    A span's *self* energy is its µJ minus the µJ its children
+    already claim (a ``trace`` span keeps its prologue/epilogue charge
+    after the ``ladder.step`` children take their iterations).  Spans
+    without µJ contribute nothing and shield nothing.  The rollup's
+    grand total therefore equals the plain sum of top-level-attributed
+    µJ — which is the energy model's own total, to the float digit.
+    """
+    by_id, children = _index_spans(spans)
+    rollup: Dict[str, dict] = {}
+    total = 0.0
+    for record in by_id.values():
+        uj = record.get("uj")
+        if uj is None:
+            continue
+        claimed = sum(
+            kid["uj"] for kid in children.get(record["span"], [])
+            if kid.get("uj") is not None
+        )
+        self_uj = uj - claimed
+        entry = rollup.setdefault(record["name"],
+                                  {"count": 0, "self_uj": 0.0,
+                                   "total_uj": 0.0})
+        entry["count"] += 1
+        entry["self_uj"] += self_uj
+        entry["total_uj"] += uj
+        parent = record.get("parent")
+        parent_record = by_id.get(parent) if parent else None
+        if parent_record is None or parent_record.get("uj") is None:
+            total += uj            # top of its energy-attributed chain
+    return {"by_name": rollup, "total_uj": total}
+
+
+def top_slowest(spans: List[dict], n: int = 10) -> List[dict]:
+    timed = [
+        record for record in spans
+        if record.get("start_s") is not None
+        and record.get("end_s") is not None
+    ]
+    timed.sort(key=lambda r: r["end_s"] - r["start_s"], reverse=True)
+    return timed[:n]
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+
+def report_json(run_dir: str, top: int = 10) -> dict:
+    obs_dir = resolve_obs_dir(run_dir)
+    spans = load_spans(obs_dir)
+    energy = energy_rollup(spans)
+    return {
+        "obs_dir": obs_dir,
+        "manifest": load_manifest(obs_dir),
+        "span_rollup": name_rollup(spans),
+        "energy_rollup": energy,
+        "total_uj": energy["total_uj"],
+        "slowest_spans": [
+            {
+                "name": record["name"],
+                "span": record["span"],
+                "key": record.get("key"),
+                "wall_s": record["end_s"] - record["start_s"],
+                "cycles": record.get("cycles"),
+                "uj": record.get("uj"),
+            }
+            for record in top_slowest(spans, top)
+        ],
+        "metrics": load_metrics(obs_dir),
+    }
+
+
+def render_report(run_dir: str, top: int = 10) -> str:
+    data = report_json(run_dir, top)
+    manifest = data["manifest"] or {}
+    lines = [f"obs report: {data['obs_dir']}"]
+    if manifest:
+        lines.append(
+            f"  run: {manifest.get('kind', '?')}  "
+            f"seed {manifest.get('seed')}  "
+            f"config {manifest.get('config_digest') or '-'}  "
+            f"git {manifest.get('git_rev') or '-'}  "
+            f"repro {manifest.get('repro_version')}"
+        )
+    rollup = data["span_rollup"]
+    if rollup:
+        lines.append(f"  {'span':<18}{'count':>7}{'wall_s':>9}"
+                     f"{'cycles':>12}{'uJ':>12}")
+        for name in sorted(rollup):
+            entry = rollup[name]
+            lines.append(
+                f"  {name:<18}{entry['count']:>7}"
+                f"{entry['wall_s']:>9.3f}{entry['cycles']:>12}"
+                f"{entry['uj']:>12.3f}"
+            )
+    else:
+        lines.append("  no spans recorded")
+    energy = data["energy_rollup"]
+    if energy["by_name"]:
+        lines.append("  energy by span (self / total):")
+        for name in sorted(energy["by_name"]):
+            entry = energy["by_name"][name]
+            lines.append(
+                f"    {name:<16}{entry['self_uj']:>12.3f}"
+                f"{entry['total_uj']:>12.3f} uJ  ({entry['count']}x)"
+            )
+        lines.append(f"  total energy: {energy['total_uj']:.3f} uJ")
+    if data["slowest_spans"]:
+        lines.append(f"  top {len(data['slowest_spans'])} slowest spans:")
+        for record in data["slowest_spans"]:
+            detail = f"{record['wall_s'] * 1e3:.2f} ms"
+            if record["cycles"] is not None:
+                detail += f", {record['cycles']} cycles"
+            if record["uj"] is not None:
+                detail += f", {record['uj']:.3f} uJ"
+            lines.append(f"    {record['name']}[{record['key']}] "
+                         f"({detail})")
+    metrics = data["metrics"]
+    if metrics:
+        lines.append(f"  metrics: {len(metrics['metrics'])} famil"
+                     f"{'y' if len(metrics['metrics']) == 1 else 'ies'} "
+                     f"in {os.path.join(data['obs_dir'], METRICS_NAME)}")
+    return "\n".join(lines)
+
+
+def check_required(run_dir: str, required_spans: Optional[list] = None,
+                   required_metrics: Optional[list] = None) -> dict:
+    """``{"missing_spans": [...], "missing_metrics": [...]}``."""
+    obs_dir = resolve_obs_dir(run_dir)
+    seen = {record["name"] for record in load_spans(obs_dir)}
+    snapshot = load_metrics(obs_dir) or {"metrics": {}}
+    have_metrics = set(snapshot["metrics"])
+    return {
+        "missing_spans": sorted(set(required_spans or ()) - seen),
+        "missing_metrics": sorted(
+            set(required_metrics or ()) - have_metrics
+        ),
+    }
+
+
+def render_diff(path_a: str, path_b: str,
+                patterns: Optional[list] = None,
+                max_regression: Optional[float] = None) -> Tuple[str, list]:
+    """Diff two runs' metric snapshots.
+
+    Returns ``(table_text, regressions)`` where ``regressions`` lists
+    the rows whose percent increase exceeds ``max_regression`` (higher
+    = worse, the convention for cycles/energy/retries).
+    """
+    snap_a = _snapshot_from(path_a)
+    snap_b = _snapshot_from(path_b)
+    rows = diff_snapshots(snap_a, snap_b, patterns)
+    lines = [f"obs diff: a={path_a}  b={path_b}"
+             + (f"  (filter: {','.join(patterns)})" if patterns else "")]
+    if not rows:
+        lines.append("  no matching metrics")
+        return "\n".join(lines), []
+    lines.append(f"  {'metric':<44}{'a':>14}{'b':>14}"
+                 f"{'delta':>14}{'pct':>9}")
+    regressions = []
+    for row in rows:
+        labels = ",".join(f"{k}={v}" for k, v in
+                          sorted(row["labels"].items()))
+        name = row["metric"] + (f"{{{labels}}}" if labels else "")
+        pct = "" if row["pct"] is None else f"{row['pct']:+8.2f}%"
+
+        def fmt(value):
+            return "-" if value is None else f"{value:.6g}"
+
+        lines.append(f"  {name:<44}{fmt(row['a']):>14}"
+                     f"{fmt(row['b']):>14}{fmt(row['delta']):>14}"
+                     f"{pct:>9}")
+        if (max_regression is not None and row["pct"] is not None
+                and row["pct"] > max_regression):
+            regressions.append(row)
+    if max_regression is not None:
+        if regressions:
+            worst = max(regressions, key=lambda r: r["pct"])
+            lines.append(
+                f"  REGRESSION: {len(regressions)} metric(s) above "
+                f"+{max_regression:g}% (worst: {worst['metric']} "
+                f"{worst['pct']:+.2f}%)"
+            )
+        else:
+            lines.append(
+                f"  ok: no metric above +{max_regression:g}%"
+            )
+    return "\n".join(lines), regressions

@@ -15,6 +15,8 @@ import numpy as np
 
 from ..arch.coprocessor import EccCoprocessor
 from ..arch.trace import ExecutionTrace
+from ..obs import profile as _obs_profile
+from ..obs import runtime as _obs_runtime
 from .models import CmosLeakageModel, LeakageModel
 
 __all__ = ["PowerTraceSimulator", "TraceSet"]
@@ -99,11 +101,21 @@ class PowerTraceSimulator:
 
     def measure(self, execution: ExecutionTrace) -> np.ndarray:
         """One noisy power trace for one execution."""
-        ideal = self.leakage_model.consumed(execution)
-        if self.noise_sigma == 0:
-            return ideal
-        noise = self._noise_rng.normal(0.0, self.noise_sigma, size=ideal.shape)
-        return ideal + noise
+        with _obs_profile.timed("power_measure"):
+            ideal = self.leakage_model.consumed(execution)
+            if self.noise_sigma == 0:
+                trace = ideal
+            else:
+                noise = self._noise_rng.normal(
+                    0.0, self.noise_sigma, size=ideal.shape)
+                trace = ideal + noise
+        rt = _obs_runtime.current()
+        if rt is not None:
+            rt.registry.counter(
+                "repro_power_traces_total",
+                "synthetic power traces measured",
+            ).inc()
+        return trace
 
     def campaign(
         self,

@@ -20,6 +20,7 @@ sorted, so worker scheduling cannot change a single reported digit.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import os
 from dataclasses import dataclass, field as dataclass_field
@@ -28,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from typing import TYPE_CHECKING
 
 from ..channel import LossProfile
+from ..obs import runtime as _obs_runtime
 
 if TYPE_CHECKING:  # lazy at runtime to avoid the energy <-> protocols
     # import cycle (repro.energy.comparison imports repro.protocols.ops)
@@ -198,7 +200,21 @@ class FleetReport:
         return all(b > a for a, b in zip(means, means[1:]))
 
     def summary(self) -> str:
+        """Render the sweep table from the obs metrics snapshot.
+
+        Every figure here is read back out of a
+        :class:`~repro.obs.metrics.MetricRegistry` snapshot produced
+        by :func:`repro.obs.integration.record_fleet_report` — the
+        same aggregation path a live campaign exports — so the
+        rendered table can never drift from the exported metrics.
+        """
+        from ..energy.budget import PACEMAKER_BUDGET
+        from ..obs.integration import fleet_point_stats, \
+            record_fleet_report
+        from ..obs.metrics import MetricRegistry
+
         spec = self.spec
+        snapshot = record_fleet_report(MetricRegistry(), self).snapshot()
         lines = [
             f"protocol {spec.protocol} on {spec.curve}, "
             f"{spec.sessions} sessions per point, seed {spec.seed}, "
@@ -206,25 +222,37 @@ class FleetReport:
             f"{'loss':>6} {'avail':>8} {'epochs':>7} {'frames':>7} "
             f"{'retx':>6} {'uJ/session':>11} {'life(y)':>8}",
         ]
+        degraded = []
+        means = []
         for point in sorted(self.points, key=lambda p: p.frame_loss):
+            stats = fleet_point_stats(snapshot, point.frame_loss)
+            mean_j = stats["mean_initiator_uj"] * 1e-6
+            lifetime = (PACEMAKER_BUDGET.lifetime_years_at(
+                spec.operations_per_day, mean_j)
+                if mean_j > 0 else float("inf"))
             lines.append(
                 f"{point.frame_loss:>6.0%} "
-                f"{point.availability:>8.2%} "
-                f"{point.mean_epochs:>7.2f} "
-                f"{point.mean_frames:>7.2f} "
-                f"{point.total_retransmissions:>6d} "
-                f"{point.mean_initiator_uj:>11.2f} "
-                f"{point.lifetime_years(spec):>8.1f}"
+                f"{stats['availability']:>8.2%} "
+                f"{stats['mean_epochs']:>7.2f} "
+                f"{stats['mean_frames']:>7.2f} "
+                f"{stats['retransmissions']:>6d} "
+                f"{stats['mean_initiator_uj']:>11.2f} "
+                f"{lifetime:>8.1f}"
             )
+            means.append(stats["mean_initiator_uj"])
+            if stats["availability"] < 1.0:
+                degraded.append(
+                    f"{stats['accepted']}/{stats['sessions']} "
+                    f"at {point.frame_loss:.0%}"
+                )
         verdict = []
         verdict.append("availability: " + (
-            "100% at every loss rate" if self.fully_available else
-            "DEGRADED — " + ", ".join(
-                f"{p.successes}/{p.sessions} at {p.frame_loss:.0%}"
-                for p in self.points if p.availability < 1.0)))
+            "100% at every loss rate" if not degraded else
+            "DEGRADED — " + ", ".join(degraded)))
+        monotone = all(b > a for a, b in zip(means, means[1:]))
         verdict.append("energy vs loss: " + (
             "strictly increasing (reliability is paid in uJ)"
-            if self.energy_monotone else "NOT monotone"))
+            if monotone else "NOT monotone"))
         return "\n".join(lines + verdict)
 
 
@@ -285,6 +313,8 @@ def run_fleet(spec: FleetSpec, workers: Optional[int] = None,
     otherwise defaults to ``min(cpu, 8)`` like the campaign runner.
     ``progress`` is an optional callable ``(done, total)``.
     """
+    from ..obs.integration import fleet_spec_digest, record_fleet_report
+
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)
     jobs: List[Tuple[float, List[int]]] = []
@@ -294,29 +324,56 @@ def run_fleet(spec: FleetSpec, workers: Optional[int] = None,
             jobs.append((loss, list(range(start, min(start + chunk,
                                                      spec.sessions)))))
 
-    by_loss: Dict[float, List[SessionRecord]] = {loss: []
-                                                 for loss in spec.sweep}
-    done = 0
-    if workers <= 1 or len(jobs) == 1:
-        for loss, indices in jobs:
-            by_loss[loss].extend(_run_slice(spec, loss, indices))
-            done += 1
-            if progress:
-                progress(done, len(jobs))
-    else:
-        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-            futures = {pool.submit(_run_slice, spec, loss, indices):
-                       loss for loss, indices in jobs}
-            for future in concurrent.futures.as_completed(futures):
-                by_loss[futures[future]].extend(future.result())
+    rt = _obs_runtime.current()
+    with contextlib.ExitStack() as stack:
+        soak_span = None
+        if rt is not None:
+            # Deterministic attrs only — no worker count, so two runs
+            # of the same spec produce byte-identical span trees
+            # whatever the parallelism.
+            soak_span = stack.enter_context(rt.span(
+                "protocol.soak", key=0,
+                protocol=spec.protocol, spec=fleet_spec_digest(spec),
+                sessions=spec.sessions, points=len(spec.sweep),
+            ))
+        by_loss: Dict[float, List[SessionRecord]] = {loss: []
+                                                     for loss in spec.sweep}
+        done = 0
+        if workers <= 1 or len(jobs) == 1:
+            for loss, indices in jobs:
+                by_loss[loss].extend(_run_slice(spec, loss, indices))
                 done += 1
                 if progress:
                     progress(done, len(jobs))
+        else:
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = {pool.submit(_run_slice, spec, loss, indices):
+                           loss for loss, indices in jobs}
+                for future in concurrent.futures.as_completed(futures):
+                    by_loss[futures[future]].extend(future.result())
+                    done += 1
+                    if progress:
+                        progress(done, len(jobs))
 
-    points = []
-    for loss in sorted(spec.sweep):
-        records = sorted(by_loss[loss], key=lambda r: r.session_index)
-        points.append(SweepPoint(frame_loss=loss,
-                                 profile=spec.profile(loss),
-                                 records=records))
-    return FleetReport(spec=spec, points=points)
+        points = []
+        for key, loss in enumerate(sorted(spec.sweep)):
+            records = sorted(by_loss[loss], key=lambda r: r.session_index)
+            point = SweepPoint(frame_loss=loss,
+                               profile=spec.profile(loss),
+                               records=records)
+            points.append(point)
+            if rt is not None:
+                rt.tracer.event(
+                    "soak.point", key=key,
+                    loss=f"{loss:g}", sessions=point.sessions,
+                    accepted=point.successes,
+                    retransmissions=point.total_retransmissions,
+                    digest=point.digest(),
+                )
+        report = FleetReport(spec=spec, points=points)
+        if rt is not None:
+            record_fleet_report(rt.registry, report)
+            if soak_span is not None:
+                soak_span.set(available=report.fully_available,
+                              monotone=report.energy_monotone)
+    return report

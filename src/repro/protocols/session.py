@@ -39,6 +39,8 @@ import random
 from dataclasses import dataclass, field as dataclass_field
 from typing import List, Optional, Tuple
 
+from ..obs import runtime as _obs_runtime
+
 from ..channel import (
     BodyAreaChannel,
     ChannelStats,
@@ -744,7 +746,18 @@ def run_resilient_session(
     table = table or ComputeEnergyTable()
     channel = BodyAreaChannel(profile, seed=seed, session=session_index)
     engine = _SessionEngine(adapter, channel, policy, seed, session_index)
-    engine.run()
+    rt = _obs_runtime.current()
+    if rt is not None:
+        with rt.span("protocol.session", key=session_index,
+                     protocol=adapter.name,
+                     loss=f"{profile.frame_loss:g}") as span:
+            engine.run()
+            if span is not None:
+                span.set(epochs=engine.epoch + 1,
+                         frames=engine.frames_sent,
+                         concluded=engine.concluded is not None)
+    else:
+        engine.run()
 
     if engine.concluded is not None:
         accepted, identity, detail = engine.concluded
@@ -759,7 +772,7 @@ def run_resilient_session(
     digest = hashlib.sha256("\n".join(engine.log).encode()).hexdigest()
     initiator_ops = adapter.initiator_ops()
     responder_ops = adapter.responder_ops()
-    return SessionResult(
+    result = SessionResult(
         protocol=adapter.name,
         session_index=session_index,
         seed=seed,
@@ -789,6 +802,46 @@ def run_resilient_session(
             distance_m, radio, table),
         events=engine.log,
     )
+    if rt is not None:
+        _record_session_metrics(rt.registry, result)
+    return result
+
+
+def _record_session_metrics(registry, result: SessionResult) -> None:
+    """One finished session into the live protocol counters."""
+    protocol = result.protocol
+    outcome = ("accepted" if result.accepted
+               else "rejected" if result.completed else "aborted")
+    registry.counter(
+        "repro_protocol_sessions_total", "sessions by outcome",
+    ).inc(protocol=protocol, outcome=outcome)
+    registry.counter(
+        "repro_protocol_epochs_total", "protocol epochs consumed",
+    ).inc(result.epochs_used, protocol=protocol)
+    registry.counter(
+        "repro_protocol_frames_total", "frames sent by all endpoints",
+    ).inc(result.frames_sent, protocol=protocol)
+    registry.counter(
+        "repro_protocol_retransmissions_total",
+        "frames beyond the lossless three",
+    ).inc(result.retransmissions, protocol=protocol)
+    rejections = registry.counter(
+        "repro_protocol_rejections_total",
+        "receiver-side frame rejections by kind",
+    )
+    for kind, count in (("corrupt", result.corrupt_rejections),
+                        ("stale", result.stale_rejections),
+                        ("replay", result.replay_rejections),
+                        ("payload", result.payload_rejections)):
+        if count:
+            rejections.inc(count, protocol=protocol, kind=kind)
+    energy = registry.counter(
+        "repro_protocol_energy_uj_total", "microjoules spent, by role",
+    )
+    energy.inc(result.initiator_energy.total_j * 1e6,
+               protocol=protocol, role="initiator")
+    energy.inc(result.responder_energy.total_j * 1e6,
+               protocol=protocol, role="responder")
 
 
 # ----------------------------------------------------------------------

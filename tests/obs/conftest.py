@@ -1,0 +1,40 @@
+"""Shared traced campaigns for the observability tests.
+
+Tracing must never perturb the measurement, so these fixtures run
+real (tiny, TOY-B17) acquisitions under ``obs.session`` and hand the
+tests the resulting run directories.  Session-scoped where read-only.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import AcquisitionEngine, CampaignSpec
+from repro.obs import runtime as obs_runtime
+
+TRACED_SPEC = CampaignSpec(
+    n_traces=6, shard_size=2, scenario="protected",
+    max_iterations=3, seed=7, noise_sigma=38.0, curve="TOY-B17",
+)
+
+
+def run_traced_campaign(directory, spec=TRACED_SPEC, workers=1,
+                        profile=False, chaos=None, retry_policy=None):
+    """One campaign with tracing on; returns (store, obs_dir)."""
+    directory = str(directory)
+    obs_dir = os.path.join(directory, obs_runtime.OBS_DIRNAME)
+    with obs_runtime.session(
+        obs_dir, kind="campaign", seed=spec.seed,
+        config_digest=spec.digest(), profile=profile,
+    ):
+        engine = AcquisitionEngine(directory, spec, workers=workers,
+                                   chaos=chaos, retry_policy=retry_policy)
+        store = engine.run()
+    return store, obs_dir
+
+
+@pytest.fixture(scope="session")
+def traced_run(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("obs-traced")
+    store, obs_dir = run_traced_campaign(directory)
+    return {"dir": str(directory), "obs_dir": obs_dir, "store": store}

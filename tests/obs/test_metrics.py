@@ -1,0 +1,174 @@
+"""Exporter conformance: Prometheus text, JSON snapshots, merging."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    MetricError,
+    MetricRegistry,
+    diff_snapshots,
+    strip_wall_metrics,
+)
+
+
+def sample_registry():
+    registry = MetricRegistry()
+    registry.counter("repro_test_events_total", "events").inc(3, kind="a")
+    registry.counter("repro_test_events_total").inc(2, kind="b")
+    registry.counter("repro_test_energy_uj_total").inc(0.125)
+    registry.gauge("repro_test_coverage_ratio", "coverage").set(0.75)
+    hist = registry.histogram("repro_test_step_cycles", "cycles",
+                              buckets=DEFAULT_CYCLE_BUCKETS)
+    for value in (50, 250, 2_500, 2_000_000):
+        hist.observe(value)
+    return registry
+
+
+class TestNaming:
+    def test_convention_enforced(self):
+        registry = MetricRegistry()
+        for bad in ("traces_total", "repro_Traces_total", "repro_x",
+                    "repro-campaign-traces"):
+            with pytest.raises(MetricError):
+                registry.counter(bad)
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(MetricError):
+            sample_registry().counter("repro_test_events_total").inc(-1)
+
+    def test_kind_collision_rejected(self):
+        registry = sample_registry()
+        with pytest.raises(MetricError):
+            registry.gauge("repro_test_events_total")
+
+    def test_histogram_bucket_redeclaration_rejected(self):
+        registry = sample_registry()
+        with pytest.raises(MetricError):
+            registry.histogram("repro_test_step_cycles",
+                               buckets=(1.0, 2.0))
+
+
+class TestPrometheusText:
+    """The text exposition parses line-by-line and is self-consistent."""
+
+    SAMPLE_RE = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9eE.+inf]+$"
+    )
+
+    def test_every_line_parses(self):
+        text = sample_registry().render_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().split("\n"):
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert self.SAMPLE_RE.match(line), f"unparsable line: {line!r}"
+
+    def test_type_lines_precede_samples(self):
+        text = sample_registry().render_prometheus()
+        seen_types = set()
+        for line in text.strip().split("\n"):
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            elif not line.startswith("#"):
+                family = re.sub(r"_(bucket|sum|count)$", "",
+                                line.split("{")[0].split(" ")[0])
+                assert family in seen_types or \
+                    line.split("{")[0].split(" ")[0] in seen_types
+
+    def test_histogram_buckets_cumulative_and_inf_equals_count(self):
+        text = sample_registry().render_prometheus()
+        buckets = []
+        count = None
+        for line in text.strip().split("\n"):
+            if line.startswith("repro_test_step_cycles_bucket"):
+                buckets.append(float(line.rsplit(" ", 1)[1]))
+            elif line.startswith("repro_test_step_cycles_count"):
+                count = float(line.rsplit(" ", 1)[1])
+        assert buckets == sorted(buckets)          # cumulative
+        assert buckets[-1] == count == 4           # +Inf catches overflow
+
+    def test_label_values_escaped(self):
+        registry = MetricRegistry()
+        registry.counter("repro_test_events_total").inc(
+            1, kind='quo"te\nline')
+        text = registry.render_prometheus()
+        assert r"\"" in text and r"\n" in text and "\nline" not in \
+            text.split("# TYPE")[1]
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        snapshot = sample_registry().snapshot()
+        payload = json.dumps(snapshot, sort_keys=True)
+        assert json.loads(payload) == snapshot
+
+    def test_round_trip_through_merge(self):
+        snapshot = sample_registry().snapshot()
+        fresh = MetricRegistry()
+        fresh.merge_snapshot(snapshot)
+        assert fresh.snapshot() == snapshot
+
+    def test_write_load_round_trip(self, tmp_path):
+        registry = sample_registry()
+        path = str(tmp_path / "metrics.json")
+        registry.write_snapshot(path)
+        assert MetricRegistry.load_snapshot(path) == registry.snapshot()
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "metrics": {}}))
+        with pytest.raises(MetricError):
+            MetricRegistry.load_snapshot(str(path))
+
+    def test_histogram_bucket_counts_sum_to_count(self):
+        snapshot = sample_registry().snapshot()
+        entry = snapshot["metrics"]["repro_test_step_cycles"]
+        for item in entry["values"]:
+            overflow = item["count"] - sum(item["bucket_counts"])
+            assert overflow >= 0
+            # overflow is exactly the +Inf bucket: values above the
+            # last upper bound (2e6 > 1e6 here).
+            assert overflow == 1
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = sample_registry(), sample_registry()
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("repro_test_events_total").value(kind="a") == 6
+        state = a.histogram("repro_test_step_cycles").state()
+        assert state.count == 8
+        assert sum(state.bucket_counts) == 6   # 2x (4 - 1 overflow)
+        assert state.min == 50 and state.max == 2_000_000
+
+
+class TestDiffAndStrip:
+    def test_strip_wall_metrics(self):
+        registry = sample_registry()
+        registry.gauge("repro_test_rate_traces_per_second").set(9.0)
+        registry.histogram("repro_test_wall_seconds").observe(1.0)
+        kept = strip_wall_metrics(registry.snapshot())["metrics"]
+        assert "repro_test_rate_traces_per_second" not in kept
+        assert "repro_test_wall_seconds" not in kept
+        assert "repro_test_events_total" in kept
+
+    def test_diff_reports_pct_and_none_for_zero_base(self):
+        a = sample_registry().snapshot()
+        b_registry = sample_registry()
+        b_registry.counter("repro_test_events_total").inc(3, kind="a")
+        rows = diff_snapshots(a, b_registry.snapshot(),
+                              ["repro_test_events_total"])
+        by_labels = {tuple(sorted(r["labels"].items())): r for r in rows}
+        row = by_labels[(("kind", "a"),)]
+        assert row["a"] == 3 and row["b"] == 6
+        assert math.isclose(row["pct"], 100.0)
+
+    def test_diff_histogram_exposes_count_and_mean(self):
+        snap = sample_registry().snapshot()
+        rows = diff_snapshots(snap, snap, ["repro_test_step_cycles"])
+        names = {r["metric"] for r in rows}
+        assert names == {"repro_test_step_cycles:count",
+                         "repro_test_step_cycles:mean"}
+        assert all(r["delta"] == 0 for r in rows)

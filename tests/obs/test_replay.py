@@ -1,0 +1,92 @@
+"""Deterministic replay: same seed, byte-identical observability.
+
+The determinism contract is the whole point of deriving span ids
+instead of drawing them: two same-seed runs — whatever the worker
+count, scheduling, or injected (deterministic) faults — must produce
+byte-identical canonical span trees and metric snapshots, with only
+wall-clock fields differing.
+"""
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.campaign.chaos import ChaosConfig
+from repro.campaign.supervisor import RetryPolicy
+from repro.obs.report import (
+    canonical_metrics_bytes,
+    canonical_span_bytes,
+    load_spans,
+)
+
+from .conftest import TRACED_SPEC, run_traced_campaign
+
+
+def canonical(obs_dir):
+    return canonical_span_bytes(obs_dir), canonical_metrics_bytes(obs_dir)
+
+
+class TestReplay:
+    def test_same_seed_runs_are_byte_identical(self, tmp_path,
+                                               traced_run):
+        _, obs_dir = run_traced_campaign(tmp_path / "replay")
+        assert canonical(obs_dir) == canonical(traced_run["obs_dir"])
+
+    def test_replay_holds_across_worker_counts(self, tmp_path,
+                                               traced_run):
+        _, obs_dir = run_traced_campaign(tmp_path / "parallel",
+                                         workers=2)
+        assert canonical(obs_dir) == canonical(traced_run["obs_dir"])
+
+    def test_different_seed_diverges(self, tmp_path, traced_run):
+        spec = CampaignSpec(
+            n_traces=6, shard_size=2, scenario="protected",
+            max_iterations=3, seed=8, noise_sigma=38.0, curve="TOY-B17",
+        )
+        _, obs_dir = run_traced_campaign(tmp_path / "reseeded",
+                                         spec=spec)
+        ours, theirs = canonical(obs_dir), canonical(traced_run["obs_dir"])
+        assert ours[0] != theirs[0] and ours[1] != theirs[1]
+
+    def test_replay_survives_chaos(self, tmp_path):
+        """Injected failures retry deterministically: the completed
+        run's canonical artifacts still replay byte-for-byte."""
+        chaos = ChaosConfig(seed=3, error_rate=0.4)
+        policy = RetryPolicy(max_attempts=6, deterministic_attempts=6,
+                             base_delay=0.0, jitter=0.0)
+        runs = []
+        for name in ("chaos-a", "chaos-b"):
+            store, obs_dir = run_traced_campaign(
+                tmp_path / name, chaos=chaos, retry_policy=policy)
+            assert store.n_traces_on_disk == TRACED_SPEC.n_traces
+            runs.append(canonical(obs_dir))
+        assert runs[0] == runs[1]
+
+    def test_tracing_does_not_perturb_the_traces(self, tmp_path,
+                                                 traced_run):
+        """Observation must never change the measurement: shard bytes
+        match an untraced acquisition of the same spec."""
+        from repro.campaign import AcquisitionEngine
+
+        bare = AcquisitionEngine(str(tmp_path / "untraced"),
+                                 TRACED_SPEC, workers=1).run()
+        digests = lambda store: [
+            (r.index, r.samples_sha256, r.aux_sha256)
+            for r in sorted(store.shard_records, key=lambda r: r.index)
+        ]
+        assert digests(bare) == digests(traced_run["store"])
+
+
+class TestWallClockExclusion:
+    def test_canonical_tree_strips_wall_fields(self, traced_run):
+        spans = load_spans(traced_run["obs_dir"])
+        assert any("start_s" in r for r in spans)
+        blob = canonical_span_bytes(traced_run["obs_dir"]).decode()
+        for field in ("start_s", "end_s", "pid"):
+            assert field not in blob
+
+    def test_wall_metrics_excluded_from_canonical_snapshot(
+            self, traced_run):
+        blob = canonical_metrics_bytes(traced_run["obs_dir"]).decode()
+        assert "repro_campaign_shard_wall_seconds" not in blob
+        assert "repro_campaign_rate_traces_per_second" not in blob
+        assert "repro_campaign_traces_total" in blob

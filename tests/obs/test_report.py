@@ -1,0 +1,163 @@
+"""Reading runs back: rollups, the energy contract, reports, diffs."""
+
+import json
+
+import pytest
+
+from repro.campaign.acquire import random_protocol_point
+from repro.campaign.spec import derive_rng
+from repro.obs.metrics import MetricRegistry
+from repro.obs.report import (
+    canonical_span_tree,
+    check_required,
+    energy_rollup,
+    load_metrics,
+    load_spans,
+    name_rollup,
+    render_diff,
+    render_report,
+    report_json,
+    resolve_obs_dir,
+    top_slowest,
+)
+
+from .conftest import TRACED_SPEC
+
+
+def independent_energy_total_uj(spec):
+    """Re-derive the campaign's total energy straight from the model,
+    sharing no code path with the tracer's attribution."""
+    from repro.power.energy import calibrate_energy_model
+
+    total = 0.0
+    for shard_index in range(spec.n_shards):
+        coprocessor = spec.build_coprocessor()
+        model = calibrate_energy_model(coprocessor)
+        point_rng = derive_rng(spec.seed, "points", shard_index)
+        z_rng = derive_rng(spec.seed, "z", shard_index)
+        key = spec.resolve_key()
+        field = coprocessor.domain.field
+        for _ in range(spec.shard_trace_count(shard_index)):
+            point = random_protocol_point(coprocessor.domain, point_rng)
+            z0 = 0
+            while z0 == 0:
+                z0 = z_rng.getrandbits(field.m) & (field.order - 1)
+            execution = coprocessor.point_multiply(
+                key, point, initial_z=z0,
+                max_iterations=spec.max_iterations, recover_y=False,
+            )
+            total += model.report(execution).energy_joules * 1e6
+    return total
+
+
+class TestEnergyRollup:
+    def test_rollup_total_matches_energy_model(self, traced_run):
+        """The acceptance bar: energy-by-span total within 0.1% of the
+        model's own total for the campaign."""
+        rollup = energy_rollup(load_spans(traced_run["obs_dir"]))
+        expected = independent_energy_total_uj(TRACED_SPEC)
+        assert rollup["total_uj"] == pytest.approx(expected, rel=1e-3)
+
+    def test_rollup_total_equals_energy_counter_exactly(self, traced_run):
+        rollup = energy_rollup(load_spans(traced_run["obs_dir"]))
+        snapshot = load_metrics(traced_run["obs_dir"])
+        entry = snapshot["metrics"]["repro_campaign_energy_uj_total"]
+        (value,) = [item["value"] for item in entry["values"]]
+        assert rollup["total_uj"] == value
+
+    def test_children_partition_their_parents(self, traced_run):
+        """ladder.step self == total (leaves); the trace spans keep
+        only the prologue/epilogue; shards shield nothing."""
+        by_name = energy_rollup(
+            load_spans(traced_run["obs_dir"]))["by_name"]
+        steps = by_name["ladder.step"]
+        assert steps["self_uj"] == pytest.approx(steps["total_uj"])
+        trace = by_name["trace"]
+        assert 0 < trace["self_uj"] < trace["total_uj"]
+        shard = by_name["shard"]
+        assert shard["self_uj"] == pytest.approx(0.0, abs=1e-12)
+        assert shard["total_uj"] == pytest.approx(trace["total_uj"])
+
+
+class TestSpanTreeAndRollups:
+    def test_tree_roots_at_campaign_acquire(self, traced_run):
+        tree = canonical_span_tree(traced_run["obs_dir"])
+        (root,) = tree
+        assert root["name"] == "campaign.acquire"
+        names = {child["name"] for child in root["children"]}
+        assert names == {"campaign.plan", "shard"}
+        shard = next(c for c in root["children"] if c["name"] == "shard")
+        trace = shard["children"][0]
+        assert trace["name"] == "trace"
+        assert {kid["name"] for kid in trace["children"]} == \
+            {"ladder.step"}
+
+    def test_name_rollup_counts(self, traced_run):
+        rollup = name_rollup(load_spans(traced_run["obs_dir"]))
+        assert rollup["shard"]["count"] == TRACED_SPEC.n_shards
+        assert rollup["trace"]["count"] == TRACED_SPEC.n_traces
+        steps = TRACED_SPEC.n_traces * TRACED_SPEC.max_iterations
+        assert rollup["ladder.step"]["count"] == steps
+        assert rollup["trace"]["cycles"] > 0
+        assert rollup["trace"]["wall_s"] > 0
+
+    def test_top_slowest_is_sorted(self, traced_run):
+        spans = load_spans(traced_run["obs_dir"])
+        slowest = top_slowest(spans, 5)
+        walls = [r["end_s"] - r["start_s"] for r in slowest]
+        assert walls == sorted(walls, reverse=True)
+        assert len(slowest) == 5
+
+    def test_resolve_obs_dir_accepts_run_or_obs_dir(self, traced_run):
+        assert resolve_obs_dir(traced_run["dir"]) == \
+            resolve_obs_dir(traced_run["obs_dir"])
+        with pytest.raises(FileNotFoundError):
+            resolve_obs_dir("/nonexistent/nowhere")
+
+
+class TestReportRendering:
+    def test_report_json_shape(self, traced_run):
+        data = report_json(traced_run["dir"], top=3)
+        assert data["total_uj"] == \
+            data["energy_rollup"]["total_uj"] > 0
+        assert len(data["slowest_spans"]) == 3
+        assert data["manifest"]["kind"] == "campaign"
+        assert data["manifest"]["seed"] == TRACED_SPEC.seed
+        assert data["manifest"]["config_digest"] == TRACED_SPEC.digest()
+        json.dumps(data)   # machine-readable end to end
+
+    def test_render_report_mentions_every_span_name(self, traced_run):
+        text = render_report(traced_run["dir"])
+        for name in ("campaign.acquire", "shard", "trace",
+                     "ladder.step", "total energy:"):
+            assert name in text
+
+    def test_check_required(self, traced_run):
+        missing = check_required(
+            traced_run["dir"],
+            required_spans=["shard", "never.seen"],
+            required_metrics=["repro_campaign_traces_total",
+                              "repro_ghost_total"],
+        )
+        assert missing == {"missing_spans": ["never.seen"],
+                           "missing_metrics": ["repro_ghost_total"]}
+
+
+class TestDiff:
+    def test_self_diff_is_flat(self, traced_run):
+        text, regressions = render_diff(
+            traced_run["dir"], traced_run["dir"], max_regression=0.0)
+        assert regressions == []
+        assert "ok: no metric above +0%" in text
+
+    def test_regression_detected(self, tmp_path, traced_run):
+        registry = MetricRegistry()
+        registry.merge_snapshot(load_metrics(traced_run["obs_dir"]))
+        registry.counter("repro_campaign_traces_total").inc(100)
+        worse = str(tmp_path / "worse.json")
+        registry.write_snapshot(worse)
+        text, regressions = render_diff(
+            traced_run["dir"], worse,
+            patterns=["repro_campaign_traces_total"], max_regression=20.0)
+        assert len(regressions) == 1
+        assert "REGRESSION" in text
