@@ -86,6 +86,26 @@ def campaign_workers() -> int:
     return default_workers(int(env) if env else None)
 
 
+def dse_dir(name: str, spec) -> pathlib.Path:
+    """A spec-keyed exploration directory under ``results/dse``.
+
+    Digest-keyed like :func:`campaign_dir`, so re-running a bench hits
+    the measurement cache while a spec change lands in a fresh
+    directory.  Measurement caching is itself keyed per configuration,
+    so benches sharing cells (e.g. the d = 4 reference) may also share
+    a directory.
+    """
+    import hashlib
+    import json
+
+    digest = hashlib.sha256(
+        json.dumps(spec.to_dict(), sort_keys=True).encode()
+    ).hexdigest()[:10]
+    path = RESULTS_DIR / "dse" / f"{name}-{digest}"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 def campaign_dir(name: str, spec) -> pathlib.Path:
     """A spec-keyed campaign directory under ``results/campaigns``.
 

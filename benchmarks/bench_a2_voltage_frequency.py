@@ -2,8 +2,10 @@
 
 Section 3 distinguishes design for low *power* from design for low
 *energy* ("skipping one optimization step ... merely reduces the
-battery lifetime").  The calibrated model makes the distinction
-quantitative:
+battery lifetime").  The grid now comes out of the :mod:`repro.dse`
+engine — one cached measurement of the d = 4 design, every (Vdd, f)
+row derived arithmetically — and the calibrated model keeps the
+distinction quantitative:
 
 * frequency scaling changes power linearly but leaves energy per
   operation untouched (each toggle costs the same charge);
@@ -13,39 +15,41 @@ quantitative:
   protocol runs per day on the paper's pacemaker budget.
 """
 
-from _helpers import write_report
+from _helpers import campaign_workers, dse_dir, write_report
 
-from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.dse import DesignSpaceSpec, ExplorationEngine
 from repro.energy import PACEMAKER_BUDGET
-from repro.power import OperatingPoint, calibrate_energy_model
 
 FREQUENCIES_HZ = (100e3, 847.5e3, 4e6)
 VOLTAGES = (0.8, 1.0, 1.2)
 
 
 def run_experiment():
-    coprocessor = EccCoprocessor(CoprocessorConfig())
-    model = calibrate_energy_model(coprocessor)
-    execution = coprocessor.point_multiply(
-        coprocessor.domain.order // 3, coprocessor.domain.generator,
-        initial_z=1,
+    spec = DesignSpaceSpec(
+        digit_sizes=(4,),
+        vdd_volts=VOLTAGES,
+        frequencies_hz=FREQUENCIES_HZ,
+        countermeasures=("full",),
+        max_latency_s=None,
+        min_security=None,
     )
+    engine = ExplorationEngine(dse_dir("a2", spec), spec,
+                               workers=campaign_workers())
+    result = engine.run()
     grid = []
-    for vdd in VOLTAGES:
-        for freq in FREQUENCIES_HZ:
-            report = model.report(execution, OperatingPoint(freq, vdd))
-            # Tag protocol run = 2 point multiplications (Figure 2).
-            run_energy = 2 * report.energy_joules
-            grid.append({
-                "vdd": vdd,
-                "freq": freq,
-                "power_uw": report.power_watts * 1e6,
-                "energy_uj": report.energy_joules * 1e6,
-                "latency_ms": report.duration_seconds * 1e3,
-                "runs_per_day": PACEMAKER_BUDGET.operations_per_day(
-                    run_energy
-                ),
-            })
+    for row in result.rows:
+        # Tag protocol run = 2 point multiplications (Figure 2).
+        run_energy = 2 * row["energy_uj"] * 1e-6
+        grid.append({
+            "vdd": row["vdd"],
+            "freq": row["frequency_hz"],
+            "power_uw": row["power_uw"],
+            "energy_uj": row["energy_uj"],
+            "latency_ms": row["latency_s"] * 1e3,
+            "runs_per_day": PACEMAKER_BUDGET.operations_per_day(
+                run_energy
+            ),
+        })
     return grid
 
 

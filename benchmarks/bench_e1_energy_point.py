@@ -5,37 +5,36 @@ Vdd = 1 V, the processor consumes 50.4 uW and uses only 5.1 uJ for one
 point multiplication.  At this frequency, the throughput is 9.8 point
 multiplications per second."
 
-The bench runs one full K-163 point multiplication on the default
-(protected) coprocessor, calibrates the energy model against the
-published power, and reports all three figures plus the cycle count
-they imply.
+The bench uses the hoisted :mod:`repro.power.evaluation` helpers: the
+reference-calibrated model, one measured K-163 point multiplication on
+the default (protected) design, and the report priced at the paper's
+operating point.
 """
 
 from _helpers import fresh_rng, write_report
 
-from repro.arch import CoprocessorConfig, EccCoprocessor
+from repro.arch import CoprocessorConfig
 from repro.power import (
+    MeasuredDesign,
     PAPER_ENERGY_PER_PM_JOULES,
     PAPER_POWER_WATTS,
     PAPER_THROUGHPUT_PM_PER_S,
-    calibrate_energy_model,
+    reference_model,
 )
 
 
 def run_experiment():
-    coprocessor = EccCoprocessor(CoprocessorConfig())
-    model = calibrate_energy_model(coprocessor)
+    config = CoprocessorConfig()
+    model = reference_model()
     rng = fresh_rng(1)
-    key = coprocessor.domain.scalar_ring.random_scalar(rng)
-    execution = coprocessor.point_multiply(key, coprocessor.domain.generator,
-                                           rng=rng)
-    report = model.report(execution)
-    return coprocessor, report
+    key = config.domain.scalar_ring.random_scalar(rng)
+    measured = MeasuredDesign.measure(config, model, scalar=key, rng=rng)
+    return config, measured.at(model).report
 
 
 def test_e1_operating_point(benchmark):
-    coprocessor, report = benchmark.pedantic(run_experiment, rounds=1,
-                                             iterations=1)
+    config, report = benchmark.pedantic(run_experiment, rounds=1,
+                                        iterations=1)
     rows = [
         "E1  Chip operating point (Section 6)",
         "-" * 64,
@@ -50,7 +49,7 @@ def test_e1_operating_point(benchmark):
         f"{report.cycles:>18}",
         "-" * 64,
         "registers in the secure zone: "
-        f"{coprocessor.config.core_register_count} x 163 bits "
+        f"{config.core_register_count} x 163 bits "
         "(paper: six 163-bit registers)",
     ]
     write_report("e1_energy_point", rows)
@@ -60,4 +59,4 @@ def test_e1_operating_point(benchmark):
         / PAPER_ENERGY_PER_PM_JOULES < 0.02
     assert abs(report.operations_per_second - PAPER_THROUGHPUT_PM_PER_S) \
         / PAPER_THROUGHPUT_PM_PER_S < 0.02
-    assert coprocessor.config.core_register_count == 6
+    assert config.core_register_count == 6

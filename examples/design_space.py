@@ -1,41 +1,55 @@
 """Scenario: the designer's walk through the security pyramid.
 
-The paper's methodology as an interactive script: sweep the multiplier
-digit size (area / latency / power / energy), inspect the
-threat-vs-countermeasure coverage of a configuration, and run the
-white-box evaluation battery on design points to see which "open
-doors" the attacks actually walk through.
+The paper's methodology as an interactive script, now answered by the
+:mod:`repro.dse` engine: explore the paper-aligned design space (digit
+size x Vdd x frequency x countermeasures), read the digit-size
+trade-off out of the evaluated grid, ask the constrained Pareto query
+the paper's Section 5 answers with d = 4, then inspect the
+threat-vs-countermeasure coverage and run the white-box evaluation
+battery on design points to see which "open doors" the attacks
+actually walk through.
 
-Run:  python examples/design_space.py    (~1 minute)
+Run:  python examples/design_space.py    (~2 minutes cold; re-runs hit
+the measurement cache under results/dse and answer in seconds)
 """
 
-from repro.arch import (
-    CoprocessorConfig,
-    EccCoprocessor,
-    UnbalancedEncoding,
-    ecc_core_area,
-)
-from repro.power import PAPER_OPERATING_POINT, calibrate_energy_model
+import pathlib
+
+from repro.arch import CoprocessorConfig, UnbalancedEncoding
+from repro.dse import DesignSpaceSpec, ExplorationEngine
 from repro.security import WhiteBoxEvaluation, pyramid_for_config
 
-# ----------------------------------------------------- digit-size sweep
-print("=== Architecture level: the digit-size trade-off (Section 5) ===")
-reference = EccCoprocessor(CoprocessorConfig(digit_size=4))
-model = calibrate_energy_model(reference)
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+# ------------------------------------------------ explore the space
+print("=== The paper's design space as a Pareto query (Section 5) ===")
+spec = DesignSpaceSpec()       # the paper-aligned defaults
+directory = RESULTS / "dse" / f"example-{spec.digest()}"
+result = ExplorationEngine(str(directory), spec).run()
+print(f"{len(result.rows)} operating points from "
+      f"{result.evaluated + result.cached} measurements "
+      f"({result.cached} cached)\n")
+
+print("--- the digit-size trade-off at 847.5 kHz / 1.0 V, protected ---")
 print(f"{'d':>4}{'area (GE)':>12}{'latency':>12}{'power':>12}"
       f"{'energy/PM':>12}")
-for d in (1, 2, 4, 8, 16):
-    coprocessor = EccCoprocessor(CoprocessorConfig(digit_size=d))
-    execution = coprocessor.point_multiply(
-        coprocessor.domain.order // 3, coprocessor.domain.generator,
-        initial_z=1,
-    )
-    report = model.report(execution, PAPER_OPERATING_POINT)
-    area = ecc_core_area(digit_size=d).total
-    marker = "  <- paper's choice" if d == 4 else ""
-    print(f"{d:>4}{area:>12.0f}{report.duration_seconds * 1e3:>9.1f} ms"
-          f"{report.power_watts * 1e6:>9.1f} uW"
-          f"{report.energy_joules * 1e6:>9.2f} uJ{marker}")
+for row in result.rows:
+    if (row["vdd"] != 1.0 or row["frequency_hz"] != 847.5e3
+            or row["countermeasures"] != "full"):
+        continue
+    marker = "  <- paper's choice" if row["digit_size"] == 4 else ""
+    print(f"{row['digit_size']:>4}{row['area_ge']:>12.0f}"
+          f"{row['latency_s'] * 1e3:>9.1f} ms"
+          f"{row['power_uw']:>9.1f} uW"
+          f"{row['energy_uj']:>9.2f} uJ{marker}")
+
+print("\n--- Pareto-optimal under the 105 ms + full-security constraints ---")
+for row in result.front:
+    print(f"  {row['id']}: {row['area_ge']:.0f} GE, "
+          f"{row['latency_s'] * 1e3:.1f} ms, {row['power_uw']:.1f} uW, "
+          f"{row['energy_uj']:.2f} uJ, security {row['security']:.2f}")
+print("(the paper's d = 4 / 1.0 V / 847.5 kHz design, recovered as the "
+      "unique constrained optimum)")
 
 # -------------------------------------------------------- the pyramid
 print("\n=== The security pyramid for the full design (Figure 1) ===")

@@ -21,7 +21,11 @@ from .control import (
     MuxEncoding,
     UnbalancedEncoding,
 )
-from .coprocessor import CoprocessorConfig, EccCoprocessor
+from .coprocessor import (
+    CoprocessorConfig,
+    EccCoprocessor,
+    InvalidDigitSizeError,
+)
 from .isa import Instruction, InstructionTiming, Opcode
 from .malu import Malu
 from .program import (
@@ -49,6 +53,7 @@ __all__ = [
     "DEFAULT_MUX_FANOUT",
     "CoprocessorConfig",
     "EccCoprocessor",
+    "InvalidDigitSizeError",
     "Opcode",
     "Instruction",
     "InstructionTiming",

@@ -45,7 +45,16 @@ from .malu import Malu
 from .registers import RegisterFile
 from .trace import ExecutionTrace, IterationSpan
 
-__all__ = ["CoprocessorConfig", "EccCoprocessor"]
+__all__ = ["CoprocessorConfig", "EccCoprocessor", "InvalidDigitSizeError"]
+
+
+class InvalidDigitSizeError(ValueError):
+    """A digit size the digit-serial datapath cannot be built with.
+
+    Raised at :class:`CoprocessorConfig` construction, so a malformed
+    design point fails with a typed error at the design-space boundary
+    instead of deep inside the multiplier or the area model.
+    """
 
 #: Constant instruction-fetch switching activity per overhead cycle
 #: (program counter, microcode word, decoder) — data-independent.
@@ -76,6 +85,24 @@ class CoprocessorConfig:
     input_isolation: bool = True
     glitch_factor: float = 0.0
     randomize_z: bool = True
+
+    def __post_init__(self):
+        d = self.digit_size
+        m = self.domain.field.m
+        if isinstance(d, bool) or not isinstance(d, int):
+            raise InvalidDigitSizeError(
+                f"digit size must be an integer, got {d!r}"
+            )
+        if d < 1:
+            raise InvalidDigitSizeError(
+                f"digit size must be at least 1, got {d}"
+            )
+        if d > m:
+            raise InvalidDigitSizeError(
+                f"digit size {d} exceeds the field degree m = {m}: the "
+                "multiplication already finishes in one cycle at d = m, "
+                "so the extra partial-product rows buy nothing"
+            )
 
     @property
     def is_koblitz_b1(self) -> bool:

@@ -607,15 +607,26 @@ class ShardSupervisor:
         outcome.completed.append(shard)
 
     def _integrity_reason(self, record: dict) -> Optional[str]:
-        """Re-hash the shard files against the worker's own digests."""
-        for file_key, digest_key in (("samples_file", "samples_sha256"),
-                                     ("aux_file", "aux_sha256")):
-            path = os.path.join(self.directory, record[file_key])
+        """Re-hash the shard files against the worker's own digests.
+
+        A record may carry an explicit ``"artifacts"`` list of
+        ``[relpath, sha256]`` pairs (how non-acquisition tasks such as
+        the design-space engine describe their outputs); records
+        without one use the acquisition layout's fixed file pair.
+        """
+        artifacts = record.get("artifacts")
+        if artifacts is None:
+            artifacts = [(record[file_key], record[digest_key])
+                         for file_key, digest_key
+                         in (("samples_file", "samples_sha256"),
+                             ("aux_file", "aux_sha256"))]
+        for relpath, digest in artifacts:
+            path = os.path.join(self.directory, relpath)
             if not os.path.exists(path):
-                return (f"{record[file_key]} vanished after the worker "
+                return (f"{relpath} vanished after the worker "
                         "reported success")
-            if file_digest(path) != record[digest_key]:
-                return (f"{record[file_key]} on disk does not match the "
+            if file_digest(path) != digest:
+                return (f"{relpath} on disk does not match the "
                         "digest its writer computed")
         return None
 

@@ -37,6 +37,7 @@ import sys
 __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_evaluate", "cmd_campaign_acquire", "cmd_campaign_status",
            "cmd_campaign_attack", "cmd_campaign_doctor",
+           "cmd_dse_explore", "cmd_dse_pareto", "cmd_dse_report",
            "cmd_protocol_run", "cmd_protocol_soak",
            "cmd_obs_report", "cmd_obs_diff",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
@@ -433,6 +434,183 @@ def cmd_campaign_attack(directory: str, attack: str = "dpa",
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# dse verbs
+# ----------------------------------------------------------------------
+
+def _dse_spec_from_args(args) -> "object":
+    from .dse import DesignSpaceSpec
+
+    def floats(text):
+        return tuple(float(x) for x in text.split(",") if x)
+
+    return DesignSpaceSpec(
+        digit_sizes=tuple(int(x) for x in args.digits.split(",") if x),
+        vdd_volts=floats(args.vdd),
+        frequencies_hz=floats(args.freq),
+        countermeasures=tuple(
+            s for s in args.countermeasures.split(",") if s),
+        curve=args.curve,
+        seed=args.seed,
+        whitebox=args.whitebox,
+        whitebox_traces=args.whitebox_traces,
+        max_latency_s=(None if args.max_latency_ms <= 0
+                       else args.max_latency_ms / 1e3),
+        max_area_ge=args.max_area_ge,
+        min_security=(None if args.min_security < 0
+                      else args.min_security),
+        objectives=tuple(s for s in args.objectives.split(",") if s),
+    )
+
+
+def cmd_dse_explore(directory: str, spec, workers=None,
+                    quiet: bool = False, shard_timeout=None,
+                    max_attempts=None, obs: bool = False,
+                    obs_profile: bool = False) -> tuple:
+    """Explore (or resume) a design space into ``directory``.
+
+    Returns ``(report, exit_code)`` — ``EXIT_OK`` when every cell was
+    measured or cached, ``EXIT_DEGRADED`` when cells were quarantined.
+    With ``obs`` (or ``obs_profile``) the run is traced into
+    ``<directory>/obs``.
+    """
+    from .campaign import RetryPolicy
+    from .dse import ExplorationEngine
+
+    policy = None
+    if max_attempts is not None:
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            deterministic_attempts=min(
+                max_attempts, RetryPolicy.deterministic_attempts
+            ),
+        )
+    obs_dir = os.path.join(str(directory), "obs") \
+        if (obs or obs_profile) else None
+    engine = ExplorationEngine(directory, spec, workers=workers,
+                               shard_timeout=shard_timeout,
+                               retry_policy=policy)
+    with _obs_session(obs_dir, kind="dse", seed=spec.seed,
+                      config_digest=spec.digest(), profile=obs_profile,
+                      argv=["dse", "explore", "--dir", str(directory)]):
+        result = engine.run()
+    summary = result.summary()
+    lines = [summary.splitlines()[0]] if quiet else [summary]
+    lines.append(f"pareto front: {os.path.join(str(directory), 'pareto.json')}")
+    if obs_dir:
+        lines.append(
+            f"observability: {obs_dir} "
+            f"(read with `python -m repro obs report --dir {directory}`)"
+        )
+    if result.quarantined:
+        return "\n".join(lines), EXIT_DEGRADED
+    return "\n".join(lines), EXIT_OK
+
+
+def _dse_spec_from_directory(directory: str) -> "object":
+    import json as _json
+
+    from .dse import DesignSpaceSpec, SPACE_NAME
+    from .dse.errors import DseError
+
+    path = os.path.join(str(directory), SPACE_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return DesignSpaceSpec.from_dict(_json.load(f))
+    except (OSError, ValueError) as exc:
+        raise DseError(
+            f"{path} is missing or unreadable — run "
+            f"`repro dse explore --dir {directory}` first ({exc})"
+        ) from None
+
+
+def cmd_dse_pareto(directory: str, objectives=None,
+                   max_latency_ms=None, max_area_ge=None,
+                   min_security=None, as_json: bool = False) -> tuple:
+    """Re-rank an explored directory without simulating anything.
+
+    Reads ``space.json`` and the measurement cache, applies any
+    constraint/objective overrides, recomputes the front — pure
+    arithmetic, so it answers instantly.  A cell that was never
+    measured is an error (explore first).
+    """
+    import dataclasses
+    import json as _json
+
+    from .dse import analyze_space
+
+    spec = _dse_spec_from_directory(directory)
+    overrides = {}
+    if objectives is not None:
+        overrides["objectives"] = tuple(objectives)
+    if max_latency_ms is not None:
+        overrides["max_latency_s"] = (None if max_latency_ms <= 0
+                                      else max_latency_ms / 1e3)
+    if max_area_ge is not None:
+        overrides["max_area_ge"] = max_area_ge
+    if min_security is not None:
+        overrides["min_security"] = (None if min_security < 0
+                                     else min_security)
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    rows, front = analyze_space(str(directory), spec)
+    if as_json:
+        return _json.dumps({"objectives": list(spec.objectives),
+                            "front": front},
+                           indent=1, sort_keys=True), EXIT_OK
+    lines = [
+        f"objectives: {', '.join(spec.objectives)}   "
+        f"feasible: {sum(1 for r in rows if r['feasible'])}/{len(rows)}   "
+        f"Pareto-optimal: {len(front)}",
+    ]
+    lines += _dse_rows_table(front)
+    return "\n".join(lines), EXIT_OK
+
+
+def cmd_dse_report(directory: str, as_json: bool = False) -> tuple:
+    """The full evaluated grid of an explored directory."""
+    import json as _json
+
+    from .dse import POINTS_NAME
+    from .dse.errors import DseError
+
+    path = os.path.join(str(directory), POINTS_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = _json.load(f)
+    except (OSError, ValueError) as exc:
+        raise DseError(
+            f"{path} is missing or unreadable — run "
+            f"`repro dse explore --dir {directory}` first ({exc})"
+        ) from None
+    if as_json:
+        return _json.dumps(payload, indent=1, sort_keys=True), EXIT_OK
+    rows = payload["rows"]
+    lines = [f"design space {directory}: {len(rows)} operating points "
+             f"(spec {payload['spec_digest']})"]
+    lines += _dse_rows_table(rows)
+    return "\n".join(lines), EXIT_OK
+
+
+def _dse_rows_table(rows) -> list:
+    header = (f"{'point':<30}{'GE':>7}{'ms':>9}{'uW':>9}"
+              f"{'uJ':>8}{'GExuJ':>10}{'sec':>6}  flags")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        flags = []
+        if row.get("pareto"):
+            flags.append("PARETO")
+        if not row.get("feasible", True):
+            flags.append("infeasible:" + ",".join(row["violations"]))
+        lines.append(
+            f"{row['id']:<30}{row['area_ge']:>7.0f}"
+            f"{row['latency_s'] * 1e3:>9.1f}{row['power_uw']:>9.1f}"
+            f"{row['energy_uj']:>8.2f}{row['area_energy']:>10.0f}"
+            f"{row['security']:>6.2f}  {' '.join(flags)}"
+        )
+    return lines
+
+
 def cmd_protocol_run(protocol: str = "peeters-hermans",
                      curve: str = "TOY-B17", loss: float = 0.1,
                      sessions: int = 5, seed: int = 2013,
@@ -651,6 +829,83 @@ def main(argv=None) -> int:
     doctor.add_argument("--last", type=int, default=10,
                         help="failure events to show (most recent)")
 
+    dse = sub.add_parser(
+        "dse", help="design-space exploration with a security axis"
+    )
+    dverbs = dse.add_subparsers(dest="verb", required=True)
+
+    explore = dverbs.add_parser(
+        "explore", help="measure a design space and compute its front"
+    )
+    explore.add_argument("--dir", required=True,
+                         help="exploration directory (measurement cache, "
+                              "space.json, points.json, pareto.json)")
+    explore.add_argument("--digits", default="1,2,4,8,16",
+                         help="comma-separated digit sizes")
+    explore.add_argument("--vdd", default="0.8,1.0,1.2",
+                         help="comma-separated core voltages")
+    explore.add_argument("--freq", default="100e3,847.5e3,4e6",
+                         help="comma-separated clock frequencies in Hz")
+    explore.add_argument("--countermeasures", default="full,none",
+                         help="comma-separated countermeasure sets "
+                              "(full, no-rpc, unbalanced-mux, none)")
+    explore.add_argument("--curve", default="K-163",
+                         help="named curve (K-163, B-163, TOY-B17)")
+    explore.add_argument("--seed", type=int, default=0)
+    explore.add_argument("--whitebox", action="store_true",
+                         help="run the white-box attack battery per "
+                              "cell and fold findings into the score")
+    explore.add_argument("--whitebox-traces", type=int, default=60)
+    explore.add_argument("--max-latency-ms", type=float, default=105.0,
+                         help="latency constraint (paper: 105 ms; "
+                              "0 disables)")
+    explore.add_argument("--max-area-ge", type=float, default=None,
+                         help="gate budget constraint")
+    explore.add_argument("--min-security", type=float, default=1.0,
+                         help="security-score floor in [0,1] "
+                              "(negative disables)")
+    explore.add_argument("--objectives",
+                         default="area_energy,power,security",
+                         help="comma-separated objectives (area, cycles, "
+                              "latency, power, energy, area_energy, "
+                              "security)")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cores, max 8)")
+    explore.add_argument("--quiet", action="store_true")
+    explore.add_argument("--shard-timeout", type=float, default=None,
+                         help="watchdog seconds per measurement attempt "
+                              "(worker processes only)")
+    explore.add_argument("--max-attempts", type=int, default=None,
+                         help="attempts per cell before quarantine")
+    explore.add_argument("--obs", action="store_true",
+                         help="trace the run into <dir>/obs")
+    explore.add_argument("--obs-profile", action="store_true",
+                         help="--obs plus perf_counter hot-path timers")
+
+    dpareto = dverbs.add_parser(
+        "pareto", help="re-rank an explored directory (no simulation)"
+    )
+    dpareto.add_argument("--dir", required=True)
+    dpareto.add_argument("--objectives", default=None,
+                         help="override the spec's objectives")
+    dpareto.add_argument("--max-latency-ms", type=float, default=None,
+                         help="override the latency constraint "
+                              "(0 disables)")
+    dpareto.add_argument("--max-area-ge", type=float, default=None,
+                         help="override the gate budget")
+    dpareto.add_argument("--min-security", type=float, default=None,
+                         help="override the security floor "
+                              "(negative disables)")
+    dpareto.add_argument("--json", action="store_true",
+                         help="machine-readable front")
+
+    dreport = dverbs.add_parser(
+        "report", help="the full evaluated grid of a directory"
+    )
+    dreport.add_argument("--dir", required=True)
+    dreport.add_argument("--json", action="store_true",
+                         help="dump points.json verbatim")
+
     protocol = sub.add_parser(
         "protocol", help="resilient sessions over the lossy channel"
     )
@@ -750,6 +1005,9 @@ def main(argv=None) -> int:
     elif args.command == "campaign":
         return _campaign_main(args, argv if argv is not None
                               else sys.argv[1:])
+    elif args.command == "dse":
+        return _dse_main(args, argv if argv is not None
+                         else sys.argv[1:])
     elif args.command == "protocol":
         return _protocol_main(args)
     elif args.command == "obs":
@@ -821,6 +1079,48 @@ def _protocol_main(args) -> int:
         return EXIT_INTERRUPTED
     except (ValueError, KeyError) as exc:
         print(f"protocol error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
+
+
+def _dse_main(args, argv) -> int:
+    """Dispatch a ``dse`` verb under the exit-code contract."""
+    from .dse import DseError
+
+    code = EXIT_OK
+    try:
+        if args.verb == "explore":
+            output, code = cmd_dse_explore(
+                args.dir, _dse_spec_from_args(args),
+                workers=args.workers, quiet=args.quiet,
+                shard_timeout=args.shard_timeout,
+                max_attempts=args.max_attempts,
+                obs=args.obs, obs_profile=args.obs_profile,
+            )
+        elif args.verb == "pareto":
+            objectives = None
+            if args.objectives:
+                objectives = [s for s in args.objectives.split(",") if s]
+            output, code = cmd_dse_pareto(
+                args.dir, objectives=objectives,
+                max_latency_ms=args.max_latency_ms,
+                max_area_ge=args.max_area_ge,
+                min_security=args.min_security,
+                as_json=args.json,
+            )
+        else:
+            output, code = cmd_dse_report(args.dir, as_json=args.json)
+    except KeyboardInterrupt:
+        resume = " ".join(argv) if argv else "<the same command>"
+        print(
+            "\ninterrupted — completed measurements are cached; "
+            f"resume with: python -m repro {resume}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except DseError as exc:
+        print(f"dse error: {exc}", file=sys.stderr)
         return EXIT_FAILED
     _print(output)
     return code

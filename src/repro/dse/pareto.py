@@ -1,0 +1,65 @@
+"""Multi-objective dominance, fronts, and constraint checking.
+
+Pure functions over plain row dicts, so the semantics are testable
+without running a single simulation.  An objective is a (row key,
+sense) pair — sense +1 minimizes, -1 maximizes — and a row dominates
+another when it is no worse on every objective and strictly better on
+at least one.  The front preserves input order, which the engine
+keeps deterministic, so the serialized result is byte-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["OBJECTIVES", "constraint_violations", "dominates",
+           "pareto_front"]
+
+#: objective name -> (row key, sense); +1 = minimize, -1 = maximize.
+OBJECTIVES = {
+    "area": ("area_ge", 1),
+    "cycles": ("cycles", 1),
+    "latency": ("latency_s", 1),
+    "power": ("power_uw", 1),
+    "energy": ("energy_uj", 1),
+    "area_energy": ("area_energy", 1),
+    "security": ("security", -1),
+}
+
+
+def dominates(a: dict, b: dict, objectives: tuple) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere, under the named objectives."""
+    strictly_better = False
+    for name in objectives:
+        key, sense = OBJECTIVES[name]
+        va, vb = sense * a[key], sense * b[key]
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(rows: list, objectives: tuple) -> list:
+    """The non-dominated subset of ``rows``, in input order."""
+    return [
+        row for row in rows
+        if not any(dominates(other, row, objectives)
+                   for other in rows if other is not row)
+    ]
+
+
+def constraint_violations(row: dict,
+                          max_latency_s: Optional[float] = None,
+                          max_area_ge: Optional[float] = None,
+                          min_security: Optional[float] = None) -> list:
+    """Names of the constraints ``row`` breaks (empty = feasible)."""
+    violations = []
+    if max_latency_s is not None and row["latency_s"] > max_latency_s:
+        violations.append("latency")
+    if max_area_ge is not None and row["area_ge"] > max_area_ge:
+        violations.append("area")
+    if min_security is not None and row["security"] < min_security:
+        violations.append("security")
+    return violations

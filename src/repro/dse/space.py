@@ -1,0 +1,240 @@
+"""The design-space specification: axes, constraints, objectives.
+
+A :class:`DesignSpaceSpec` is the explorer's single input: the
+Cartesian axes (digit size x countermeasure set x Vdd x frequency on
+one curve), the constraints that carve the feasible region, and the
+objectives that rank it.  The defaults are the paper's own question —
+the d ∈ {1,2,4,8,16} sweep of Table "design space", the three-voltage
+three-frequency grid, countermeasures on vs off, the 105 ms pacing
+deadline, and security as a hard floor — so a bare spec reproduces
+the published d=4 / 1.0 V / 847.5 kHz optimum.
+
+Two digests matter, and they are deliberately different:
+
+* :meth:`DesignSpaceSpec.digest` keys the *exploration* (what
+  ``pareto.json`` answers for),
+* :meth:`DesignSpaceSpec.config_digest` keys one *measurement* — it
+  hashes only what the simulation depends on (curve, digit size,
+  countermeasure flags, white-box settings), never the grid or the
+  constraints, so changing the latency limit or adding a voltage
+  re-prices the same cached measurements instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field as dataclass_field
+from typing import Optional
+
+from ..arch.control import BalancedEncoding, UnbalancedEncoding
+from ..arch.coprocessor import CoprocessorConfig, InvalidDigitSizeError
+from ..ec.curves import get_curve
+from .errors import SpaceValidationError
+from .pareto import OBJECTIVES
+
+__all__ = ["COUNTERMEASURE_SETS", "DSE_SCHEMA_VERSION", "DesignSpaceSpec",
+           "MeasurementJob"]
+
+DSE_SCHEMA_VERSION = 1
+
+#: Named countermeasure sets -> the config flags they resolve to.
+#: Only the flags the paper's white-box evaluation exercises vary
+#: here; the always-on countermeasures (constant-time ISA, fixed
+#: iteration count, secure zone) are part of every configuration.
+COUNTERMEASURE_SETS = {
+    "full": {"randomize_z": True, "mux_encoding": "balanced"},
+    "no-rpc": {"randomize_z": False, "mux_encoding": "balanced"},
+    "unbalanced-mux": {"randomize_z": True, "mux_encoding": "unbalanced"},
+    "none": {"randomize_z": False, "mux_encoding": "unbalanced"},
+}
+
+_ENCODINGS = {"balanced": BalancedEncoding, "unbalanced": UnbalancedEncoding}
+
+
+@dataclass(frozen=True)
+class MeasurementJob:
+    """One simulation the explorer needs: a (digit, countermeasures)
+    cell.  ``on_grid`` is False only for a synthetic calibration job
+    added when the reference design is not itself one of the cells."""
+
+    index: int
+    digit_size: int
+    countermeasures: str
+    is_reference: bool = False
+    on_grid: bool = True
+
+
+@dataclass(frozen=True)
+class DesignSpaceSpec:
+    """What to explore, under which constraints, ranked how.
+
+    Duck-types the campaign supervisor's spec protocol
+    (``to_dict`` / ``digest`` / ``seed``), so measurement attempts run
+    under the same retry/timeout/quarantine machinery as trace
+    acquisition.
+    """
+
+    digit_sizes: tuple = (1, 2, 4, 8, 16)
+    vdd_volts: tuple = (0.8, 1.0, 1.2)
+    frequencies_hz: tuple = (100e3, 847.5e3, 4e6)
+    countermeasures: tuple = ("full", "none")
+    curve: str = "K-163"
+    seed: int = 0
+    whitebox: bool = False
+    whitebox_traces: int = 60
+    max_latency_s: Optional[float] = 0.105
+    max_area_ge: Optional[float] = None
+    min_security: Optional[float] = 1.0
+    objectives: tuple = ("area_energy", "power", "security")
+    schema_version: int = DSE_SCHEMA_VERSION
+
+    def __post_init__(self):
+        for name in ("digit_sizes", "vdd_volts", "frequencies_hz",
+                     "countermeasures", "objectives"):
+            value = tuple(getattr(self, name))
+            object.__setattr__(self, name, value)
+            if not value:
+                raise SpaceValidationError(f"{name} must not be empty")
+            if len(set(value)) != len(value):
+                raise SpaceValidationError(f"{name} has duplicates: {value}")
+        if self.schema_version != DSE_SCHEMA_VERSION:
+            raise SpaceValidationError(
+                f"unsupported schema version {self.schema_version} "
+                f"(this build speaks {DSE_SCHEMA_VERSION})")
+        for v in self.vdd_volts:
+            if not v > 0:
+                raise SpaceValidationError(f"Vdd must be positive, got {v}")
+        for f in self.frequencies_hz:
+            if not f > 0:
+                raise SpaceValidationError(
+                    f"frequency must be positive, got {f}")
+        for cm in self.countermeasures:
+            if cm not in COUNTERMEASURE_SETS:
+                known = ", ".join(sorted(COUNTERMEASURE_SETS))
+                raise SpaceValidationError(
+                    f"unknown countermeasure set {cm!r}; known: {known}")
+        for objective in self.objectives:
+            if objective not in OBJECTIVES:
+                known = ", ".join(sorted(OBJECTIVES))
+                raise SpaceValidationError(
+                    f"unknown objective {objective!r}; known: {known}")
+        try:
+            domain = get_curve(self.curve)
+        except KeyError as exc:
+            raise SpaceValidationError(str(exc)) from None
+        for d in self.digit_sizes:
+            try:
+                CoprocessorConfig(domain=domain, digit_size=d)
+            except InvalidDigitSizeError as exc:
+                raise SpaceValidationError(str(exc)) from None
+        if self.whitebox_traces < 2:
+            raise SpaceValidationError(
+                "whitebox_traces must be at least 2")
+
+    # -- supervisor spec protocol --------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "digit_sizes": list(self.digit_sizes),
+            "vdd_volts": list(self.vdd_volts),
+            "frequencies_hz": list(self.frequencies_hz),
+            "countermeasures": list(self.countermeasures),
+            "curve": self.curve,
+            "seed": self.seed,
+            "whitebox": self.whitebox,
+            "whitebox_traces": self.whitebox_traces,
+            "max_latency_s": self.max_latency_s,
+            "max_area_ge": self.max_area_ge,
+            "min_security": self.min_security,
+            "objectives": list(self.objectives),
+            "schema_version": self.schema_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignSpaceSpec":
+        kwargs = dict(data)
+        for name in ("digit_sizes", "vdd_volts", "frequencies_hz",
+                     "countermeasures", "objectives"):
+            if name in kwargs:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
+
+    def digest(self) -> str:
+        payload = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    # -- measurement planning ------------------------------------------
+
+    @property
+    def domain(self):
+        return get_curve(self.curve)
+
+    def measurement_jobs(self) -> list:
+        """The simulations this space needs, reference flagged.
+
+        One job per (digit, countermeasure-set) cell — the operating
+        point is *not* part of a job because voltage/frequency scaling
+        is arithmetic on the measurement.  The reference design
+        (digit 4, full countermeasures) calibrates the energy model;
+        when it is not one of the cells, a synthetic off-grid job is
+        appended so calibration never depends on the grid's shape.
+        """
+        jobs = []
+        for d in self.digit_sizes:
+            for cm in self.countermeasures:
+                jobs.append(MeasurementJob(
+                    index=len(jobs), digit_size=d, countermeasures=cm,
+                    is_reference=(d == 4 and cm == "full"),
+                ))
+        if not any(job.is_reference for job in jobs):
+            jobs.append(MeasurementJob(
+                index=len(jobs), digit_size=4, countermeasures="full",
+                is_reference=True, on_grid=False,
+            ))
+        return jobs
+
+    def reference_job(self) -> MeasurementJob:
+        for job in self.measurement_jobs():
+            if job.is_reference:
+                return job
+        raise AssertionError("measurement_jobs always includes a reference")
+
+    def grid_jobs(self) -> list:
+        return [job for job in self.measurement_jobs() if job.on_grid]
+
+    def coprocessor_config(self, job: MeasurementJob) -> CoprocessorConfig:
+        flags = COUNTERMEASURE_SETS[job.countermeasures]
+        return CoprocessorConfig(
+            domain=self.domain,
+            digit_size=job.digit_size,
+            randomize_z=flags["randomize_z"],
+            mux_encoding=_ENCODINGS[flags["mux_encoding"]](),
+        )
+
+    def config_digest(self, job: MeasurementJob) -> str:
+        """Cache key of one measurement.
+
+        Hashes only what the simulation's bytes depend on — curve,
+        digit size, countermeasure flags, white-box settings — so the
+        cache survives changes to the grid, the constraints, and the
+        objectives.
+        """
+        whitebox = None
+        if self.whitebox:
+            whitebox = {"traces": self.whitebox_traces, "seed": self.seed}
+        payload = json.dumps({
+            "kind": "dse-measurement",
+            "schema": self.schema_version,
+            "curve": self.curve,
+            "digit_size": job.digit_size,
+            "countermeasures": COUNTERMEASURE_SETS[job.countermeasures],
+            "whitebox": whitebox,
+        }, sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    @property
+    def grid_size(self) -> int:
+        """Rows of the evaluated grid (cells x operating points)."""
+        return (len(self.grid_jobs())
+                * len(self.vdd_volts) * len(self.frequencies_hz))

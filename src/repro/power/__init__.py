@@ -5,7 +5,19 @@ produces noisy power traces, and the energy model calibrated to the
 paper's published UMC 0.13 um operating point.
 """
 
-from .energy import EnergyModel, EnergyReport, calibrate_energy_model
+from .energy import (
+    EnergyModel,
+    EnergyReport,
+    calibrate_energy_model,
+    energy_per_toggle_for_activity,
+)
+from .evaluation import (
+    DesignEvaluation,
+    MeasuredDesign,
+    design_area,
+    reference_config,
+    reference_model,
+)
 from .export import (
     iteration_profile,
     load_traceset,
@@ -38,6 +50,12 @@ __all__ = [
     "iteration_profile",
     "EnergyReport",
     "calibrate_energy_model",
+    "energy_per_toggle_for_activity",
+    "DesignEvaluation",
+    "MeasuredDesign",
+    "design_area",
+    "reference_config",
+    "reference_model",
     "LeakageModel",
     "CmosLeakageModel",
     "SablLeakageModel",

@@ -28,7 +28,8 @@ from .technology import (
     UMC_130NM,
 )
 
-__all__ = ["EnergyModel", "EnergyReport", "calibrate_energy_model"]
+__all__ = ["EnergyModel", "EnergyReport", "calibrate_energy_model",
+           "energy_per_toggle_for_activity"]
 
 
 @dataclass(frozen=True)
@@ -78,36 +79,73 @@ class EnergyModel:
         self.technology = technology
         self.leakage_model = leakage_model or CmosLeakageModel()
 
-    def _dynamic_energy(self, execution: ExecutionTrace,
-                        point: OperatingPoint) -> float:
-        consumed = float(self.leakage_model.consumed(execution).sum())
-        return (
+    def activity(self, execution: ExecutionTrace) -> float:
+        """Total consumed toggle-units of one execution.
+
+        Together with the cycle count this is *all* the electrical
+        model needs from a simulation: every operating point's report
+        is arithmetic on ``(consumed, cycles)``, which is what lets a
+        design-space cache store measurements once and derive the
+        whole voltage/frequency grid without re-simulating.
+        """
+        return float(self.leakage_model.consumed(execution).sum())
+
+    def report_activity(self, consumed: float, cycles: int,
+                        point: OperatingPoint = PAPER_OPERATING_POINT,
+                        ) -> EnergyReport:
+        """Electrical characterization from raw (consumed, cycles)."""
+        duration = cycles / point.frequency_hz
+        dynamic = (
             consumed
             * self.energy_per_toggle
             * self.technology.dynamic_scale(point)
         )
-
-    def report(self, execution: ExecutionTrace,
-               point: OperatingPoint = PAPER_OPERATING_POINT) -> EnergyReport:
-        """Full electrical characterization of one execution."""
-        duration = execution.cycles / point.frequency_hz
-        dynamic = self._dynamic_energy(execution, point)
         # Static power is a fixed fraction of total at the calibration
         # point: total = dynamic / (1 - static_fraction).
         total_energy = dynamic / (1.0 - self.technology.static_fraction)
         power = total_energy / duration
         return EnergyReport(
-            cycles=execution.cycles,
+            cycles=int(cycles),
             frequency_hz=point.frequency_hz,
             power_watts=power,
             energy_joules=total_energy,
             duration_seconds=duration,
         )
 
+    def report(self, execution: ExecutionTrace,
+               point: OperatingPoint = PAPER_OPERATING_POINT) -> EnergyReport:
+        """Full electrical characterization of one execution."""
+        return self.report_activity(self.activity(execution),
+                                    execution.cycles, point)
+
     def energy_per_operation(self, execution: ExecutionTrace,
                              point: OperatingPoint = PAPER_OPERATING_POINT) -> float:
         """Joules for one execution of the given trace."""
         return self.report(execution, point).energy_joules
+
+
+def energy_per_toggle_for_activity(
+    consumed: float,
+    cycles: int,
+    target_power_watts: float = PAPER_POWER_WATTS,
+    point: OperatingPoint = PAPER_OPERATING_POINT,
+    technology: TechnologyParams = UMC_130NM,
+) -> float:
+    """Solve the calibration constant from raw (consumed, cycles).
+
+    The inverse of :meth:`EnergyModel.report_activity`: find the
+    per-toggle energy that makes the average power of an execution
+    with the given activity and cycle count equal
+    ``target_power_watts`` at ``point``.
+    """
+    if consumed <= 0:
+        raise ValueError("consumed activity must be positive")
+    if cycles <= 0:
+        raise ValueError("cycle count must be positive")
+    duration = cycles / point.frequency_hz
+    target_energy = target_power_watts * duration
+    dynamic_target = target_energy * (1.0 - technology.static_fraction)
+    return dynamic_target / (consumed * technology.dynamic_scale(point))
 
 
 def calibrate_energy_model(
@@ -134,10 +172,7 @@ def calibrate_energy_model(
         recover_y=True,
     )
     consumed = float(model.consumed(execution).sum())
-    duration = execution.cycles / point.frequency_hz
-    target_energy = target_power_watts * duration
-    dynamic_target = target_energy * (1.0 - technology.static_fraction)
-    energy_per_toggle = dynamic_target / (
-        consumed * technology.dynamic_scale(point)
+    energy_per_toggle = energy_per_toggle_for_activity(
+        consumed, execution.cycles, target_power_watts, point, technology,
     )
     return EnergyModel(energy_per_toggle, technology, model)

@@ -2,6 +2,7 @@
 harness (Section 7 / Figure 4)."""
 
 from .evaluation import AttackFinding, EvaluationReport, WhiteBoxEvaluation
+from .score import ATTACK_THREATS, SecurityScore, score_design
 from .pyramid import (
     AbstractionLevel,
     Countermeasure,
@@ -21,4 +22,7 @@ __all__ = [
     "AttackFinding",
     "EvaluationReport",
     "WhiteBoxEvaluation",
+    "ATTACK_THREATS",
+    "SecurityScore",
+    "score_design",
 ]

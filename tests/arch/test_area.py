@@ -65,3 +65,22 @@ class TestAreaModel:
         """Section 4: hashes are NOT negligibly cheap vs an ECC core —
         SHA-1 is nearly half the ECC core's size."""
         assert SHA1_GATES > 0.4 * ecc_core_area().total
+
+    def test_digit_size_growth_is_the_multiplier(self):
+        """Doubling d grows the digit-serial multiplier; the register
+        file and control do not depend on the digit size."""
+        sweep = [ecc_core_area(digit_size=d) for d in (1, 2, 4, 8, 16)]
+        multipliers = [a.multiplier for a in sweep]
+        assert multipliers == sorted(multipliers)
+        assert multipliers[0] < multipliers[-1]
+        for a, b in zip(sweep, sweep[1:]):
+            assert b.registers == a.registers
+            assert b.total - a.total == pytest.approx(
+                b.multiplier - a.multiplier)
+
+    def test_papers_choice_anchors_the_12_kge_core(self):
+        """The d = 4 configuration is what the '~12k gates' reference
+        describes; no smaller digit size reaches the anchor."""
+        d4 = ecc_core_area(digit_size=4).total
+        assert d4 == pytest.approx(ECC_CORE_GATES_REFERENCE, rel=0.10)
+        assert ecc_core_area(digit_size=1).total < d4

@@ -9,6 +9,7 @@ from repro.arch import (
     ClockGatingPolicy,
     CoprocessorConfig,
     EccCoprocessor,
+    InvalidDigitSizeError,
     Opcode,
     UnbalancedEncoding,
 )
@@ -93,6 +94,35 @@ class TestInputValidation:
     def test_bad_initial_z(self, cop):
         with pytest.raises(ValueError):
             cop.point_multiply(5, cop.domain.generator, initial_z=0)
+
+
+class TestDigitSizeValidation:
+    """Digit sizes are checked at construction, with a typed error,
+    so a design-space sweep fails on the bad axis value — not deep
+    inside a simulation."""
+
+    def test_valid_range_accepted(self):
+        for d in (1, 4, 163):
+            assert CoprocessorConfig(digit_size=d).digit_size == d
+
+    @pytest.mark.parametrize("bad", [0, -1, -4])
+    def test_sub_one_rejected(self, bad):
+        with pytest.raises(InvalidDigitSizeError, match="at least 1"):
+            CoprocessorConfig(digit_size=bad)
+
+    def test_exceeding_field_degree_rejected(self):
+        with pytest.raises(InvalidDigitSizeError, match="exceeds"):
+            CoprocessorConfig(digit_size=164)
+
+    @pytest.mark.parametrize("bad", [4.0, "4", None, True])
+    def test_non_integers_rejected(self, bad):
+        with pytest.raises(InvalidDigitSizeError, match="integer"):
+            CoprocessorConfig(digit_size=bad)
+
+    def test_error_is_a_value_error(self):
+        # Callers that predate the typed error still catch it.
+        with pytest.raises(ValueError):
+            CoprocessorConfig(digit_size=0)
 
 
 class TestScalarRecoding:

@@ -6,6 +6,7 @@ without spawning a single process; the process-mode half of the matrix
 (crashes, hangs, watchdog kills) lives in ``test_chaos.py``.
 """
 
+import hashlib
 import json
 import os
 
@@ -250,3 +251,67 @@ class TestInlineSupervision:
         assert len(seen) == 2
         assert all(isinstance(e, FailureEvent) for e in seen)
         assert all(e.action == "retry" for e in seen)
+
+
+def _write_cell(directory, shard):
+    relpath = os.path.join("cells", f"{shard}.json")
+    payload = json.dumps({"cell": shard}).encode()
+    path = os.path.join(directory, relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as f:
+        f.write(payload)
+    return relpath, payload
+
+
+class TestExplicitArtifacts:
+    """Records carrying an explicit ``artifacts`` list (how
+    non-acquisition tasks such as the DSE measurement worker describe
+    their outputs) get the same independent re-hash before acceptance
+    as the acquisition layout's fixed file pair."""
+
+    def _supervise(self, tmp_path, task):
+        records = []
+        supervisor = ShardSupervisor(
+            SPEC, str(tmp_path), workers=1,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            task=task,
+            on_success=lambda record, attempt: records.append(record),
+        )
+        outcome = supervisor.run([0])
+        return supervisor, outcome, records
+
+    def test_honest_artifacts_are_accepted(self, tmp_path):
+        def honest(spec_dict, directory, shard, attempt, chaos_dict):
+            relpath, payload = _write_cell(directory, shard)
+            digest = hashlib.sha256(payload).hexdigest()
+            return {"index": shard, "artifacts": [[relpath, digest]]}
+
+        _, outcome, records = self._supervise(tmp_path, honest)
+        assert outcome.completed == [0]
+        assert outcome.quarantined == []
+        assert len(records) == 1
+
+    def test_mismatched_digest_is_data_integrity(self, tmp_path):
+        def lying(spec_dict, directory, shard, attempt, chaos_dict):
+            relpath, _ = _write_cell(directory, shard)
+            wrong = hashlib.sha256(b"not what was written").hexdigest()
+            return {"index": shard, "artifacts": [[relpath, wrong]]}
+
+        supervisor, outcome, records = self._supervise(tmp_path, lying)
+        assert records == []
+        assert outcome.quarantined == [0]
+        events = supervisor.failure_log.events()
+        assert all(e["kind"] == DATA_INTEGRITY for e in events)
+        assert "does not match" in events[-1]["reason"]
+
+    def test_vanished_artifact_is_data_integrity(self, tmp_path):
+        def ghost(spec_dict, directory, shard, attempt, chaos_dict):
+            digest = hashlib.sha256(b"never written").hexdigest()
+            return {"index": shard,
+                    "artifacts": [["cells/ghost.json", digest]]}
+
+        supervisor, outcome, _ = self._supervise(tmp_path, ghost)
+        assert outcome.quarantined == [0]
+        events = supervisor.failure_log.events()
+        assert all(e["kind"] == DATA_INTEGRITY for e in events)
+        assert "vanished" in events[-1]["reason"]

@@ -1,0 +1,91 @@
+"""Acceptance: the default space recovers the paper's design choice.
+
+Explores the paper-aligned K-163 space — d in {1, 2, 4, 8, 16}, Vdd
+in {0.8, 1.0, 1.2}, f in {100 kHz, 847.5 kHz, 4 MHz}, countermeasures
+on/off — under the 105 ms pacing deadline and the full-security floor,
+and checks that the engine's unique Pareto answer is the published
+d = 4 / 1.0 V / 847.5 kHz protected design at 50.4 uW / 5.1 uJ.
+"""
+
+import pytest
+
+from repro.dse import DesignSpaceSpec, ExplorationEngine
+from repro.power import PAPER_ENERGY_PER_PM_JOULES, PAPER_POWER_WATTS
+
+
+@pytest.fixture(scope="module")
+def explored(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("dse-paper"))
+    spec = DesignSpaceSpec()
+    result = ExplorationEngine(directory, spec, workers=1).run()
+    return directory, spec, result
+
+
+@pytest.mark.slow
+class TestPaperSpace:
+    def test_grid_shape(self, explored):
+        _, spec, result = explored
+        assert result.evaluated == 10          # 5 digits x 2 cm sets
+        assert len(result.rows) == spec.grid_size == 90
+
+    def test_unique_pareto_point_is_the_papers_design(self, explored):
+        _, _, result = explored
+        assert [row["id"] for row in result.front] == ["d4-full-1V-847.5kHz"]
+        optimum = result.front[0]
+        assert optimum["digit_size"] == 4
+        assert optimum["vdd"] == 1.0
+        assert optimum["frequency_hz"] == 847.5e3
+        assert optimum["countermeasures"] == "full"
+        assert optimum["security"] == 1.0
+
+    def test_optimum_hits_the_published_numbers(self, explored):
+        _, _, result = explored
+        optimum = result.front[0]
+        paper_power_uw = PAPER_POWER_WATTS * 1e6
+        paper_energy_uj = PAPER_ENERGY_PER_PM_JOULES * 1e6
+        assert abs(optimum["power_uw"] - paper_power_uw) \
+            / paper_power_uw < 0.02
+        assert abs(optimum["energy_uj"] - paper_energy_uj) \
+            / paper_energy_uj < 0.02
+
+    def test_design_space_shape(self, explored):
+        _, _, result = explored
+        at_paper_point = [
+            row for row in result.rows
+            if (row["vdd"], row["frequency_hz"]) == (1.0, 847.5e3)
+            and row["countermeasures"] == "full"
+        ]
+        digits = [row["digit_size"] for row in at_paper_point]
+        assert digits == [1, 2, 4, 8, 16]
+        areas = [row["area_ge"] for row in at_paper_point]
+        cycles = [row["cycles"] for row in at_paper_point]
+        assert areas == sorted(areas)
+        assert cycles == sorted(cycles, reverse=True)
+        # d = 1 misses the pacing deadline; that is why it loses
+        # despite the smallest area.
+        assert not at_paper_point[0]["feasible"]
+        assert "latency" in at_paper_point[0]["violations"]
+
+    def test_scaling_laws_across_the_grid(self, explored):
+        _, _, result = explored
+        d4 = {(row["vdd"], row["frequency_hz"]): row
+              for row in result.rows
+              if row["digit_size"] == 4 and row["countermeasures"] == "full"}
+        # Frequency scaling: energy flat, power linear.
+        slow, fast = d4[(1.0, 100e3)], d4[(1.0, 4e6)]
+        assert abs(slow["energy_uj"] - fast["energy_uj"]) < 1e-9
+        assert fast["power_uw"] / slow["power_uw"] \
+            == pytest.approx(40.0, rel=1e-6)
+        # Voltage scaling: quadratic energy.
+        low, nom = d4[(0.8, 847.5e3)], d4[(1.0, 847.5e3)]
+        assert low["energy_uj"] / nom["energy_uj"] \
+            == pytest.approx(0.64, rel=1e-6)
+        # ...but sub-nominal voltage opens the fault-attack door.
+        assert "fault-attack" in low["security_open"]
+        assert not low["feasible"]
+
+    def test_rerun_is_pure_cache(self, explored):
+        directory, spec, _ = explored
+        again = ExplorationEngine(directory, spec, workers=1).run()
+        assert again.evaluated == 0
+        assert again.cached == 10

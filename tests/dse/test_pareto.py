@@ -1,0 +1,80 @@
+"""Tests for dominance, Pareto fronts, and constraint checking."""
+
+from repro.dse import OBJECTIVES, constraint_violations, dominates, pareto_front
+
+
+def row(**values):
+    base = {"area_ge": 10.0, "energy_uj": 1.0, "area_energy": 10.0,
+            "power_uw": 50.0, "latency_s": 0.01, "cycles": 100,
+            "security": 1.0}
+    base.update(values)
+    return base
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(row(power_uw=40.0), row(), ("power",))
+
+    def test_equal_rows_do_not_dominate(self):
+        assert not dominates(row(), row(), ("power", "area_energy"))
+
+    def test_tradeoff_is_incomparable(self):
+        a = row(power_uw=40.0, area_energy=20.0)
+        b = row(power_uw=60.0, area_energy=5.0)
+        objectives = ("power", "area_energy")
+        assert not dominates(a, b, objectives)
+        assert not dominates(b, a, objectives)
+
+    def test_security_sense_is_maximize(self):
+        secure, weak = row(security=1.0), row(security=0.5)
+        assert dominates(secure, weak, ("security",))
+        assert not dominates(weak, secure, ("security",))
+
+    def test_tie_on_one_objective_still_dominates(self):
+        a = row(power_uw=50.0, security=1.0)
+        b = row(power_uw=50.0, security=0.875)
+        assert dominates(a, b, ("power", "security"))
+
+
+class TestParetoFront:
+    def test_single_objective_keeps_the_minimum(self):
+        rows = [row(area_energy=v) for v in (3.0, 1.0, 2.0)]
+        assert pareto_front(rows, ("area_energy",)) == [rows[1]]
+
+    def test_front_preserves_input_order(self):
+        rows = [
+            row(power_uw=60.0, security=1.0),
+            row(power_uw=40.0, security=0.875),
+            row(power_uw=50.0, security=0.875),   # dominated by the 2nd
+        ]
+        front = pareto_front(rows, ("power", "security"))
+        assert front == [rows[0], rows[1]]
+
+    def test_duplicate_optima_all_survive(self):
+        rows = [row(power_uw=40.0), row(power_uw=40.0)]
+        assert pareto_front(rows, ("power",)) == rows
+
+    def test_empty_input(self):
+        assert pareto_front([], ("power",)) == []
+
+
+class TestConstraints:
+    def test_feasible_row_has_no_violations(self):
+        assert constraint_violations(row(), max_latency_s=0.105,
+                                     max_area_ge=20.0,
+                                     min_security=1.0) == []
+
+    def test_each_constraint_reported_by_name(self):
+        bad = row(latency_s=0.2, area_ge=30.0, security=0.5)
+        assert constraint_violations(bad, max_latency_s=0.105,
+                                     max_area_ge=20.0, min_security=1.0) \
+            == ["latency", "area", "security"]
+
+    def test_none_disables_a_constraint(self):
+        bad = row(latency_s=0.2)
+        assert constraint_violations(bad) == []
+
+    def test_objective_table_senses(self):
+        assert OBJECTIVES["security"][1] == -1
+        assert all(sense == 1 for name, (key, sense) in OBJECTIVES.items()
+                   if name != "security")

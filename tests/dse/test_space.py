@@ -1,0 +1,145 @@
+"""Tests for the design-space specification."""
+
+import dataclasses
+
+import pytest
+
+from repro.dse import (
+    COUNTERMEASURE_SETS,
+    DesignSpaceSpec,
+    SpaceValidationError,
+)
+
+
+def toy_spec(**overrides):
+    kwargs = dict(
+        digit_sizes=(1, 4),
+        vdd_volts=(0.8, 1.0),
+        frequencies_hz=(847.5e3,),
+        countermeasures=("full", "none"),
+        curve="TOY-B17",
+        max_latency_s=0.005,
+    )
+    kwargs.update(overrides)
+    return DesignSpaceSpec(**kwargs)
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_space(self):
+        spec = DesignSpaceSpec()
+        assert spec.digit_sizes == (1, 2, 4, 8, 16)
+        assert spec.vdd_volts == (0.8, 1.0, 1.2)
+        assert spec.frequencies_hz == (100e3, 847.5e3, 4e6)
+        assert spec.max_latency_s == 0.105
+        assert spec.min_security == 1.0
+
+    @pytest.mark.parametrize("axis", ["digit_sizes", "vdd_volts",
+                                      "frequencies_hz", "countermeasures",
+                                      "objectives"])
+    def test_empty_axis_rejected(self, axis):
+        with pytest.raises(SpaceValidationError, match="must not be empty"):
+            toy_spec(**{axis: ()})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(SpaceValidationError, match="duplicates"):
+            toy_spec(digit_sizes=(4, 4))
+
+    def test_unknown_countermeasure_set_rejected(self):
+        with pytest.raises(SpaceValidationError, match="unknown countermeasure"):
+            toy_spec(countermeasures=("full", "tinfoil"))
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SpaceValidationError, match="unknown objective"):
+            toy_spec(objectives=("area_energy", "vibes"))
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(SpaceValidationError):
+            toy_spec(curve="P-256")
+
+    def test_invalid_digit_size_wrapped(self):
+        # TOY-B17 has m = 17, so digit size 64 exceeds the field.
+        with pytest.raises(SpaceValidationError, match="digit"):
+            toy_spec(digit_sizes=(4, 64))
+
+    def test_nonpositive_vdd_rejected(self):
+        with pytest.raises(SpaceValidationError, match="Vdd"):
+            toy_spec(vdd_volts=(0.0, 1.0))
+
+    def test_schema_version_checked(self):
+        with pytest.raises(SpaceValidationError, match="schema"):
+            toy_spec(schema_version=99)
+
+    def test_whitebox_traces_floor(self):
+        with pytest.raises(SpaceValidationError, match="whitebox_traces"):
+            toy_spec(whitebox_traces=1)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_digest(self):
+        spec = toy_spec()
+        clone = DesignSpaceSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_digest_changes_with_constraints(self):
+        assert toy_spec().digest() != toy_spec(max_latency_s=0.2).digest()
+
+
+class TestMeasurementPlanning:
+    def test_one_job_per_cell_with_reference_marked(self):
+        jobs = toy_spec().measurement_jobs()
+        cells = [(j.digit_size, j.countermeasures) for j in jobs]
+        assert cells == [(1, "full"), (1, "none"), (4, "full"), (4, "none")]
+        assert [j.is_reference for j in jobs] == [False, False, True, False]
+        assert all(j.on_grid for j in jobs)
+
+    def test_synthetic_reference_appended_off_grid(self):
+        spec = toy_spec(digit_sizes=(1, 2), countermeasures=("none",))
+        jobs = spec.measurement_jobs()
+        assert len(jobs) == 3
+        reference = spec.reference_job()
+        assert (reference.digit_size, reference.countermeasures) == (4, "full")
+        assert not reference.on_grid
+        assert reference not in spec.grid_jobs()
+
+    def test_grid_size_counts_operating_points(self):
+        assert toy_spec().grid_size == 4 * 2 * 1
+
+    def test_coprocessor_config_applies_countermeasure_flags(self):
+        spec = toy_spec()
+        full = spec.coprocessor_config(spec.measurement_jobs()[2])
+        none = spec.coprocessor_config(spec.measurement_jobs()[3])
+        assert full.randomize_z and not none.randomize_z
+        assert type(full.mux_encoding) is not type(none.mux_encoding)
+        assert full.domain.field.m == 17
+
+    def test_countermeasure_sets_cover_both_flags(self):
+        assert set(COUNTERMEASURE_SETS) == {
+            "full", "no-rpc", "unbalanced-mux", "none"}
+
+
+class TestConfigDigest:
+    def test_survives_grid_and_constraint_changes(self):
+        spec = toy_spec()
+        job = spec.reference_job()
+        rescaled = dataclasses.replace(
+            spec, vdd_volts=(1.0,), frequencies_hz=(4e6,),
+            max_latency_s=None, min_security=0.5,
+            objectives=("power",))
+        assert rescaled.config_digest(rescaled.reference_job()) \
+            == spec.config_digest(job)
+
+    def test_depends_on_curve_and_cell(self):
+        spec = toy_spec()
+        ref = spec.reference_job()
+        other_cm = spec.measurement_jobs()[3]
+        assert spec.config_digest(ref) != spec.config_digest(other_cm)
+        k163 = DesignSpaceSpec()
+        assert k163.config_digest(k163.reference_job()) \
+            != spec.config_digest(ref)
+
+    def test_depends_on_whitebox_settings(self):
+        spec = toy_spec()
+        wb = toy_spec(whitebox=True)
+        assert spec.config_digest(spec.reference_job()) \
+            != wb.config_digest(wb.reference_job())

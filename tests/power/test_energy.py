@@ -11,6 +11,7 @@ from repro.power import (
     PAPER_THROUGHPUT_PM_PER_S,
     TechnologyParams,
     calibrate_energy_model,
+    energy_per_toggle_for_activity,
 )
 
 
@@ -86,3 +87,38 @@ class TestScalingLaws:
 
         with pytest.raises(ValueError):
             EnergyModel(0.0)
+
+
+class TestActivityInterface:
+    """The (consumed, cycles) reduction the DSE cache is built on."""
+
+    def test_report_activity_reproduces_report(self, calibrated):
+        model, execution = calibrated
+        consumed = model.activity(execution)
+        for point in (PAPER_OPERATING_POINT, OperatingPoint(4e6, 0.8)):
+            via_activity = model.report_activity(consumed, execution.cycles,
+                                                 point)
+            direct = model.report(execution, point)
+            assert via_activity.power_watts == direct.power_watts
+            assert via_activity.energy_joules == direct.energy_joules
+            assert via_activity.duration_seconds == direct.duration_seconds
+
+    def test_calibration_roundtrip_is_exact(self, calibrated):
+        """Fitting the per-toggle energy from the pair the calibration
+        workload produces must return the calibrated constant exactly
+        (the DSE cache recalibrates from cached bytes this way)."""
+        from repro.power import MeasuredDesign
+
+        model, _ = calibrated
+        measured = MeasuredDesign.measure(CoprocessorConfig(), model)
+        ept = energy_per_toggle_for_activity(measured.consumed,
+                                             measured.cycles)
+        assert ept == model.energy_per_toggle
+
+    def test_rejects_nonpositive_activity(self):
+        with pytest.raises(ValueError, match="activity"):
+            energy_per_toggle_for_activity(0.0, 1000)
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ValueError, match="cycle"):
+            energy_per_toggle_for_activity(1000.0, 0)

@@ -1,0 +1,106 @@
+"""Tests for the hoisted design-point evaluation helpers."""
+
+import pytest
+
+from repro.arch import CoprocessorConfig, UnbalancedEncoding, ecc_core_area
+from repro.ec import NIST_K163
+from repro.power import (
+    DesignEvaluation,
+    MeasuredDesign,
+    OperatingPoint,
+    PAPER_ENERGY_PER_PM_JOULES,
+    PAPER_POWER_WATTS,
+    design_area,
+    reference_config,
+    reference_model,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_model():
+    return reference_model("TOY-B17")
+
+
+@pytest.fixture(scope="module")
+def toy_measured(toy_model):
+    return MeasuredDesign.measure(reference_config("TOY-B17"), toy_model)
+
+
+class TestReferenceConfig:
+    def test_default_is_the_papers_design(self):
+        config = reference_config()
+        assert config.digit_size == 4
+        assert config.randomize_z
+        assert config.domain is NIST_K163
+
+    def test_accepts_curve_names_and_objects(self):
+        from repro.ec.curves import get_curve
+
+        toy = get_curve("TOY-B17")
+        assert reference_config("TOY-B17").domain is toy
+        assert reference_config(toy).domain is toy
+
+
+class TestDesignArea:
+    def test_matches_the_area_model(self):
+        config = reference_config()
+        area = design_area(config)
+        expected = ecc_core_area(
+            m=163, digit_size=4, register_count=6, mux_fanout=164,
+            dedicated_squarer=False)
+        assert area.total == expected.total
+
+    def test_uses_the_configs_field_and_registers(self):
+        config = reference_config("TOY-B17")
+        area = design_area(config)
+        expected = ecc_core_area(
+            m=17, digit_size=4,
+            register_count=config.core_register_count,
+            mux_fanout=18, dedicated_squarer=False)
+        assert area.total == expected.total
+
+
+class TestMeasuredDesign:
+    def test_measure_fills_the_area(self, toy_measured):
+        assert toy_measured.area.total > 0
+        assert toy_measured.cycles > 0
+        assert toy_measured.consumed > 0
+
+    def test_reference_measurement_prices_at_the_paper_point(self):
+        model = reference_model()
+        measured = MeasuredDesign.measure(reference_config(), model)
+        evaluation = measured.at(model)
+        assert evaluation.power_uw \
+            == pytest.approx(PAPER_POWER_WATTS * 1e6, rel=1e-9)
+        assert evaluation.energy_uj \
+            == pytest.approx(PAPER_ENERGY_PER_PM_JOULES * 1e6, rel=0.02)
+
+    def test_at_reprices_without_resimulation(self, toy_model, toy_measured):
+        nominal = toy_measured.at(toy_model)
+        fast = toy_measured.at(toy_model, OperatingPoint(4e6, 1.0))
+        low = toy_measured.at(toy_model, OperatingPoint(847.5e3, 0.8))
+        assert fast.energy_uj == pytest.approx(nominal.energy_uj)
+        assert fast.latency_s < nominal.latency_s
+        assert low.energy_uj / nominal.energy_uj == pytest.approx(0.64)
+
+    def test_evaluation_figures_of_merit(self, toy_model, toy_measured):
+        evaluation = toy_measured.at(toy_model)
+        assert isinstance(evaluation, DesignEvaluation)
+        assert evaluation.area_ge == toy_measured.area.total
+        assert evaluation.cycles == toy_measured.cycles
+        assert evaluation.area_energy \
+            == pytest.approx(evaluation.area_ge * evaluation.energy_uj)
+        assert evaluation.latency_s \
+            == pytest.approx(toy_measured.cycles / 847.5e3)
+
+    def test_protected_design_costs_more_than_unprotected(self, toy_model):
+        from repro.ec.curves import get_curve
+
+        toy = get_curve("TOY-B17")
+        protected = MeasuredDesign.measure(
+            reference_config(toy), toy_model)
+        unprotected = MeasuredDesign.measure(
+            CoprocessorConfig(domain=toy, digit_size=4, randomize_z=False,
+                              mux_encoding=UnbalancedEncoding()),
+            toy_model)
+        assert protected.consumed > unprotected.consumed

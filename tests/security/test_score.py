@@ -1,0 +1,92 @@
+"""Tests for the scalar security score (the DSE security axis)."""
+
+import pytest
+
+from repro.arch import CoprocessorConfig, UnbalancedEncoding
+from repro.security import ATTACK_THREATS, SecurityScore, score_design
+from repro.security.pyramid import PAPER_THREATS
+
+
+def protected():
+    return CoprocessorConfig()
+
+
+def unprotected():
+    return CoprocessorConfig(randomize_z=False,
+                             mux_encoding=UnbalancedEncoding())
+
+
+class TestScoreDesign:
+    def test_protected_design_closes_every_door(self):
+        score = score_design(protected())
+        assert score.value == 1.0
+        assert score.open_doors == ()
+        assert score.total == len(PAPER_THREATS)
+
+    def test_unprotected_design_leaves_dpa_open(self):
+        score = score_design(unprotected())
+        assert score.open_doors == ("dpa",)
+        assert score.value == pytest.approx(7 / 8)
+
+    def test_sub_nominal_voltage_opens_fault_attack(self):
+        score = score_design(protected(), vdd=0.8)
+        assert score.open_doors == ("fault-attack",)
+        assert score.vdd == 0.8
+
+    def test_nominal_and_above_voltage_keep_it_closed(self):
+        assert score_design(protected(), vdd=1.0).value == 1.0
+        assert score_design(protected(), vdd=1.2).value == 1.0
+
+    def test_none_voltage_means_nominal(self):
+        score = score_design(protected(), vdd=None)
+        assert score.vdd == 1.0
+        assert score.value == 1.0
+
+    def test_non_resistant_finding_opens_its_threat(self):
+        findings = [{"attack": "spa", "resistant": False, "detail": ""}]
+        score = score_design(protected(), findings=findings)
+        assert "spa" in score.open_doors
+
+    def test_resistant_finding_changes_nothing(self):
+        findings = [{"attack": "spa", "resistant": True}]
+        assert score_design(protected(), findings=findings).value == 1.0
+
+    def test_tvla_maps_onto_dpa(self):
+        findings = [{"attack": "tvla", "resistant": False}]
+        score = score_design(protected(), findings=findings)
+        assert "dpa" in score.open_doors
+        assert ATTACK_THREATS["tvla"] == "dpa"
+
+    def test_finding_objects_accepted(self):
+        class Finding:
+            attack = "timing"
+            resistant = False
+
+        score = score_design(protected(), findings=[Finding()])
+        assert "timing-attack" in score.open_doors
+
+    def test_doors_reported_in_pyramid_order(self):
+        findings = [{"attack": a, "resistant": False}
+                    for a in ("dpa", "spa", "timing")]
+        score = score_design(unprotected(), vdd=0.8, findings=findings)
+        order = [t.name for t in PAPER_THREATS]
+        assert list(score.open_doors) \
+            == [n for n in order if n in score.open_doors]
+        assert list(score.closed) \
+            == [n for n in order if n in score.closed]
+
+
+class TestSecurityScore:
+    def test_value_of_empty_score_is_one(self):
+        assert SecurityScore(closed=(), open_doors=(), vdd=1.0).value == 1.0
+
+    def test_str_names_the_open_doors(self):
+        score = score_design(unprotected())
+        assert "open: dpa" in str(score)
+        assert str(score_design(protected())).endswith("(open: none)")
+
+    def test_to_dict_roundtrips_the_fields(self):
+        data = score_design(unprotected(), vdd=0.9).to_dict()
+        assert data["value"] == pytest.approx(6 / 8)
+        assert data["open"] == ["dpa", "fault-attack"]
+        assert data["vdd"] == 0.9
