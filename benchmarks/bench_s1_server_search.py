@@ -1,0 +1,140 @@
+"""S1 (server search) — the O(N) identification wall vs the epoch cache.
+
+The paper's private-identification protocol deliberately shifts all
+the work to the reader: the tag pays O(1), the reader pays a search
+over the whole fleet (Section 5).  At fleet scale that wall is real —
+this bench measures it honestly (per-record scan over the sharded
+store) and then measures the per-epoch precomputed table that
+amortizes it, asserting the ≥10x headline of ROADMAP item 2.
+
+Writes the human table to ``results/s1_server_search.txt`` and the
+machine-readable baseline to ``results/BENCH_server.json`` (wall
+times vary per host; the *ratio* is the contract).
+"""
+
+import json
+import time
+
+from _helpers import RESULTS_DIR, fresh_rng, scaled, write_report
+
+from repro.server import (
+    EnrollmentSpec,
+    EnrollmentStore,
+    EpochSearchCache,
+    enroll_fleet,
+    epoch_nonce,
+    scan_lookup,
+)
+
+#: Fleet size: big enough that the O(N) wall dominates Python noise.
+FLEET_TAGS = scaled(60000, 4000)
+SHARD_SIZE = 8192
+LOOKUPS = scaled(40, 10)
+SEED = 2013
+
+
+def _fleet_dir(spec: EnrollmentSpec):
+    path = RESULTS_DIR / "server" / f"fleet-{spec.digest()[:10]}"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def run_experiment():
+    spec = EnrollmentSpec(tags=FLEET_TAGS, shard_size=SHARD_SIZE,
+                          seed=SEED)
+    directory = _fleet_dir(spec)
+
+    enroll_started = time.perf_counter()
+    report = enroll_fleet(directory, spec)
+    enroll_wall = time.perf_counter() - enroll_started
+    assert report.complete
+    store = EnrollmentStore(directory)
+
+    rng = fresh_rng(91)
+    identities = [rng.randrange(spec.tags) for _ in range(LOOKUPS)]
+    needles = [store.record(i) for i in identities]
+    expected = [spec.canonical_identity(i) for i in identities]
+
+    # The wall: a full per-record scan per lookup.
+    scan_started = time.perf_counter()
+    scan_results = []
+    scanned_total = 0
+    for needle in needles:
+        identity, scanned = scan_lookup(store, needle)
+        scan_results.append(identity)
+        scanned_total += scanned
+    scan_wall = time.perf_counter() - scan_started
+
+    # The cache: one O(N) build, then O(1) per lookup.
+    build_started = time.perf_counter()
+    cache = EpochSearchCache(store, epoch_nonce(SEED, 0))
+    cache.build()
+    build_wall = time.perf_counter() - build_started
+    cached_started = time.perf_counter()
+    cached_results = [cache.lookup(needle) for needle in needles]
+    cached_wall = time.perf_counter() - cached_started
+
+    assert scan_results == expected
+    assert cached_results == expected
+
+    scan_per = scan_wall / LOOKUPS
+    cached_per = cached_wall / LOOKUPS
+    speedup = scan_per / cached_per if cached_per else float("inf")
+    # The one-off build pays for itself after this many lookups; an
+    # epoch serves ~10^5 sessions, so the amortized build cost per
+    # session is noise.
+    break_even = build_wall / max(scan_per - cached_per, 1e-12)
+
+    rows = {
+        "tags": spec.tags,
+        "shards": spec.num_shards,
+        "lookups": LOOKUPS,
+        "enroll_wall_s": round(enroll_wall, 4),
+        "scan_wall_s": round(scan_wall, 4),
+        "scan_per_lookup_ms": round(scan_per * 1e3, 4),
+        "records_scanned": scanned_total,
+        "cache_build_s": round(build_wall, 4),
+        "cached_per_lookup_us": round(cached_per * 1e6, 4),
+        "speedup": round(speedup, 1),
+        "break_even_lookups": round(break_even, 1),
+    }
+
+    lines = [
+        "S1 — private-identification search: the O(N) wall vs the "
+        "epoch cache",
+        "=" * 68,
+        f"fleet: {spec.tags} tags in {spec.num_shards} shard(s) "
+        f"(enrolled in {enroll_wall:.2f} s, reused on re-run)",
+        f"lookups: {LOOKUPS} random identities",
+        "",
+        f"{'path':<26}{'per lookup':>16}{'total':>12}",
+        "-" * 68,
+        f"{'uncached scan (O(N))':<26}"
+        f"{scan_per * 1e3:>13.2f} ms{scan_wall:>10.2f} s",
+        f"{'epoch cache (O(1))':<26}"
+        f"{cached_per * 1e6:>13.2f} us{cached_wall:>10.4f} s",
+        f"{'cache build (once/epoch)':<26}{'':>16}{build_wall:>10.2f} s",
+        "-" * 68,
+        f"speedup: {speedup:.0f}x per lookup; the one-off build "
+        f"pays for itself after {break_even:.0f} lookups "
+        f"(an epoch serves ~10^5 sessions)",
+        f"records scanned by the uncached path: {scanned_total}",
+    ]
+    write_report("s1_server_search", lines)
+
+    (RESULTS_DIR / "BENCH_server.json").write_text(
+        json.dumps(rows, indent=1, sort_keys=True) + "\n")
+
+    # The headline acceptance criterion: >= 10x over the O(N) scan.
+    assert speedup >= 10.0, rows
+    # The build must amortize well inside one epoch's session budget.
+    assert break_even < 10000, rows
+    # The scan is honest: it walked the fleet (hits stop early, so on
+    # average about half the records per lookup).
+    assert scanned_total >= LOOKUPS * spec.tags // 4, rows
+    return rows
+
+
+def test_s1_server_search(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert rows["speedup"] >= 10.0

@@ -40,6 +40,7 @@ __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_dse_explore", "cmd_dse_pareto", "cmd_dse_report",
            "cmd_protocol_run", "cmd_protocol_soak",
            "cmd_obs_report", "cmd_obs_diff",
+           "cmd_server_enroll", "cmd_server_run", "cmd_server_soak",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
 
 EXIT_OK = 0
@@ -740,6 +741,155 @@ def cmd_obs_diff(path_a: str, path_b: str, patterns=None,
     return output, EXIT_FAILED if regressions else EXIT_OK
 
 
+# ----------------------------------------------------------------------
+# server verbs
+# ----------------------------------------------------------------------
+
+def _server_chaos(chaos: "Optional[str]", chaos_seed: int):
+    if not chaos:
+        return None
+    from .campaign.chaos import ChaosConfig
+
+    return ChaosConfig.parse(chaos, seed=chaos_seed)
+
+
+def cmd_server_enroll(store_dir: str, tags: int = 10000,
+                      shard_size: int = 65536, seed: int = 2013,
+                      curve: str = "TOY-B17", workers=None,
+                      chaos=None, chaos_seed: int = 0) -> tuple:
+    """Enroll (or resume) a deterministic tag fleet; ``(report, code)``.
+
+    ``EXIT_OK`` when every shard verified, ``EXIT_DEGRADED`` when
+    shards were quarantined (no manifest is written then — the
+    directory is not a fleet yet).
+    """
+    from .server import EnrollmentSpec, enroll_fleet
+
+    spec = EnrollmentSpec(tags=tags, curve=curve, shard_size=shard_size,
+                          seed=seed)
+    report = enroll_fleet(store_dir, spec, workers=workers,
+                          chaos=_server_chaos(chaos, chaos_seed))
+    lines = [
+        f"fleet {spec.digest()[:12]}: {report.tags} tags over "
+        f"{report.shards_total} shard(s) in {report.directory}",
+        f"  built {report.shards_built}, reused {report.shards_reused}, "
+        f"retried {report.retried_attempts} attempt(s)",
+    ]
+    if report.quarantined:
+        lines.append(
+            f"  QUARANTINED shard(s): "
+            f"{', '.join(map(str, report.quarantined))} — no manifest "
+            f"written; rerun to retry"
+        )
+        return "\n".join(lines), EXIT_DEGRADED
+    lines.append(f"  manifest: "
+                 f"{os.path.join(str(store_dir), 'enrollment.json')}")
+    return "\n".join(lines), EXIT_OK
+
+
+def _server_soak_spec(args) -> "object":
+    from .server import EnrollmentStore, SoakSpec
+
+    store = EnrollmentStore(args.store, verify=False)
+    return SoakSpec(
+        enrollment_digest=store.spec.digest(),
+        store_dir=str(args.store),
+        sessions=args.sessions,
+        cohorts=getattr(args, "cohorts", 1),
+        arrival_rate=args.rate,
+        frame_loss=args.loss,
+        seed=args.seed,
+        capacity=args.capacity,
+        admission_queue=args.admission_queue,
+        session_deadline_s=args.deadline,
+        search_mode=args.search,
+        distance_m=args.distance,
+    )
+
+
+def cmd_server_soak(directory: str, spec, workers=None, chaos=None,
+                    chaos_seed: int = 0, min_acceptance: float = 0.9,
+                    obs: bool = False,
+                    obs_profile: bool = False) -> tuple:
+    """Run the supervised fleet soak; ``(report, exit_code)``.
+
+    ``EXIT_OK`` when clean and the acceptance rate holds,
+    ``EXIT_DEGRADED`` when cohorts were quarantined, ``EXIT_FAILED``
+    when acceptance fell below ``min_acceptance``.
+    """
+    from .server import run_soak
+
+    obs_dir = os.path.join(str(directory), "obs") \
+        if (obs or obs_profile) else None
+    with _obs_session(obs_dir, kind="server-soak", seed=spec.seed,
+                      config_digest=spec.digest(), profile=obs_profile,
+                      argv=["server", "soak", "--dir", str(directory)]):
+        report = run_soak(directory, spec, workers=workers,
+                          chaos=_server_chaos(chaos, chaos_seed))
+    output = report.text()
+    if report.sessions and report.acceptance_rate < min_acceptance:
+        output += (f"\n  FAILED: acceptance {report.acceptance_rate:.1%}"
+                   f" below the floor {min_acceptance:.1%}")
+        return output, EXIT_FAILED
+    if report.outcome == "degraded":
+        return output, EXIT_DEGRADED
+    return output, EXIT_OK
+
+
+def cmd_server_run(spec, metrics_port=None, serve_seconds: float = 0.0,
+                   quiet: bool = False) -> tuple:
+    """One in-process cohort with a live ``/metrics`` endpoint.
+
+    Starts the HTTP exporter *before* the simulation so a scrape loop
+    watches sessions/energy counters move, then keeps serving for
+    ``serve_seconds`` after the run so late scrapes see the final
+    state.  ``(report, exit_code)``.
+    """
+    import time as _time
+
+    from .obs.metrics import MetricRegistry
+    from .server import MetricsServer
+    from .server.soak import simulate_cohort
+
+    registry = MetricRegistry()
+    exporter = None
+    lines = []
+    if metrics_port is not None:
+        exporter = MetricsServer(registry, port=metrics_port).start()
+        print(f"serving metrics at {exporter.url}", flush=True)
+    try:
+        payload = simulate_cohort(spec, 0, registry=registry)
+        outcomes = payload["outcomes"]
+        lines.append(
+            f"served {payload['sessions']} session(s): "
+            + ", ".join(f"{k} {v}" for k, v in outcomes.items())
+            + (f", shed {payload['shed']}" if payload["shed"] else "")
+        )
+        lines.append(
+            f"  peak {payload['peak_in_flight']} in flight; "
+            f"{payload['frames']} frames "
+            f"({payload['retransmissions']} retransmitted); "
+            f"scheduler coalesced {payload['scheduler']['requests']} "
+            f"mults into {payload['scheduler']['batches']} batches"
+        )
+        lines.append(
+            f"  energy: tag {payload['tag_energy_uj']:.1f} uJ, "
+            f"reader {payload['reader_energy_uj']:.1f} uJ"
+        )
+        if not quiet and exporter is not None and serve_seconds > 0:
+            lines.append(f"  serving /metrics for another "
+                         f"{serve_seconds:g} s")
+            _print("\n".join(lines))
+            lines = []
+            _time.sleep(serve_seconds)
+        elif serve_seconds > 0:
+            _time.sleep(serve_seconds)
+    finally:
+        if exporter is not None:
+            exporter.stop()
+    return "\n".join(lines), EXIT_OK
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -992,6 +1142,90 @@ def main(argv=None) -> int:
                        help="exit 1 when any metric rose by more than "
                             "this percentage")
 
+    server = sub.add_parser(
+        "server", help="fleet-scale private-identification service"
+    )
+    sverbs = server.add_subparsers(dest="verb", required=True)
+
+    senroll = sverbs.add_parser(
+        "enroll", help="enroll a deterministic tag fleet into shards"
+    )
+    senroll.add_argument("--dir", required=True,
+                         help="fleet store directory")
+    senroll.add_argument("--tags", type=int, default=10000)
+    senroll.add_argument("--shard-size", type=int, default=65536,
+                         help="tags per shard file")
+    senroll.add_argument("--seed", type=int, default=2013)
+    senroll.add_argument("--curve", default="TOY-B17")
+    senroll.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: cores, max 8)")
+    senroll.add_argument("--chaos", default=None,
+                         help="fault injection, e.g. "
+                              "'crash=0.3,corrupt=0.2'")
+    senroll.add_argument("--chaos-seed", type=int, default=0)
+
+    ssoak = sverbs.add_parser(
+        "soak", help="supervised multi-cohort soak against a fleet"
+    )
+    ssoak.add_argument("--store", required=True,
+                       help="enrolled fleet directory")
+    ssoak.add_argument("--dir", required=True,
+                       help="soak output directory")
+    ssoak.add_argument("--sessions", type=int, default=200,
+                       help="sessions per cohort")
+    ssoak.add_argument("--cohorts", type=int, default=4)
+    ssoak.add_argument("--rate", type=float, default=2000.0,
+                       help="mean session arrivals per virtual second")
+    ssoak.add_argument("--loss", type=float, default=0.1,
+                       help="frame-loss probability")
+    ssoak.add_argument("--seed", type=int, default=2013)
+    ssoak.add_argument("--capacity", type=int, default=256,
+                       help="concurrent sessions before queueing")
+    ssoak.add_argument("--admission-queue", type=int, default=64,
+                       help="queued admissions before shedding")
+    ssoak.add_argument("--deadline", type=float, default=2.0,
+                       help="per-session deadline (virtual seconds)")
+    ssoak.add_argument("--search", default="cached",
+                       choices=("cached", "uncached"),
+                       help="identification search mode")
+    ssoak.add_argument("--distance", type=float, default=0.5,
+                       help="radio distance in meters (sets the BER)")
+    ssoak.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cores, max 8)")
+    ssoak.add_argument("--chaos", default=None,
+                       help="fault injection, e.g. 'crash=0.3'")
+    ssoak.add_argument("--chaos-seed", type=int, default=0)
+    ssoak.add_argument("--min-acceptance", type=float, default=0.9,
+                       help="acceptance-rate floor below which the "
+                            "soak FAILS")
+    ssoak.add_argument("--obs", action="store_true",
+                       help="trace the soak into <dir>/obs")
+    ssoak.add_argument("--obs-profile", action="store_true",
+                       help="--obs plus perf_counter hot-path timers")
+
+    srun = sverbs.add_parser(
+        "run", help="one in-process cohort with live /metrics"
+    )
+    srun.add_argument("--store", required=True,
+                      help="enrolled fleet directory")
+    srun.add_argument("--sessions", type=int, default=200)
+    srun.add_argument("--rate", type=float, default=2000.0)
+    srun.add_argument("--loss", type=float, default=0.1)
+    srun.add_argument("--seed", type=int, default=2013)
+    srun.add_argument("--capacity", type=int, default=256)
+    srun.add_argument("--admission-queue", type=int, default=64)
+    srun.add_argument("--deadline", type=float, default=2.0)
+    srun.add_argument("--search", default="cached",
+                      choices=("cached", "uncached"))
+    srun.add_argument("--distance", type=float, default=0.5)
+    srun.add_argument("--metrics-port", type=int, default=None,
+                      help="serve /metrics on this port while running "
+                           "(0 = ephemeral; omit to disable)")
+    srun.add_argument("--serve-seconds", type=float, default=0.0,
+                      help="keep serving /metrics this long after the "
+                           "run so a scrape loop sees the final state")
+    srun.add_argument("--quiet", action="store_true")
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -1012,6 +1246,8 @@ def main(argv=None) -> int:
         return _protocol_main(args)
     elif args.command == "obs":
         return _obs_main(args)
+    elif args.command == "server":
+        return _server_main(args)
     else:
         output = cmd_evaluate(weak=args.weak, traces=args.traces,
                               seed=args.seed)
@@ -1079,6 +1315,43 @@ def _protocol_main(args) -> int:
         return EXIT_INTERRUPTED
     except (ValueError, KeyError) as exc:
         print(f"protocol error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
+
+
+def _server_main(args) -> int:
+    """Dispatch a ``server`` verb under the exit-code contract."""
+    from .server import ServerError
+
+    code = EXIT_OK
+    try:
+        if args.verb == "enroll":
+            output, code = cmd_server_enroll(
+                args.dir, tags=args.tags, shard_size=args.shard_size,
+                seed=args.seed, curve=args.curve, workers=args.workers,
+                chaos=args.chaos, chaos_seed=args.chaos_seed,
+            )
+        elif args.verb == "soak":
+            output, code = cmd_server_soak(
+                args.dir, _server_soak_spec(args), workers=args.workers,
+                chaos=args.chaos, chaos_seed=args.chaos_seed,
+                min_acceptance=args.min_acceptance,
+                obs=args.obs, obs_profile=args.obs_profile,
+            )
+        else:
+            output, code = cmd_server_run(
+                _server_soak_spec(args),
+                metrics_port=args.metrics_port,
+                serve_seconds=args.serve_seconds, quiet=args.quiet,
+            )
+    except KeyboardInterrupt:
+        print("\ninterrupted — enrollment shards and finished cohorts "
+              "are cached; rerunning the same command resumes",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (ServerError, ValueError, KeyError) as exc:
+        print(f"server error: {exc}", file=sys.stderr)
         return EXIT_FAILED
     _print(output)
     return code

@@ -13,6 +13,7 @@ from .mutual_auth import (
     SymmetricServer,
     run_mutual_authentication,
 )
+from .database import InMemoryTagDatabase, TagDatabase
 from .ops import Message, OperationCount, Transcript
 from .peeters_hermans import (
     IdentificationResult,
@@ -57,6 +58,8 @@ __all__ = [
     "OperationCount",
     "Transcript",
     "Message",
+    "TagDatabase",
+    "InMemoryTagDatabase",
     "PeetersHermansTag",
     "PeetersHermansReader",
     "IdentificationResult",

@@ -1,0 +1,75 @@
+"""The reader's tag database behind a small protocol.
+
+Figure 2's reader holds "a database ``{X_i = x_i * P}``" and the
+private-identification search ends with a lookup of the recomputed
+``X'`` in it.  The original :class:`PeetersHermansReader` hard-wired
+that database as a dict keyed on raw ``(x, y)`` coordinate tuples,
+which made the toy in-memory reader and any production-scale store
+structurally incompatible.
+
+:class:`TagDatabase` is the seam: ``enroll`` / ``lookup`` / ``len``.
+The in-memory toy (:class:`InMemoryTagDatabase`) keeps the historical
+behavior bit-for-bit; the fleet-scale sharded store
+(:class:`repro.server.enrollment.ShardedTagDatabase`) implements the
+same three methods over digest-verified shard files, so the resilient
+session layer and the reader/server terminate sessions against either
+without knowing which.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ec.point import AffinePoint
+
+__all__ = ["TagDatabase", "InMemoryTagDatabase"]
+
+
+class TagDatabase:
+    """What the Peeters–Hermans reader needs from its tag database.
+
+    Implementations map identity points ``X = x * P`` to integer tag
+    identities.  ``lookup`` must return the *canonical* identity when
+    several enrollments share a point (possible on toy curves, where
+    the fleet can outnumber the subgroup), and ``None`` when the point
+    is unknown — the "tag not in the database" path of
+    :mod:`repro.protocols.session`.
+    """
+
+    def enroll(self, identity: int, point: AffinePoint) -> None:
+        raise NotImplementedError
+
+    def lookup(self, point: AffinePoint) -> Optional[int]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryTagDatabase(TagDatabase):
+    """The toy backend: a dict keyed on the point's coordinates.
+
+    Enrollment order is insertion order (a plain dict), and the first
+    enrollment of a point wins — re-enrolling the same point under a
+    new identity keeps the canonical (earliest) identity, matching the
+    sharded store's scan-order semantics.
+    """
+
+    def __init__(self, curve=None):
+        self._curve = curve
+        self._entries: dict = {}
+
+    def enroll(self, identity: int, point: AffinePoint) -> None:
+        if point.is_infinity:
+            raise ValueError("cannot enroll the point at infinity")
+        if self._curve is not None and not self._curve.is_on_curve(point):
+            raise ValueError("tag public key not on the curve")
+        self._entries.setdefault((point.x, point.y), identity)
+
+    def lookup(self, point: AffinePoint) -> Optional[int]:
+        if point.is_infinity:
+            return None
+        return self._entries.get((point.x, point.y))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -32,18 +32,26 @@ def diversify_key(master_key: bytes, device_id: bytes) -> bytes:
 
 
 class KeyServer:
-    """The back-end holding the master key of a device fleet."""
+    """The back-end holding the master key of a device fleet.
+
+    ``enrolled`` is a dict used as an *ordered set* (values are always
+    ``None``): a plain ``set`` of byte strings iterates in an order
+    that depends on ``PYTHONHASHSEED``, so anything walking the fleet
+    (:func:`fleet_exposure`, audit listings) produced a different
+    order per process.  Insertion order is the enrollment order — a
+    stable, meaningful fact — and membership tests stay O(1).
+    """
 
     def __init__(self, master_key: bytes):
         if len(master_key) != 16:
             raise ValueError("master key must be 16 bytes")
         self._master = master_key
-        self.enrolled: set = set()
+        self.enrolled: dict = {}
 
     def enroll(self, device_id: bytes) -> bytes:
         """Provision a device: returns the key injected at manufacture."""
         key = diversify_key(self._master, device_id)
-        self.enrolled.add(bytes(device_id))
+        self.enrolled[bytes(device_id)] = None
         return key
 
     def key_for(self, device_id: bytes) -> bytes:
@@ -60,6 +68,9 @@ def fleet_exposure(server: KeyServer, compromised_master: bytes) -> dict:
     diversified key the candidate master reproduces — the whole fleet
     if the master is right, nothing otherwise.  This is the
     quantitative version of the paper's key-management warning.
+
+    The report preserves enrollment order (``server.enrolled`` is an
+    ordered set), so it is identical across processes and hash seeds.
     """
     exposure = {}
     for device_id in server.enrolled:

@@ -31,6 +31,7 @@ from typing import Callable, Optional
 from ..ec.curves import NamedCurve
 from ..ec.ladder import montgomery_ladder
 from ..ec.point import AffinePoint
+from .database import InMemoryTagDatabase, TagDatabase
 from .ops import OperationCount, Transcript
 
 __all__ = ["PeetersHermansTag", "PeetersHermansReader", "IdentificationResult",
@@ -162,24 +163,34 @@ class PeetersHermansTag:
 
 
 class PeetersHermansReader:
-    """The energy-rich verifier with the tag database."""
+    """The energy-rich verifier with the tag database.
 
-    def __init__(self, domain: NamedCurve, secret_y: int):
+    ``database`` is any :class:`~repro.protocols.database.TagDatabase`
+    — the in-memory toy by default, or a fleet-scale backend such as
+    the sharded enrollment store of :mod:`repro.server.enrollment`.
+    The reader's verification arithmetic is identical either way; only
+    the final ``X'`` lookup goes through the seam.
+    """
+
+    def __init__(self, domain: NamedCurve, secret_y: int,
+                 database: Optional[TagDatabase] = None):
         ring = domain.scalar_ring
         if not 1 <= secret_y < ring.n:
             raise ValueError("reader secret out of range")
         self.domain = domain
         self._y = secret_y
         self.public = domain.curve.multiply_naive(secret_y, domain.generator)
-        # Database maps the x-coordinate of X_i to the tag identity i.
-        self._database: dict = {}
+        self.database: TagDatabase = (
+            database if database is not None
+            else InMemoryTagDatabase(domain.curve)
+        )
         self.ops = OperationCount()
 
     def register(self, identity: int, tag_public: AffinePoint) -> None:
         """Enroll a tag's X = x * P."""
         if not self.domain.curve.is_on_curve(tag_public):
             raise ValueError("tag public key not on the curve")
-        self._database[(tag_public.x, tag_public.y)] = identity
+        self.database.enroll(identity, tag_public)
 
     def challenge(self, rng) -> int:
         """Round 1 response: a fresh scalar challenge e."""
@@ -214,7 +225,7 @@ class PeetersHermansReader:
         self.ops.point_additions += 1
         if candidate.is_infinity:
             return None
-        return self._database.get((candidate.x, candidate.y))
+        return self.database.lookup(candidate)
 
 
 def run_identification(

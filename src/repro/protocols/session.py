@@ -852,11 +852,20 @@ PROTOCOL_NAMES = ("peeters-hermans", "schnorr", "mutual-auth")
 
 
 def make_adapter(protocol: str, domain=None, seed: int = 0,
-                 session_index: int = 0) -> ThreeRoundAdapter:
+                 session_index: int = 0,
+                 database=None) -> ThreeRoundAdapter:
     """Fresh protocol endpoints with secrets derived from ``seed``.
 
     Key material is derived per ``(seed, session_index)`` so a fleet
     of sessions is reproducible and embarrassingly parallel.
+
+    ``database`` (Peeters–Hermans only) swaps the reader's tag store:
+    any :class:`~repro.protocols.database.TagDatabase` — e.g. the
+    sharded fleet-scale store of :mod:`repro.server.enrollment` — is
+    used as-is and assumed pre-enrolled; the default ``None`` keeps
+    the historical per-session toy database holding exactly this
+    session's tag.  Either way the reader's "tag not in the database"
+    conclusion is whatever ``database.lookup`` says.
     """
     rng = random.Random(derive_channel_seed(seed, "keys", session_index,
                                             0, 0))
@@ -867,10 +876,12 @@ def make_adapter(protocol: str, domain=None, seed: int = 0,
         raise ValueError(f"protocol {protocol!r} needs a curve domain")
     ring = domain.scalar_ring
     if protocol == "peeters-hermans":
-        reader = PeetersHermansReader(domain, ring.random_scalar(rng))
+        reader = PeetersHermansReader(domain, ring.random_scalar(rng),
+                                      database=database)
         tag = PeetersHermansTag(domain, ring.random_scalar(rng),
                                 reader.public)
-        reader.register(session_index + 1, tag.identity_point)
+        if database is None:
+            reader.register(session_index + 1, tag.identity_point)
         return PeetersHermansAdapter(domain, tag, reader)
     if protocol == "schnorr":
         tag = SchnorrTag(domain, ring.random_scalar(rng))

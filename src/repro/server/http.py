@@ -1,0 +1,118 @@
+"""A live ``/metrics`` endpoint for the identification server.
+
+Standard library only: a :class:`ThreadingHTTPServer` on a daemon
+thread serving the Prometheus text exposition of a
+:class:`~repro.obs.metrics.MetricRegistry` — the existing ``repro_*``
+families plus the server's ``repro_server_*`` ones, whatever the
+registry holds.  ``GET /metrics`` scrapes, ``GET /healthz`` probes,
+anything else is 404.
+
+The registry is mutated by the simulation thread while scrapes render
+on the HTTP thread; rendering walks dicts that may grow mid-walk, so
+a scrape retries the render a few times on ``RuntimeError`` rather
+than locking the hot path — a scrape must never slow the server down.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+__all__ = ["MetricsServer"]
+
+_RENDER_RETRIES = 5
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry = None                    # set by the enclosing server
+
+    def do_GET(self):                  # noqa: N802 — http.server API
+        if self.path == "/metrics":
+            body = self._render()
+            if body is None:
+                self._reply(503, "metrics render contended; retry\n")
+            else:
+                self._reply(200, body,
+                            content_type="text/plain; version=0.0.4; "
+                                         "charset=utf-8")
+        elif self.path == "/healthz":
+            self._reply(200, "ok\n")
+        else:
+            self._reply(404, "unknown path; try /metrics\n")
+
+    def _render(self) -> Optional[str]:
+        for _ in range(_RENDER_RETRIES):
+            try:
+                return self.registry.render_prometheus()
+            except RuntimeError:       # dict grew during iteration
+                continue
+        return None
+
+    def _reply(self, status: int, body: str,
+               content_type: str = "text/plain; charset=utf-8") -> None:
+        payload = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):   # noqa: A002 — API name
+        pass                                # scrapes are not log events
+
+
+class MetricsServer:
+    """Serve a registry's metrics over HTTP until stopped.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` (the CLI prints it so a scrape loop can find it).
+    """
+
+    def __init__(self, registry, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("metrics server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,),
+                       {"registry": self.registry})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

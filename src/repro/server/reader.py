@@ -1,0 +1,757 @@
+"""The identification server: thousands of Figure-2 sessions at once.
+
+This is ROADMAP item 2's reader side.  One
+:class:`IdentificationServer` owns the reader secret for an enrolled
+fleet (:mod:`.enrollment`), terminates concurrent Peeters–Hermans
+sessions over the lossy body-area channel, and answers the closing
+"which tag is this?" against the sharded store through the search
+layer (:mod:`.search`).
+
+Three load-bearing design points:
+
+* **Admission before work.**  ``submit()`` either enqueues the arrival
+  into a *bounded* admission queue or raises
+  :class:`~.errors.AdmissionRejectedError` synchronously — an
+  overloaded server sheds immediately rather than accepting sessions
+  into deadlines it cannot meet.  Admitted sessions wait for one of
+  ``capacity`` in-flight slots; a per-session deadline cancels
+  stragglers (:class:`~.simloop.SimCancelled` → a ``deadline``
+  outcome, never a hang).
+* **Crypto through the scheduler.**  Every reader-side point
+  multiplication goes through :class:`~.scheduler.ScalarMultScheduler`
+  so concurrent sessions' EC work coalesces into batches; the tag side
+  stays a live :class:`~repro.protocols.peeters_hermans.PeetersHermansTag`
+  whose nonce-lifecycle guarantees are enforced by the real object.
+* **Session semantics are the session layer's.**  The per-session
+  exchange is a coroutine port of
+  :class:`repro.protocols.session._SessionEngine` — same frame codec,
+  same epoch/retransmission state machine, same rejection taxonomy,
+  same operation accounting — running on the shared virtual-time
+  :class:`~.simloop.SimLoop` so thousands of sessions interleave
+  deterministically.
+
+Everything deterministic (counts, energy, outcomes) lands in
+``repro_server_*`` counters/gauges; wall-clock observations (search
+latency) land in ``*_seconds`` histograms, which summary builders
+strip.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..channel import (
+    BodyAreaChannel,
+    Frame,
+    FrameCorruptedError,
+    FrameError,
+    LossProfile,
+    compress_point,
+    decode_frame,
+    decompress_point,
+    derive_channel_seed,
+    encode_frame,
+    int_from_bytes,
+    int_to_bytes,
+    point_width_bytes,
+    scalar_width_bytes,
+)
+from ..obs import runtime as _obs_runtime
+from ..protocols.ops import OperationCount
+from ..protocols.peeters_hermans import PeetersHermansTag
+from ..protocols.session import RetransmissionPolicy
+from .enrollment import EnrollmentStore
+from .errors import AdmissionRejectedError, ServerError
+from .scheduler import NaiveScalarEngine, ScalarMultScheduler
+from .search import EpochSearchCache, epoch_nonce, scan_lookup
+from .simloop import SimCancelled, SimFuture, SimLoop, SimQueue, \
+    SimQueueFull
+
+__all__ = ["ServerConfig", "SessionOutcome", "IdentificationServer",
+           "SEARCH_MODES"]
+
+SEARCH_MODES = ("cached", "uncached")
+
+#: Microjoule buckets for the per-session energy histogram (tag side
+#: of one TOY-B17 session lands in the tens of µJ; retries multiply).
+ENERGY_UJ_BUCKETS = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+                     2000.0, 5000.0)
+
+#: Seconds buckets for the (wall-clock) search latency histogram.
+SEARCH_SECONDS_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+_TAG, _READER = 0, 1
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Admission, deadline and search knobs of one server instance."""
+
+    capacity: int = 256
+    admission_queue: int = 64
+    session_deadline_s: float = 2.0
+    search_mode: str = "cached"
+    epoch_sessions: int = 100000
+    scheduler_window_s: float = 1e-4
+    scheduler_max_batch: int = 64
+    distance_m: float = 0.5
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+        if self.admission_queue < 1:
+            raise ValueError("admission queue must be positive")
+        if self.session_deadline_s <= 0:
+            raise ValueError("session deadline must be positive")
+        if self.search_mode not in SEARCH_MODES:
+            raise ValueError(f"search_mode must be one of {SEARCH_MODES}")
+        if self.epoch_sessions < 1:
+            raise ValueError("epoch_sessions must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "admission_queue": self.admission_queue,
+            "session_deadline_s": self.session_deadline_s,
+            "search_mode": self.search_mode,
+            "epoch_sessions": self.epoch_sessions,
+            "scheduler_window_s": self.scheduler_window_s,
+            "scheduler_max_batch": self.scheduler_max_batch,
+            "distance_m": self.distance_m,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServerConfig":
+        return cls(**d)
+
+
+@dataclass
+class SessionOutcome:
+    """One session's verdict and full deterministic accounting."""
+
+    index: int
+    outcome: str                      # accepted|rejected|aborted|deadline
+    identity: Optional[int]
+    expected_identity: int
+    detail: str
+    epochs_used: int
+    frames_sent: int
+    retransmissions: int
+    corrupt_rejections: int
+    stale_rejections: int
+    replay_rejections: int
+    payload_rejections: int
+    elapsed_s: float                  # virtual
+    records_scanned: int
+    tag_energy_uj: float
+    reader_energy_uj: float
+
+    @property
+    def identified_correctly(self) -> bool:
+        return (self.outcome == "accepted"
+                and self.identity == self.expected_identity)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "outcome": self.outcome,
+            "identity": self.identity,
+            "expected_identity": self.expected_identity,
+            "detail": self.detail,
+            "epochs_used": self.epochs_used,
+            "frames_sent": self.frames_sent,
+            "retransmissions": self.retransmissions,
+            "elapsed_ms": round(self.elapsed_s * 1000, 3),
+            "records_scanned": self.records_scanned,
+            "tag_energy_uj": round(self.tag_energy_uj, 6),
+            "reader_energy_uj": round(self.reader_energy_uj, 6),
+        }
+
+
+class IdentificationServer:
+    """The concurrent reader endpoint over an enrolled fleet."""
+
+    def __init__(self, loop: SimLoop, store: EnrollmentStore,
+                 config: Optional[ServerConfig] = None, *,
+                 seed: int = 0,
+                 profile: Optional[LossProfile] = None,
+                 policy: Optional[RetransmissionPolicy] = None,
+                 registry=None,
+                 scheduler: Optional[ScalarMultScheduler] = None):
+        self.loop = loop
+        self.store = store
+        self.spec = store.spec
+        self.config = config or ServerConfig()
+        self.seed = seed
+        self.profile = profile if profile is not None else LossProfile()
+        self.policy = policy or RetransmissionPolicy()
+        self.registry = registry
+        self.domain = self.spec.domain()
+        self._secret_y = self.spec.reader_secret()
+        # The reader's long-term public key: server-wide, computed
+        # once — deliberately *not* in any session's OperationCount.
+        self.reader_public = self.domain.curve.multiply_naive(
+            self._secret_y, self.domain.generator)
+        self.scheduler = scheduler or ScalarMultScheduler(
+            loop, NaiveScalarEngine(self.domain.curve),
+            window_s=self.config.scheduler_window_s,
+            max_batch=self.config.scheduler_max_batch,
+            registry=registry)
+        self._admission: SimQueue = SimQueue(
+            loop, maxsize=self.config.admission_queue)
+        self._in_flight = 0
+        self.peak_in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+        self._slot_waiter: Optional[SimFuture] = None
+        self._caches: Dict[int, EpochSearchCache] = {}
+        self._acceptor: Optional["SimTask"] = None
+
+    # -- admission -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._acceptor is None:
+            self._acceptor = self.loop.create_task(self._accept_loop(),
+                                                   name="acceptor")
+
+    def submit(self, index: int) -> SimFuture:
+        """Offer session ``index`` for admission.
+
+        Returns a future resolving to this session's
+        :class:`SessionOutcome`, or raises
+        :class:`AdmissionRejectedError` *now* when the admission queue
+        is full — the shed path is synchronous and typed.
+        """
+        if self._acceptor is None:
+            raise ServerError("server not started", session_index=index)
+        future = SimFuture(self.loop)
+        try:
+            self._admission.put_nowait((index, future))
+        except SimQueueFull:
+            self.shed += 1
+            self._count("repro_server_sheds_total",
+                        "arrivals shed at the admission queue")
+            raise AdmissionRejectedError(
+                f"admission queue full "
+                f"({self.config.admission_queue} waiting)",
+                session_index=index) from None
+        self.admitted += 1
+        self._count("repro_server_admissions_total",
+                    "arrivals admitted past the queue")
+        return future
+
+    async def close(self) -> None:
+        """Stop accepting; waits for the acceptor to exit.  Sessions
+        already admitted run to completion."""
+        if self._acceptor is None:
+            return
+        while True:
+            try:
+                self._admission.put_nowait(_SHUTDOWN)
+                break
+            except SimQueueFull:
+                await self.loop.sleep(0.01)
+        await self._acceptor
+        self._acceptor = None
+
+    async def _accept_loop(self) -> None:
+        rt = _obs_runtime.current()
+        while True:
+            item = await self._admission.get()
+            if item is _SHUTDOWN:
+                return
+            index, future = item
+            while self._in_flight >= self.config.capacity:
+                self._slot_waiter = SimFuture(self.loop)
+                await self._slot_waiter
+            self._in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight,
+                                      self._in_flight)
+            self._set_gauge("repro_server_sessions_in_flight",
+                            "sessions currently being served",
+                            float(self._in_flight))
+            self._set_gauge("repro_server_in_flight_peak",
+                            "high-water mark of concurrent sessions",
+                            float(self.peak_in_flight))
+            if rt is not None:
+                with rt.span("server.accept", key=index,
+                             in_flight=self._in_flight):
+                    pass
+            task = self.loop.create_task(self._run_session(index),
+                                         name=f"session-{index}")
+            deadline = self.loop.call_at(
+                self.loop.now + self.config.session_deadline_s,
+                task.cancel, "session deadline")
+            task.add_done_callback(
+                self._session_closer(index, future, deadline))
+
+    def _session_closer(self, index, future, deadline_handle):
+        def closer(task) -> None:
+            deadline_handle.cancel()
+            self._in_flight -= 1
+            self._set_gauge("repro_server_sessions_in_flight",
+                            "sessions currently being served",
+                            float(self._in_flight))
+            if self._slot_waiter is not None:
+                waiter, self._slot_waiter = self._slot_waiter, None
+                waiter._wake(None)
+            exc = task.exception()
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(task.result())
+        return closer
+
+    # -- the per-session exchange --------------------------------------
+
+    async def _run_session(self, index: int) -> SessionOutcome:
+        exchange = _SessionExchange(self, index)
+        rt = _obs_runtime.current()
+        span = rt.span("server.session", key=index) if rt is not None \
+            else None
+        try:
+            if span is not None:
+                with span as sp:
+                    outcome = await exchange.run()
+                    if sp is not None:
+                        sp.set(outcome=outcome.outcome,
+                               epochs=outcome.epochs_used)
+            else:
+                outcome = await exchange.run()
+        except SimCancelled:
+            outcome = exchange.as_outcome("deadline",
+                                          "session deadline expired")
+        self._record_session(outcome)
+        return outcome
+
+    # -- search --------------------------------------------------------
+
+    def _cache_for(self, index: int) -> EpochSearchCache:
+        epoch_index = index // self.config.epoch_sessions
+        cache = self._caches.get(epoch_index)
+        if cache is None:
+            cache = EpochSearchCache(
+                self.store, epoch_nonce(self.seed, epoch_index))
+            walked = cache.build()
+            self._count("repro_server_cache_builds_total",
+                        "per-epoch search tables built")
+            self._count("repro_server_search_records_scanned_total",
+                        "fleet records walked by searches and "
+                        "cache builds", walked)
+            self._caches[epoch_index] = cache
+            for stale in [k for k in self._caches
+                          if k < epoch_index - 1]:
+                del self._caches[stale]
+        return cache
+
+    def _search(self, index: int, needle: bytes
+                ) -> Tuple[Optional[int], int]:
+        """(canonical identity or None, records walked *this* call)."""
+        rt = _obs_runtime.current()
+        started = time.perf_counter()
+        if self.config.search_mode == "cached":
+            cache = self._cache_for(index)
+            identity = cache.lookup(needle)
+            scanned = 0
+        else:
+            identity, scanned = scan_lookup(self.store, needle)
+            self._count("repro_server_search_records_scanned_total",
+                        "fleet records walked by searches and "
+                        "cache builds", scanned)
+        wall = time.perf_counter() - started
+        self._count("repro_server_search_lookups_total",
+                    "closing identifications searched",
+                    mode=self.config.search_mode)
+        if self.registry is not None:
+            self.registry.histogram(
+                "repro_server_search_latency_seconds",
+                "wall-clock search latency (stripped from summaries)",
+                buckets=SEARCH_SECONDS_BUCKETS,
+            ).observe(wall, mode=self.config.search_mode)
+        if rt is not None:
+            with rt.span("server.search", key=index,
+                         mode=self.config.search_mode) as sp:
+                if sp is not None:
+                    sp.set(hit=identity is not None, scanned=scanned)
+        return identity, scanned
+
+    # -- metrics -------------------------------------------------------
+
+    def _count(self, name: str, help_text: str, amount: float = 1.0,
+               **labels) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, help_text).inc(amount, **labels)
+
+    def _set_gauge(self, name: str, help_text: str, value: float) -> None:
+        if self.registry is not None:
+            self.registry.gauge(name, help_text).set(value)
+
+    def _record_session(self, outcome: SessionOutcome) -> None:
+        self._count("repro_server_sessions_total",
+                    "sessions by final outcome", outcome=outcome.outcome)
+        self._count("repro_server_epochs_total",
+                    "protocol epochs consumed", outcome.epochs_used)
+        self._count("repro_server_frames_total",
+                    "frames sent by both endpoints", outcome.frames_sent)
+        self._count("repro_server_retransmissions_total",
+                    "frames beyond the lossless three",
+                    outcome.retransmissions)
+        if outcome.outcome == "accepted" \
+                and not outcome.identified_correctly:
+            self._count("repro_server_misidentifications_total",
+                        "accepted sessions naming the wrong tag")
+        energy = None
+        if self.registry is not None:
+            energy = self.registry.counter(
+                "repro_server_energy_uj_total",
+                "microjoules spent, by role")
+            energy.inc(outcome.tag_energy_uj, role="tag")
+            energy.inc(outcome.reader_energy_uj, role="reader")
+            self.registry.histogram(
+                "repro_server_session_energy_uj",
+                "tag-side microjoules per session",
+                buckets=ENERGY_UJ_BUCKETS,
+            ).observe(outcome.tag_energy_uj)
+
+
+class _SessionExchange:
+    """One session's dual state machine, as a coroutine.
+
+    A faithful port of :class:`repro.protocols.session._SessionEngine`
+    (Peeters–Hermans only): the same private ``(time, seq)`` agenda,
+    frame-rejection taxonomy, nonce lifecycle and bit accounting — but
+    time advances by awaiting the *shared* loop, and the reader's
+    closing verification awaits the scalar-mult scheduler and the
+    search layer instead of computing inline.  Within one session no
+    event is ever inserted behind the agenda head, so pop-then-sleep
+    preserves the engine's ordering exactly.
+    """
+
+    def __init__(self, server: IdentificationServer, index: int):
+        import heapq as _heapq
+        self._heapq = _heapq
+        self.server = server
+        self.loop = server.loop
+        self.policy = server.policy
+        self.seed = server.seed
+        self.index = index
+        spec = server.spec
+        domain = server.domain
+        self.domain = domain
+        self.ring = domain.scalar_ring
+        curve = domain.curve
+
+        self.expected_identity = spec.canonical_identity(
+            derive_channel_seed(self.seed, "server/identity", index,
+                                0, 0) % spec.tags)
+        tag_secret = spec.secret_for(self.expected_identity)
+        # Tag multiplications via multiply_naive: mathematically
+        # identical to the randomized ladder, ~10x faster in wall
+        # time, and the OperationCount (what energy is charged on)
+        # does not depend on the algorithm.
+        self.tag = PeetersHermansTag(
+            domain, tag_secret, server.reader_public,
+            multiplier=lambda k, point, rng: curve.multiply_naive(
+                k, point))
+        self.reader_ops = OperationCount()
+        self.rng_tag = random.Random(derive_channel_seed(
+            self.seed, "server/role/tag", index, 0, 0))
+        self.rng_reader = random.Random(derive_channel_seed(
+            self.seed, "server/role/reader", index, 0, 0))
+        self.channel = BodyAreaChannel(server.profile, seed=self.seed,
+                                       session=index)
+        self.session_id = derive_channel_seed(
+            self.seed, "server/session-id", index, 0, 0) & 0xFFFFFFFF
+        self._scalar_width = scalar_width_bytes(domain.order)
+        self._point_width = point_width_bytes(domain.field.m)
+
+        self.started_at = self.loop.now
+        self._agenda: List[tuple] = []
+        self._seq = 0
+        self._timer_seq = [0, 0]
+
+        # tag (initiator) state
+        self.tag_state = "await-m1"
+        self.epoch = -1
+        self.consumed_m1_attempt: Optional[int] = None
+        # reader (responder) state
+        self.reader_state = "await-m0"
+        self.reader_epoch = -1
+        self._commitment = None
+        self._challenge: Optional[int] = None
+        self.m1_bytes: Optional[bytes] = None
+        self.m1_attempt = 0
+
+        # bookkeeping
+        self.frames_sent = 0
+        self.corrupt = 0
+        self.stale = 0
+        self.replayed = 0
+        self.payload_rejected = 0
+        self.records_scanned = 0
+        self.concluded: Optional[Tuple[bool, Optional[int], str]] = None
+        self.aborted_phase: Optional[str] = None
+
+    # -- agenda --------------------------------------------------------
+
+    def _push(self, at: float, kind: str, *args) -> None:
+        self._seq += 1
+        self._heapq.heappush(self._agenda, (at, self._seq, kind, args))
+
+    def _arm_timer(self, role: int, at: float) -> None:
+        self._timer_seq[role] += 1
+        self._push(at, "timer", role, self._timer_seq[role])
+
+    def _ops(self, role: int) -> OperationCount:
+        return self.tag.ops if role == _TAG else self.reader_ops
+
+    def _send(self, sender: int, round_index: int, attempt: int,
+              label: str, payload: bytes) -> None:
+        epoch = self.epoch if sender == _TAG else self.reader_epoch
+        frame = Frame(self.session_id, epoch, round_index, attempt,
+                      sender, label, payload)
+        data = encode_frame(frame)
+        self._ops(sender).tx_bits += len(data) * 8
+        self.frames_sent += 1
+        frame_id = epoch * 3 + round_index
+        deliveries = self.channel.transmit(data, frame_id, attempt,
+                                           self.loop.now)
+        receiver = _READER if sender == _TAG else _TAG
+        for delivery in deliveries:
+            self._push(delivery.at, "deliver", receiver, delivery.data)
+
+    # -- tag side ------------------------------------------------------
+
+    def _start_epoch(self) -> None:
+        if self.epoch + 1 >= self.policy.max_epochs:
+            self.aborted_phase = self.tag_state
+            return
+        if self.epoch >= 0:
+            self.tag.abort()
+        self.epoch += 1
+        self.consumed_m1_attempt = None
+        self.tag_state = "await-m1"
+        payload = compress_point(self.domain.curve,
+                                 self.tag.commit(self.rng_tag))
+        self._send(_TAG, 0, 0, "R", payload)
+        self._arm_timer(_TAG, self.loop.now + self.policy.round_deadline_s)
+
+    def _restart_epoch(self) -> None:
+        delay = self.policy.epoch_backoff(self.seed, self.index,
+                                          self.epoch + 1)
+        self.tag_state = "backoff"
+        self._push(self.loop.now + delay, "epoch")
+
+    def _tag_frame(self, frame: Frame) -> None:
+        if frame.round_index != 1 or frame.epoch != self.epoch:
+            self.stale += 1
+            return
+        if self.tag_state == "await-m1":
+            if len(frame.payload) != self._scalar_width:
+                self.payload_rejected += 1
+                return
+            try:
+                s = self.tag.respond(int_from_bytes(frame.payload),
+                                     self.rng_tag)
+            except ValueError:
+                self.payload_rejected += 1
+                return
+            self.consumed_m1_attempt = frame.attempt
+            self._send(_TAG, 2, 0, "s",
+                       int_to_bytes(s, self._scalar_width))
+            self.tag_state = "closing"
+            self._arm_timer(_TAG,
+                            self.loop.now + self.policy.round_deadline_s)
+        elif self.tag_state == "closing":
+            self.replayed += 1
+            if frame.attempt > (self.consumed_m1_attempt or 0):
+                # Retransmitted challenge after our response: the
+                # response is presumed lost; the nonce is spent, so
+                # the only safe recovery is a fresh epoch.
+                self._restart_epoch()
+
+    def _tag_timeout(self) -> None:
+        if self.tag_state in ("await-m1", "closing"):
+            self._restart_epoch()
+
+    # -- reader side ---------------------------------------------------
+
+    def _reader_m0(self, frame: Frame) -> None:
+        if frame.epoch < self.reader_epoch or (
+                frame.epoch == self.reader_epoch
+                and self.reader_state == "done"):
+            self.stale += 1
+            return
+        if frame.epoch == self.reader_epoch:
+            self.replayed += 1
+            return
+        try:
+            self._commitment = decompress_point(self.domain.curve,
+                                                frame.payload)
+        except FrameError:
+            self.payload_rejected += 1
+            return
+        self._challenge = self.ring.random_scalar(self.rng_reader)
+        self.reader_ops.random_bits += self.ring.n.bit_length()
+        self.reader_epoch = frame.epoch
+        self.m1_bytes = int_to_bytes(self._challenge,
+                                     self._scalar_width)
+        self.m1_attempt = 0
+        self.reader_state = "await-m2"
+        self._send(_READER, 1, 0, "e", self.m1_bytes)
+        self._arm_timer(_READER,
+                        self.loop.now + self.policy.round_deadline_s)
+
+    async def _reader_m2(self, frame: Frame) -> None:
+        if frame.epoch != self.reader_epoch:
+            self.stale += 1
+            return
+        if self.reader_state == "done":
+            self.replayed += 1
+            return
+        if len(frame.payload) != self._scalar_width:
+            self.payload_rejected += 1
+            return
+        verdict = await self._conclude(int_from_bytes(frame.payload))
+        self.reader_state = "done"
+        self.concluded = verdict
+
+    async def _conclude(self, s: int
+                        ) -> Tuple[bool, Optional[int], str]:
+        """The reader's closing verification, through the scheduler
+        and the search layer.  Mirrors
+        :meth:`~repro.protocols.peeters_hermans.PeetersHermansReader.
+        identify` operation for operation — the µJ-exactness tests
+        depend on the OperationCount matching the sync reader's.
+        """
+        server = self.server
+        curve, ring = self.domain.curve, self.ring
+        e, commitment = self._challenge, self._commitment
+        if not 1 <= e < ring.n or not 1 <= s < ring.n:
+            return False, None, "tag not in the database"
+        if not curve.is_on_curve(commitment) or commitment.is_infinity:
+            return False, None, "tag not in the database"
+        shared = await server.scheduler.multiply(server._secret_y,
+                                                 commitment)
+        self.reader_ops.point_multiplications += 1
+        d = ring.reduce(shared.x)
+        term1_f = server.scheduler.multiply(ring.sub(s, d),
+                                            self.domain.generator)
+        term2_f = server.scheduler.multiply(e, commitment)
+        term1 = await term1_f
+        term2 = await term2_f
+        self.reader_ops.point_multiplications += 2
+        candidate = curve.subtract(term1, term2)
+        self.reader_ops.point_additions += 1
+        if candidate.is_infinity:
+            return False, None, "tag not in the database"
+        needle = compress_point(curve, candidate)
+        identity, scanned = server._search(self.index, needle)
+        self.records_scanned += scanned
+        if identity is None:
+            return False, None, "tag not in the database"
+        return True, identity, f"identified tag {identity}"
+
+    def _reader_timeout(self) -> None:
+        if self.reader_state != "await-m2":
+            return
+        if self.m1_attempt + 1 < self.policy.max_frame_attempts:
+            self.m1_attempt += 1
+            delay = self.policy.frame_backoff(self.seed, self.index,
+                                              self.reader_epoch,
+                                              self.m1_attempt)
+            self._push(self.loop.now + delay, "m1-retransmit",
+                       self.reader_epoch, self.m1_attempt)
+        else:
+            self.reader_state = "await-m0"
+
+    # -- main loop -----------------------------------------------------
+
+    async def run(self) -> SessionOutcome:
+        self._start_epoch()
+        while self._agenda:
+            if self.concluded is not None \
+                    or self.aborted_phase is not None:
+                break
+            at, _seq, kind, args = self._heapq.heappop(self._agenda)
+            if at > self.loop.now:
+                await self.loop.sleep(at - self.loop.now)
+            if kind == "deliver":
+                role, data = args
+                self._ops(role).rx_bits += len(data) * 8
+                try:
+                    frame = decode_frame(data)
+                except (FrameCorruptedError, FrameError):
+                    self.corrupt += 1
+                    continue
+                if frame.session != self.session_id \
+                        or frame.sender == role:
+                    self.stale += 1
+                    continue
+                if role == _TAG:
+                    self._tag_frame(frame)
+                elif frame.round_index == 0:
+                    self._reader_m0(frame)
+                elif frame.round_index == 2:
+                    await self._reader_m2(frame)
+                else:
+                    self.stale += 1
+            elif kind == "timer":
+                role, seq = args
+                if seq != self._timer_seq[role]:
+                    continue
+                if role == _TAG:
+                    self._tag_timeout()
+                else:
+                    self._reader_timeout()
+            elif kind == "epoch":
+                self._start_epoch()
+            elif kind == "m1-retransmit":
+                epoch, attempt = args
+                if self.reader_state == "await-m2" \
+                        and self.reader_epoch == epoch \
+                        and self.m1_attempt == attempt:
+                    self._send(_READER, 1, attempt, "e", self.m1_bytes)
+                    self._arm_timer(
+                        _READER,
+                        self.loop.now + self.policy.round_deadline_s)
+        if self.concluded is not None:
+            accepted, identity, detail = self.concluded
+            return self.as_outcome("accepted" if accepted
+                                   else "rejected", detail,
+                                   identity=identity)
+        return self.as_outcome("aborted", "session aborted")
+
+    # -- reporting -----------------------------------------------------
+
+    def as_outcome(self, outcome: str, detail: str,
+                   identity: Optional[int] = None) -> SessionOutcome:
+        from ..energy.comparison import protocol_energy
+        tag_energy = protocol_energy(
+            "peeters-hermans/tag", self.tag.ops,
+            self.server.config.distance_m)
+        reader_energy = protocol_energy(
+            "peeters-hermans/reader", self.reader_ops,
+            self.server.config.distance_m)
+        return SessionOutcome(
+            index=self.index,
+            outcome=outcome,
+            identity=identity,
+            expected_identity=self.expected_identity,
+            detail=detail,
+            epochs_used=self.epoch + 1,
+            frames_sent=self.frames_sent,
+            retransmissions=max(0, self.frames_sent - 3),
+            corrupt_rejections=self.corrupt,
+            stale_rejections=self.stale,
+            replay_rejections=self.replayed,
+            payload_rejections=self.payload_rejected,
+            elapsed_s=self.loop.now - self.started_at,
+            records_scanned=self.records_scanned,
+            tag_energy_uj=tag_energy.total_j * 1e6,
+            reader_energy_uj=reader_energy.total_j * 1e6,
+        )

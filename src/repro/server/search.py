@@ -1,0 +1,114 @@
+"""Private-identification search: the O(N) wall and its cache.
+
+Identification ends with the reader holding a candidate point
+``X' = s*P - d'*P - e*R`` and asking "which enrolled tag is this?" —
+a search over the whole fleet (the cost the paper's Section 5 accepts
+to keep tags cheap: the reader pays O(N), the tag pays O(1)).
+
+:func:`scan_lookup` is that wall, measured honestly: a per-record
+comparison loop over the sharded store.  :class:`EpochSearchCache`
+amortizes it: once per epoch the reader walks the fleet *once* and
+builds a hash table keyed by ``H(nonce || record)``, after which every
+lookup in the epoch is O(1).  The table is keyed by the epoch nonce
+(:func:`epoch_nonce`) rather than by raw records so a table entry is
+worthless outside its epoch — dumping the reader's working memory
+after the epoch rotates reveals no long-term linkable keys, the same
+defence-in-depth instinct as the session layer's per-epoch nonces.
+
+Both paths return *canonical* identities (lowest enrolled identity
+for a record — see :mod:`.enrollment` on forced TOY-B17 collisions),
+so cached and uncached search are interchangeable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from .enrollment import EnrollmentStore
+
+__all__ = ["epoch_nonce", "scan_lookup", "EpochSearchCache"]
+
+#: Bytes of the per-epoch nonce and of each table key.
+NONCE_WIDTH = 16
+KEY_WIDTH = 16
+
+
+def epoch_nonce(seed: int, epoch_index: int) -> bytes:
+    """The deterministic per-epoch nonce the cache is keyed by."""
+    material = f"repro.server.epoch/{seed}/{epoch_index}".encode()
+    return hashlib.sha256(material).digest()[:NONCE_WIDTH]
+
+
+def scan_lookup(store: EnrollmentStore, needle: bytes
+                ) -> Tuple[Optional[int], int]:
+    """The uncached O(N) search: compare ``needle`` against every
+    record in shard order; first match is the canonical identity.
+
+    Returns ``(identity_or_None, records_scanned)``.  The loop is a
+    deliberate per-record comparison — this *is* the wall the bench
+    measures and the cache must beat; replacing it with a clever
+    substring search would fake the baseline.
+    """
+    width = store.record_width
+    scanned = 0
+    for first_identity, data in store.iter_shards():
+        count = len(data) // width
+        offset = 0
+        for index in range(count):
+            scanned += 1
+            if data[offset:offset + width] == needle:
+                return first_identity + index, scanned
+            offset += width
+    return None, scanned
+
+
+class EpochSearchCache:
+    """One epoch's reader-side table: O(N) once, O(1) per lookup.
+
+    ``build()`` walks the fleet a single time and fills a dict from
+    ``H(nonce || record)[:KEY_WIDTH]`` to canonical identity
+    (``setdefault`` keeps the lowest identity for colliding records).
+    The nonce binds the table to its epoch; ``lookup`` hashes the
+    candidate the same way.
+    """
+
+    def __init__(self, store: EnrollmentStore, nonce: bytes):
+        if len(nonce) != NONCE_WIDTH:
+            raise ValueError(f"epoch nonce must be {NONCE_WIDTH} bytes")
+        self.store = store
+        self.nonce = nonce
+        self._table: Optional[Dict[bytes, int]] = None
+        self.records = 0
+
+    @property
+    def built(self) -> bool:
+        return self._table is not None
+
+    def _key(self, record: bytes) -> bytes:
+        return hashlib.sha256(self.nonce + record).digest()[:KEY_WIDTH]
+
+    def build(self) -> int:
+        """Fill the table (idempotent); returns records walked."""
+        if self._table is not None:
+            return self.records
+        table: Dict[bytes, int] = {}
+        width = self.store.record_width
+        walked = 0
+        for first_identity, data in self.store.iter_shards():
+            count = len(data) // width
+            offset = 0
+            for index in range(count):
+                table.setdefault(self._key(data[offset:offset + width]),
+                                 first_identity + index)
+                walked += 1
+                offset += width
+        self._table = table
+        self.records = walked
+        return walked
+
+    def lookup(self, needle: bytes) -> Optional[int]:
+        """O(1) canonical-identity lookup; builds on first use."""
+        if self._table is None:
+            self.build()
+        return self._table.get(self._key(needle))

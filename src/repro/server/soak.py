@@ -1,0 +1,463 @@
+"""Fleet-scale soak runs: cohorts of sessions under supervision.
+
+A soak drives many thousands of sessions against one enrolled fleet
+and must produce the same summary — byte for byte — whether it ran on
+one worker or eight, with or without chaos faults killing workers
+mid-session.  The trick is the unit of parallelism: a **cohort** is a
+block of consecutive session indices simulated *whole* by one worker
+on its own virtual-time loop.  Cohort results are pure functions of
+``(spec, cohort_index)``, workers never share a simulation, and the
+summary is assembled in cohort order — so scheduling, worker count
+and crash/retry history are invisible in the output.
+
+Worker supervision is the campaign layer's
+:class:`~repro.campaign.supervisor.ShardSupervisor`, reused verbatim:
+a chaos-killed worker (``os._exit`` mid-simulation) is a transient
+failure, the cohort is retried from scratch (determinism makes the
+retry byte-identical), and a cohort that keeps failing is quarantined
+— the soak degrades loudly instead of hanging.
+
+Each cohort file carries the deterministic aggregates *and* a
+wall-stripped metric snapshot; the summary merges snapshots in cohort
+order, exactly the discipline of
+:func:`repro.obs.runtime.merge_shard_metrics`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from ..campaign.chaos import (CHAOS_CRASH_EXIT_CODE, ChaosConfig,
+                              ChaosInjectedError)
+from ..campaign.store import _atomic_write_bytes, file_digest
+from ..channel import LossProfile, derive_channel_seed
+from ..obs import runtime as _obs_runtime
+from ..obs.metrics import MetricRegistry, strip_wall_metrics
+from ..protocols.session import RetransmissionPolicy
+from .enrollment import EnrollmentStore
+from .errors import AdmissionRejectedError, ServerError
+from .reader import IdentificationServer, ServerConfig
+from .simloop import SimLoop
+
+__all__ = ["SoakSpec", "SoakReport", "run_soak", "run_cohort",
+           "simulate_cohort", "SUMMARY_NAME"]
+
+SUMMARY_NAME = "summary.json"
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SoakSpec:
+    """Everything that determines a soak's results.
+
+    ``store_dir`` is where the fleet lives — an environment fact, not
+    an identity fact — so it is *excluded* from :meth:`digest`; the
+    fleet itself is bound by ``enrollment_digest``.  Two soaks of the
+    same spec against copies of the same fleet in different
+    directories produce byte-identical summaries.
+    """
+
+    enrollment_digest: str
+    store_dir: str
+    sessions: int = 200            # per cohort
+    cohorts: int = 4
+    arrival_rate: float = 2000.0   # arrivals per virtual second
+    frame_loss: float = 0.1
+    seed: int = 0
+    capacity: int = 256
+    admission_queue: int = 64
+    session_deadline_s: float = 2.0
+    search_mode: str = "cached"
+    distance_m: float = 0.5
+    schema_version: int = _SCHEMA_VERSION
+
+    def __post_init__(self):
+        if self.sessions < 1 or self.cohorts < 1:
+            raise ValueError("need at least one session and one cohort")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "enrollment_digest": self.enrollment_digest,
+            "store_dir": self.store_dir,
+            "sessions": self.sessions,
+            "cohorts": self.cohorts,
+            "arrival_rate": self.arrival_rate,
+            "frame_loss": self.frame_loss,
+            "seed": self.seed,
+            "capacity": self.capacity,
+            "admission_queue": self.admission_queue,
+            "session_deadline_s": self.session_deadline_s,
+            "search_mode": self.search_mode,
+            "distance_m": self.distance_m,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SoakSpec":
+        d = dict(d)
+        d.setdefault("schema_version", _SCHEMA_VERSION)
+        return cls(**d)
+
+    def identity_dict(self) -> dict:
+        """The digest's view: the spec minus environment facts."""
+        identity = self.to_dict()
+        del identity["store_dir"]
+        return identity
+
+    def digest(self) -> str:
+        payload = json.dumps(self.identity_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def server_config(self) -> ServerConfig:
+        return ServerConfig(
+            capacity=self.capacity,
+            admission_queue=self.admission_queue,
+            session_deadline_s=self.session_deadline_s,
+            search_mode=self.search_mode,
+            distance_m=self.distance_m,
+        )
+
+    @staticmethod
+    def cohort_filename(cohort_index: int) -> str:
+        return f"cohort-{cohort_index:05d}.json"
+
+
+# ----------------------------------------------------------------------
+# one cohort = one independent simulation
+# ----------------------------------------------------------------------
+
+def _arrival_gap(seed: int, index: int, rate: float) -> float:
+    """Deterministic exponential-ish inter-arrival gap."""
+    unit = derive_channel_seed(seed, "server/arrival", index, 0, 0) \
+        / 2.0 ** 64
+    return -math.log(max(unit, 1e-12)) / rate
+
+
+def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
+                    crash_after: Optional[int] = None,
+                    crash_tmp_path: Optional[str] = None,
+                    registry: Optional[MetricRegistry] = None) -> dict:
+    """Run one cohort on a fresh loop; returns its aggregates+metrics.
+
+    ``crash_after`` is the chaos hook: after that many sessions have
+    concluded the worker dies hard (``os._exit``) with the simulation
+    mid-flight — the supervised retry must reproduce the cohort
+    byte-identically.  ``registry`` lets a caller watch the metrics
+    live (the CLI's ``server run`` serves it over HTTP mid-flight).
+    """
+    store = EnrollmentStore(spec.store_dir, verify=False)
+    if store.spec.digest() != spec.enrollment_digest:
+        raise ServerError(
+            f"store at {spec.store_dir} holds fleet "
+            f"{store.spec.digest()[:12]}..., soak spec wants "
+            f"{spec.enrollment_digest[:12]}..."
+        )
+    loop = SimLoop()
+    registry = registry if registry is not None else MetricRegistry()
+    server = IdentificationServer(
+        loop, store, spec.server_config(), seed=spec.seed,
+        profile=LossProfile(frame_loss=spec.frame_loss),
+        registry=registry)
+    base = cohort_index * spec.sessions
+    concluded = 0
+
+    async def drive() -> List:
+        nonlocal concluded
+        server.start()
+        futures = []
+        shed_indices = []
+        for i in range(spec.sessions):
+            index = base + i
+            if i:
+                await loop.sleep(_arrival_gap(spec.seed, index,
+                                              spec.arrival_rate))
+            try:
+                futures.append(server.submit(index))
+            except AdmissionRejectedError:
+                shed_indices.append(index)
+        outcomes = []
+        for future in futures:
+            outcomes.append(await future)
+            concluded += 1
+            if crash_after is not None and concluded >= crash_after:
+                # Die the way a killed worker does: torn temp file,
+                # no result, simulation abandoned mid-session.
+                if crash_tmp_path is not None:
+                    try:
+                        with open(crash_tmp_path, "wb") as f:
+                            f.write(b"chaos: torn soak write\x00" * 4)
+                    except OSError:
+                        pass
+                os._exit(CHAOS_CRASH_EXIT_CODE)
+        await server.close()
+        return outcomes, shed_indices
+
+    outcomes, shed_indices = loop.run_until_complete(drive())
+
+    by_outcome: Dict[str, int] = {}
+    totals = {
+        "epochs": 0, "frames": 0, "retransmissions": 0,
+        "records_scanned": 0, "correct": 0,
+    }
+    tag_uj = reader_uj = 0.0
+    for outcome in outcomes:
+        by_outcome[outcome.outcome] = \
+            by_outcome.get(outcome.outcome, 0) + 1
+        totals["epochs"] += outcome.epochs_used
+        totals["frames"] += outcome.frames_sent
+        totals["retransmissions"] += outcome.retransmissions
+        totals["records_scanned"] += outcome.records_scanned
+        if outcome.identified_correctly:
+            totals["correct"] += 1
+        tag_uj += outcome.tag_energy_uj
+        reader_uj += outcome.reader_energy_uj
+
+    return {
+        "cohort": cohort_index,
+        "sessions": spec.sessions,
+        "first_index": base,
+        "outcomes": {k: by_outcome[k] for k in sorted(by_outcome)},
+        "shed": len(shed_indices),
+        "admitted": server.admitted,
+        "peak_in_flight": server.peak_in_flight,
+        "epochs": totals["epochs"],
+        "frames": totals["frames"],
+        "retransmissions": totals["retransmissions"],
+        "records_scanned": totals["records_scanned"],
+        "correct": totals["correct"],
+        "tag_energy_uj": round(tag_uj, 6),
+        "reader_energy_uj": round(reader_uj, 6),
+        "scheduler": {
+            "requests": server.scheduler.requests_total,
+            "batches": server.scheduler.batches_total,
+        },
+        "metrics": strip_wall_metrics(registry.snapshot()),
+    }
+
+
+def run_cohort(spec_dict: dict, directory: str, cohort_index: int,
+               attempt: int, chaos_dict: Optional[dict]) -> dict:
+    """The supervised worker task: simulate, write, report.
+
+    Chaos faults mirror the campaign layer's: ``crash`` kills the
+    worker mid-simulation (after half the cohort's sessions conclude),
+    ``corrupt`` flips a byte after the digest was computed so only the
+    supervisor's independent re-hash can notice.
+    """
+    spec = SoakSpec.from_dict(spec_dict)
+    chaos = None if chaos_dict is None else ChaosConfig.from_dict(chaos_dict)
+    crash_after = None
+    if chaos is not None:
+        fault = chaos.execution_fault(cohort_index, attempt)
+        if fault == "crash":
+            crash_after = max(1, spec.sessions // 2)
+        elif fault == "hang":
+            time.sleep(chaos.hang_seconds)
+        elif fault == "error":
+            raise ChaosInjectedError(
+                f"injected soak failure (cohort {cohort_index}, "
+                f"attempt {attempt})"
+            )
+        elif fault == "slow":
+            time.sleep(chaos.slow_seconds)
+
+    crash_tmp = os.path.join(
+        directory, spec.cohort_filename(cohort_index) + ".tmp")
+    with _obs_runtime.shard_scope(cohort_index) as rt:
+        payload = simulate_cohort(spec, cohort_index,
+                                  crash_after=crash_after,
+                                  crash_tmp_path=crash_tmp)
+        if rt is not None:
+            rt.registry.merge_snapshot(payload["metrics"])
+
+    name = spec.cohort_filename(cohort_index)
+    path = os.path.join(directory, name)
+    _atomic_write_bytes(
+        path, json.dumps(payload, indent=1, sort_keys=True).encode())
+    digest = file_digest(path)
+
+    if chaos is not None and chaos.corrupts(cohort_index, attempt):
+        with open(path, "r+b") as f:
+            f.seek(16)
+            byte = f.read(1) or b"\x00"
+            f.seek(16)
+            f.write(bytes([byte[0] ^ 0xFF]))
+
+    return {
+        "shard": cohort_index,
+        "file": name,
+        "sha256": digest,
+        "artifacts": [(name, digest)],
+    }
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+
+@dataclass
+class SoakReport:
+    """What one soak accomplished, plus where the summary lives."""
+
+    outcome: str                   # clean | degraded
+    spec_digest: str
+    directory: str
+    cohorts_total: int
+    cohorts_completed: int
+    quarantined: List[int] = dataclass_field(default_factory=list)
+    retried_attempts: int = 0
+    sessions: int = 0
+    accepted: int = 0
+    shed: int = 0
+    deadline: int = 0
+    correct: int = 0
+    peak_in_flight: int = 0
+    tag_energy_uj: float = 0.0
+    reader_energy_uj: float = 0.0
+    summary_path: str = ""
+    wall_s: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.sessions if self.sessions else 0.0
+
+    def text(self) -> str:
+        lines = [
+            f"soak {self.spec_digest[:12]}: {self.outcome}",
+            f"  cohorts   {self.cohorts_completed}/{self.cohorts_total}"
+            + (f"  (quarantined: "
+               f"{', '.join(map(str, self.quarantined))})"
+               if self.quarantined else ""),
+            f"  sessions  {self.sessions}  accepted {self.accepted} "
+            f"({self.acceptance_rate:.1%})  shed {self.shed}  "
+            f"deadline {self.deadline}",
+            f"  correct   {self.correct}/{self.accepted} accepted "
+            f"identifications named the canonical tag",
+            f"  peak      {self.peak_in_flight} concurrent sessions "
+            f"(per cohort)",
+            f"  energy    tag {self.tag_energy_uj:.1f} uJ, "
+            f"reader {self.reader_energy_uj:.1f} uJ",
+            f"  retries   {self.retried_attempts} worker attempts "
+            f"beyond the first",
+            f"  wall      {self.wall_s:.1f} s",
+            f"  summary   {self.summary_path}",
+        ]
+        return "\n".join(lines)
+
+
+def run_soak(directory: str, spec: SoakSpec, *,
+             workers: Optional[int] = None,
+             chaos: Optional[ChaosConfig] = None,
+             policy=None,
+             on_event=None) -> SoakReport:
+    """Drive every cohort under supervision and write ``summary.json``.
+
+    The summary is a pure function of the spec: cohort aggregates in
+    cohort order, metric snapshots merged in cohort order, wall-clock
+    families stripped.  ``cmp`` two summaries from different worker
+    counts and they match.
+    """
+    from ..campaign.acquire import default_workers
+    from ..campaign.supervisor import ShardSupervisor
+
+    started = time.monotonic()
+    os.makedirs(directory, exist_ok=True)
+    for name in os.listdir(directory):
+        if name.endswith(".tmp"):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+    # Fail fast on a wrong or corrupt fleet before spawning workers.
+    store = EnrollmentStore(spec.store_dir, verify=True)
+    if store.spec.digest() != spec.enrollment_digest:
+        raise ServerError(
+            f"store at {spec.store_dir} holds fleet "
+            f"{store.spec.digest()[:12]}..., soak spec wants "
+            f"{spec.enrollment_digest[:12]}..."
+        )
+
+    records: Dict[int, dict] = {}
+    supervisor = ShardSupervisor(
+        spec, directory,
+        workers=default_workers(workers),
+        policy=policy,
+        chaos=chaos,
+        task=run_cohort,
+        on_success=lambda record, attempt: records.__setitem__(
+            record["shard"], record),
+        on_event=on_event,
+    )
+    outcome = supervisor.run(list(range(spec.cohorts)))
+    quarantined = sorted(outcome.quarantined)
+
+    merged = MetricRegistry()
+    cohort_summaries = []
+    report = SoakReport(
+        outcome="degraded" if quarantined else "clean",
+        spec_digest=spec.digest(),
+        directory=str(directory),
+        cohorts_total=spec.cohorts,
+        cohorts_completed=len(records),
+        quarantined=quarantined,
+        retried_attempts=outcome.retried_attempts,
+    )
+    for index in sorted(records):
+        path = os.path.join(directory, records[index]["file"])
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        merged.merge_snapshot(payload["metrics"])
+        aggregates = {k: v for k, v in payload.items()
+                      if k != "metrics"}
+        cohort_summaries.append(aggregates)
+        report.sessions += payload["sessions"]
+        report.accepted += payload["outcomes"].get("accepted", 0)
+        report.deadline += payload["outcomes"].get("deadline", 0)
+        report.shed += payload["shed"]
+        report.correct += payload["correct"]
+        report.peak_in_flight = max(report.peak_in_flight,
+                                    payload["peak_in_flight"])
+        report.tag_energy_uj = round(
+            report.tag_energy_uj + payload["tag_energy_uj"], 6)
+        report.reader_energy_uj = round(
+            report.reader_energy_uj + payload["reader_energy_uj"], 6)
+
+    summary = {
+        "schema_version": _SCHEMA_VERSION,
+        "spec": spec.identity_dict(),
+        "spec_digest": spec.digest(),
+        "outcome": report.outcome,
+        "quarantined": quarantined,
+        "cohorts": cohort_summaries,
+        "totals": {
+            "sessions": report.sessions,
+            "accepted": report.accepted,
+            "shed": report.shed,
+            "deadline": report.deadline,
+            "correct": report.correct,
+            "peak_in_flight": report.peak_in_flight,
+            "tag_energy_uj": report.tag_energy_uj,
+            "reader_energy_uj": report.reader_energy_uj,
+        },
+        "metrics": strip_wall_metrics(merged.snapshot()),
+    }
+    summary_path = os.path.join(directory, SUMMARY_NAME)
+    _atomic_write_bytes(
+        summary_path,
+        json.dumps(summary, indent=1, sort_keys=True).encode())
+    report.summary_path = summary_path
+    report.wall_s = time.monotonic() - started
+
+    rt = _obs_runtime.current()
+    if rt is not None:
+        _obs_runtime.merge_shard_metrics(rt, sorted(records))
+    return report

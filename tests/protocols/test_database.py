@@ -1,0 +1,128 @@
+"""The TagDatabase seam: toy and custom backends are interchangeable."""
+
+import pytest
+
+from repro.ec.curves import get_curve
+from repro.primitives import AesCtrDrbg
+from repro.protocols import (
+    InMemoryTagDatabase,
+    PeetersHermansReader,
+    PeetersHermansTag,
+    TagDatabase,
+    make_adapter,
+    run_identification,
+    run_resilient_session,
+)
+
+DOMAIN = get_curve("TOY-B17")
+
+
+def make_pair(tag_secret=1234, reader_secret=4321, database=None):
+    reader = PeetersHermansReader(DOMAIN, reader_secret, database=database)
+    tag = PeetersHermansTag(DOMAIN, tag_secret, reader.public)
+    return tag, reader
+
+
+class TestInMemoryTagDatabase:
+    def test_enroll_lookup_len(self):
+        db = InMemoryTagDatabase(DOMAIN.curve)
+        tag, _ = make_pair()
+        assert len(db) == 0
+        db.enroll(7, tag.identity_point)
+        assert len(db) == 1
+        assert db.lookup(tag.identity_point) == 7
+
+    def test_unknown_point_is_none(self):
+        db = InMemoryTagDatabase(DOMAIN.curve)
+        tag, _ = make_pair()
+        assert db.lookup(tag.identity_point) is None
+
+    def test_first_enrollment_is_canonical(self):
+        """Colliding enrollments resolve to the earliest identity —
+        the same rule the sharded store's scan order implies."""
+        db = InMemoryTagDatabase(DOMAIN.curve)
+        tag, _ = make_pair()
+        db.enroll(3, tag.identity_point)
+        db.enroll(9, tag.identity_point)
+        assert db.lookup(tag.identity_point) == 3
+        assert len(db) == 1
+
+    def test_off_curve_rejected(self):
+        from repro.ec.point import AffinePoint
+
+        db = InMemoryTagDatabase(DOMAIN.curve)
+        with pytest.raises(ValueError):
+            db.enroll(1, AffinePoint(1, 2))
+
+    def test_infinity_rejected(self):
+        from repro.ec.point import AffinePoint
+
+        db = InMemoryTagDatabase(DOMAIN.curve)
+        with pytest.raises(ValueError):
+            db.enroll(1, AffinePoint.infinity())
+        assert db.lookup(AffinePoint.infinity()) is None
+
+
+class _RecordingDatabase(TagDatabase):
+    """A custom backend proving the reader only uses the protocol."""
+
+    def __init__(self):
+        self.entries = {}
+        self.lookups = 0
+
+    def enroll(self, identity, point):
+        self.entries.setdefault((point.x, point.y), identity)
+
+    def lookup(self, point):
+        self.lookups += 1
+        return self.entries.get((point.x, point.y))
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class TestReaderSeam:
+    def test_reader_identifies_through_custom_backend(self):
+        db = _RecordingDatabase()
+        tag, reader = make_pair(database=db)
+        reader.register(42, tag.identity_point)
+        result = run_identification(tag, reader, AesCtrDrbg(5))
+        assert result.accepted
+        assert result.identity == 42
+        assert db.lookups == 1
+
+    def test_resilient_session_not_in_database_path(self):
+        """session.py's 'tag not in the database' verdict is whatever
+        the injected TagDatabase says — here, an empty one."""
+        adapter = make_adapter("peeters-hermans", DOMAIN, seed=11,
+                               session_index=0,
+                               database=_RecordingDatabase())
+        result = run_resilient_session(adapter, seed=11, session_index=0)
+        assert result.completed
+        assert not result.accepted
+        assert result.detail == "tag not in the database"
+
+    def test_resilient_session_through_shared_backend(self):
+        """Two sessions against ONE shared pre-enrolled database —
+        the server's shape, on the toy backend."""
+        shared = InMemoryTagDatabase(DOMAIN.curve)
+        adapters = [
+            make_adapter("peeters-hermans", DOMAIN, seed=11,
+                         session_index=i, database=shared)
+            for i in range(2)
+        ]
+        for i, adapter in enumerate(adapters):
+            shared.enroll(100 + i, adapter.tag.identity_point)
+        for i, adapter in enumerate(adapters):
+            result = run_resilient_session(adapter, seed=11,
+                                           session_index=i)
+            assert result.accepted
+            assert result.identity == 100 + i
+
+    def test_default_behavior_unchanged(self):
+        adapter = make_adapter("peeters-hermans", DOMAIN, seed=11,
+                               session_index=3)
+        result = run_resilient_session(adapter, seed=11, session_index=3)
+        assert result.accepted
+        assert result.identity == 4  # session_index + 1, as always
+        assert len(adapter.reader.database) == 1

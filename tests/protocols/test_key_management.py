@@ -84,3 +84,57 @@ class TestFleetExposure:
         server = KeyServer(MASTER)
         server.enroll(b"dev-0")
         assert fleet_exposure(server, bytes(16)) == {}
+
+
+class TestEnrollmentOrder:
+    """Satellite fix: fleet iteration must not depend on the hash seed."""
+
+    def test_enrolled_preserves_insertion_order(self):
+        server = KeyServer(MASTER)
+        ids = [b"dev-%d" % i for i in (9, 3, 7, 1, 5)]
+        for device_id in ids:
+            server.enroll(device_id)
+        assert list(server.enrolled) == ids
+
+    def test_reenrollment_keeps_original_position(self):
+        server = KeyServer(MASTER)
+        for device_id in (b"a", b"b", b"c"):
+            server.enroll(device_id)
+        server.enroll(b"a")  # idempotent re-provisioning
+        assert list(server.enrolled) == [b"a", b"b", b"c"]
+
+    def test_fleet_exposure_order_matches_enrollment(self):
+        server = KeyServer(MASTER)
+        ids = [b"implant-%02d" % i for i in (42, 3, 17, 8)]
+        for device_id in ids:
+            server.enroll(device_id)
+        exposure = fleet_exposure(server, MASTER)
+        assert list(exposure) == ids
+
+    def test_order_stable_across_hash_seeds(self):
+        """The regression this guards: a ``set`` of bytes iterates in a
+        PYTHONHASHSEED-dependent order, so two processes disagreed on
+        the fleet-exposure report order."""
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.protocols import KeyServer, fleet_exposure\n"
+            "master = bytes(range(16))\n"
+            "server = KeyServer(master)\n"
+            "for i in (12, 5, 30, 1, 21, 9):\n"
+            "    server.enroll(b'dev-%d' % i)\n"
+            "print([d.decode() for d in fleet_exposure(server, master)])\n"
+        )
+        outputs = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", program], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        assert "dev-12" in outputs[0]
+        assert outputs[0].index("dev-12") < outputs[0].index("dev-9")

@@ -1,0 +1,28 @@
+"""Shared fixtures: one small enrolled fleet per test session."""
+
+import pytest
+
+from repro.server import EnrollmentSpec, EnrollmentStore, enroll_fleet
+
+FLEET_TAGS = 200
+FLEET_SHARD = 64
+FLEET_SEED = 5
+
+
+@pytest.fixture(scope="session")
+def fleet_spec():
+    return EnrollmentSpec(tags=FLEET_TAGS, shard_size=FLEET_SHARD,
+                          seed=FLEET_SEED)
+
+
+@pytest.fixture(scope="session")
+def fleet_dir(tmp_path_factory, fleet_spec):
+    directory = tmp_path_factory.mktemp("fleet")
+    report = enroll_fleet(directory, fleet_spec, workers=1)
+    assert report.complete
+    return directory
+
+
+@pytest.fixture(scope="session")
+def fleet_store(fleet_dir):
+    return EnrollmentStore(fleet_dir)

@@ -1,0 +1,55 @@
+"""Tests for the live /metrics HTTP endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.server import MetricsServer
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.read().decode()
+
+
+class TestMetricsServer:
+    def test_scrape_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("repro_server_sessions_total",
+                         "sessions by outcome").inc(3, outcome="accepted")
+        registry.gauge("repro_server_sessions_in_flight",
+                       "live sessions").set(2.0)
+        with MetricsServer(registry) as server:
+            status, body = fetch(server.url)
+            assert status == 200
+            assert "repro_server_sessions_total" in body
+            assert 'outcome="accepted"' in body
+            assert "repro_server_sessions_in_flight 2" in body
+
+    def test_scrape_sees_live_updates(self):
+        registry = MetricRegistry()
+        counter = registry.counter("repro_server_sheds_total", "sheds")
+        with MetricsServer(registry) as server:
+            counter.inc(1)
+            _, before = fetch(server.url)
+            counter.inc(41)
+            _, after = fetch(server.url)
+            assert "repro_server_sheds_total 1" in before
+            assert "repro_server_sheds_total 42" in after
+
+    def test_healthz_and_404(self):
+        with MetricsServer(MetricRegistry()) as server:
+            base = f"http://{server.host}:{server.port}"
+            status, body = fetch(base + "/healthz")
+            assert status == 200 and body == "ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(base + "/nope")
+            assert excinfo.value.code == 404
+
+    def test_port_requires_start(self):
+        server = MetricsServer(MetricRegistry())
+        with pytest.raises(RuntimeError):
+            server.port
+        server.stop()  # no-op when never started

@@ -1,0 +1,251 @@
+"""Tests for the concurrent identification server.
+
+Covers the overload contract of the ISSUE: a full admission queue is
+a *typed, synchronous* reject (never a hang), the per-session deadline
+fires under loss, and the ``/metrics`` energy totals match the energy
+model exactly.
+"""
+
+import pytest
+
+from repro.channel import LossProfile
+from repro.obs.metrics import MetricRegistry
+from repro.server import (
+    AdmissionRejectedError,
+    IdentificationServer,
+    ServerConfig,
+    ServerError,
+    SimLoop,
+)
+
+
+def make_server(store, registry=None, **config_kwargs):
+    loop = SimLoop()
+    profile = config_kwargs.pop("profile", None)
+    config = ServerConfig(**config_kwargs)
+    server = IdentificationServer(
+        loop, store, config, seed=7,
+        profile=profile if profile is not None else LossProfile(),
+        registry=registry)
+    return loop, server
+
+
+def serve(loop, server, indices):
+    """Submit ``indices`` at one instant, await all outcomes."""
+
+    async def drive():
+        server.start()
+        futures = [server.submit(i) for i in indices]
+        outcomes = [await f for f in futures]
+        await server.close()
+        return outcomes
+
+    return loop.run_until_complete(drive())
+
+
+class TestLossless:
+    def test_sessions_identify_correctly(self, fleet_store):
+        loop, server = make_server(fleet_store)
+        outcomes = serve(loop, server, range(8))
+        assert [o.outcome for o in outcomes] == ["accepted"] * 8
+        for o in outcomes:
+            assert o.identified_correctly
+            assert o.epochs_used == 1
+            assert o.frames_sent == 3
+            assert o.retransmissions == 0
+            assert o.detail == f"identified tag {o.identity}"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServerConfig(capacity=0)
+        with pytest.raises(ValueError):
+            ServerConfig(admission_queue=0)
+        with pytest.raises(ValueError):
+            ServerConfig(session_deadline_s=0)
+        with pytest.raises(ValueError):
+            ServerConfig(search_mode="telepathy")
+
+    def test_submit_before_start_is_typed(self, fleet_store):
+        loop, server = make_server(fleet_store)
+        with pytest.raises(ServerError, match="not started"):
+            server.submit(0)
+
+    def test_cached_and_uncached_agree(self, fleet_store):
+        loop_a, cached = make_server(fleet_store, search_mode="cached")
+        loop_b, uncached = make_server(fleet_store,
+                                       search_mode="uncached")
+        a = serve(loop_a, cached, range(6))
+        b = serve(loop_b, uncached, range(6))
+        assert [(o.outcome, o.identity) for o in a] == \
+            [(o.outcome, o.identity) for o in b]
+        # The uncached path pays the O(N) wall per session.
+        assert all(o.records_scanned >= 1 for o in b)
+        assert all(o.records_scanned == 0 for o in a)
+
+
+class TestOverload:
+    def test_queue_full_is_synchronous_typed_reject(self, fleet_store):
+        """ISSUE satellite: a full admission queue raises *now* — the
+        submitting client is never left hanging on a future."""
+        loop, server = make_server(fleet_store, capacity=2,
+                                   admission_queue=4)
+
+        async def drive():
+            server.start()
+            futures = []
+            # No awaits between submits: the acceptor cannot drain,
+            # so the queue genuinely fills.
+            for i in range(4):
+                futures.append(server.submit(i))
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                server.submit(99)
+            assert excinfo.value.session_index == 99
+            assert "admission queue full" in str(excinfo.value)
+            outcomes = [await f for f in futures]
+            await server.close()
+            return outcomes
+
+        outcomes = loop.run_until_complete(drive())
+        assert server.shed == 1
+        assert server.admitted == 4
+        # Admitted sessions still ran to completion behind the shed.
+        assert [o.outcome for o in outcomes] == ["accepted"] * 4
+
+    def test_shed_is_counted_in_metrics(self, fleet_store):
+        registry = MetricRegistry()
+        loop, server = make_server(fleet_store, registry=registry,
+                                   admission_queue=2)
+
+        async def drive():
+            server.start()
+            futures = [server.submit(i) for i in range(2)]
+            for i in range(3):
+                with pytest.raises(AdmissionRejectedError):
+                    server.submit(10 + i)
+            for f in futures:
+                await f
+            await server.close()
+
+        loop.run_until_complete(drive())
+        metrics = registry.snapshot()["metrics"]
+        sheds = metrics["repro_server_sheds_total"]["values"]
+        assert sheds[0]["value"] == 3
+
+    def test_capacity_bounds_concurrency(self, fleet_store):
+        loop, server = make_server(fleet_store, capacity=3,
+                                   admission_queue=64)
+        outcomes = serve(loop, server, range(12))
+        assert len(outcomes) == 12
+        assert server.peak_in_flight <= 3
+
+
+class TestDeadline:
+    def test_deadline_fires_under_loss(self, fleet_store):
+        """ISSUE satellite: under 20% loss a tight per-session deadline
+        fires and the session resolves as ``deadline`` — never a hang
+        (run_until_complete returning *is* the no-hang proof)."""
+        registry = MetricRegistry()
+        loop, server = make_server(
+            fleet_store, registry=registry,
+            profile=LossProfile(frame_loss=0.2),
+            session_deadline_s=0.05)
+        outcomes = serve(loop, server, range(40))
+        by_outcome = {}
+        for o in outcomes:
+            by_outcome[o.outcome] = by_outcome.get(o.outcome, 0) + 1
+        assert by_outcome.get("deadline", 0) >= 1
+        assert by_outcome.get("accepted", 0) >= 1
+        deadline_outcomes = [o for o in outcomes
+                             if o.outcome == "deadline"]
+        for o in deadline_outcomes:
+            assert o.identity is None
+            assert o.detail == "session deadline expired"
+            # The deadline charges the energy actually spent so far.
+            assert o.tag_energy_uj > 0
+        metrics = registry.snapshot()["metrics"]
+        values = metrics["repro_server_sessions_total"]["values"]
+        counted = {tuple(v["labels"].items())[0][1]: v["value"]
+                   for v in values}
+        assert counted == {k: float(v) for k, v in by_outcome.items()}
+
+    def test_generous_deadline_never_fires_lossless(self, fleet_store):
+        loop, server = make_server(fleet_store, session_deadline_s=10.0)
+        outcomes = serve(loop, server, range(5))
+        assert all(o.outcome == "accepted" for o in outcomes)
+
+
+class TestEnergyExactness:
+    def test_metrics_energy_matches_outcomes_exactly(self, fleet_store):
+        """The /metrics µJ counter is the same float sum as the
+        outcomes' energies — no estimation, no drift."""
+        registry = MetricRegistry()
+        loop, server = make_server(
+            fleet_store, registry=registry,
+            profile=LossProfile(frame_loss=0.15))
+        outcomes = serve(loop, server, range(30))
+        metrics = registry.snapshot()["metrics"]
+        values = metrics["repro_server_energy_uj_total"]["values"]
+        by_role = {tuple(v["labels"].items())[0][1]: v["value"]
+                   for v in values}
+        tag_sum = reader_sum = 0.0
+        for o in outcomes:
+            tag_sum += o.tag_energy_uj
+            reader_sum += o.reader_energy_uj
+        # Counter increments happen in completion order, the sums here
+        # in submission order — identical up to float associativity.
+        assert by_role["tag"] == pytest.approx(tag_sum, rel=1e-12)
+        assert by_role["reader"] == pytest.approx(reader_sum, rel=1e-12)
+
+    def test_single_session_counter_is_bit_exact(self, fleet_store):
+        registry = MetricRegistry()
+        loop, server = make_server(fleet_store, registry=registry)
+        outcome = serve(loop, server, [5])[0]
+        metrics = registry.snapshot()["metrics"]
+        values = metrics["repro_server_energy_uj_total"]["values"]
+        by_role = {tuple(v["labels"].items())[0][1]: v["value"]
+                   for v in values}
+        assert by_role["tag"] == outcome.tag_energy_uj
+        assert by_role["reader"] == outcome.reader_energy_uj
+
+    def test_lossless_energy_matches_session_layer(self, fleet_store):
+        """A lossless server session spends exactly what the
+        protocol-layer resilient session spends: same frames, same
+        point multiplications, same model — the server adds batching,
+        not energy."""
+        from repro.ec.curves import TOY_B17
+        from repro.protocols.session import (
+            make_adapter,
+            run_resilient_session,
+        )
+
+        loop, server = make_server(fleet_store)
+        outcome = serve(loop, server, [3])[0]
+        assert outcome.outcome == "accepted"
+
+        adapter = make_adapter("peeters-hermans", TOY_B17, seed=123,
+                               session_index=0)
+        reference = run_resilient_session(adapter, LossProfile(),
+                                          distance_m=0.5)
+        assert reference.accepted
+        assert outcome.tag_energy_uj == pytest.approx(
+            reference.initiator_energy.total_j * 1e6, rel=1e-12)
+        assert outcome.reader_energy_uj == pytest.approx(
+            reference.responder_energy.total_j * 1e6, rel=1e-12)
+
+
+class TestEpochCache:
+    def test_cache_built_once_per_epoch(self, fleet_store):
+        registry = MetricRegistry()
+        loop, server = make_server(fleet_store, registry=registry,
+                                   epoch_sessions=10)
+        serve(loop, server, range(25))  # spans epochs 0, 1, 2
+        metrics = registry.snapshot()["metrics"]
+        builds = metrics["repro_server_cache_builds_total"]["values"]
+        assert builds[0]["value"] == 3
+
+    def test_stale_epochs_evicted(self, fleet_store):
+        loop, server = make_server(fleet_store, epoch_sessions=10)
+        # Epochs advancing in order: only current + previous survive.
+        for index in (5, 15, 25, 35):
+            server._cache_for(index)
+        assert sorted(server._caches) == [2, 3]

@@ -1,0 +1,144 @@
+"""Tests for the batched point-multiplication scheduler."""
+
+import pytest
+
+from repro.ec.curves import TOY_B17
+from repro.obs.metrics import MetricRegistry
+from repro.server import NaiveScalarEngine, ScalarMultScheduler, SimLoop
+from repro.server.scheduler import ScalarMultEngine
+
+
+def make(window_s=1e-4, max_batch=256, registry=None, engine=None):
+    loop = SimLoop()
+    scheduler = ScalarMultScheduler(
+        loop, engine or NaiveScalarEngine(TOY_B17.curve),
+        window_s=window_s, max_batch=max_batch, registry=registry)
+    return loop, scheduler
+
+
+class CountingEngine(ScalarMultEngine):
+    """Records each batch it executes."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.curve = TOY_B17.curve
+        self.batches = []
+
+    def execute(self, requests):
+        self.batches.append(len(requests))
+        return [self.curve.multiply_naive(k, p) for k, p in requests]
+
+
+class BrokenEngine(ScalarMultEngine):
+    name = "broken"
+
+    def execute(self, requests):
+        return []
+
+
+class TestCoalescing:
+    def test_results_correct_and_in_order(self):
+        loop, scheduler = make()
+        P = TOY_B17.generator
+        scalars = [3, 7, 11, 2, 5]
+
+        async def drive():
+            futures = [scheduler.multiply(k, P) for k in scalars]
+            return [await f for f in futures]
+
+        results = loop.run_until_complete(drive())
+        expected = [TOY_B17.curve.multiply_naive(k, P) for k in scalars]
+        assert results == expected
+
+    def test_burst_coalesces_into_one_batch(self):
+        engine = CountingEngine()
+        loop, scheduler = make(engine=engine)
+        P = TOY_B17.generator
+
+        async def drive():
+            futures = [scheduler.multiply(i + 1, P) for i in range(8)]
+            for f in futures:
+                await f
+
+        loop.run_until_complete(drive())
+        assert engine.batches == [8]
+        assert scheduler.requests_total == 8
+        assert scheduler.batches_total == 1
+
+    def test_requests_across_windows_split_batches(self):
+        engine = CountingEngine()
+        loop, scheduler = make(window_s=1e-3, engine=engine)
+        P = TOY_B17.generator
+
+        async def drive():
+            first = scheduler.multiply(3, P)
+            await first
+            second = scheduler.multiply(5, P)
+            await second
+
+        loop.run_until_complete(drive())
+        assert engine.batches == [1, 1]
+
+    def test_max_batch_overflow_rearms(self):
+        engine = CountingEngine()
+        loop, scheduler = make(max_batch=3, engine=engine)
+        P = TOY_B17.generator
+
+        async def drive():
+            futures = [scheduler.multiply(i + 1, P) for i in range(7)]
+            for f in futures:
+                await f
+
+        loop.run_until_complete(drive())
+        assert engine.batches == [3, 3, 1]
+        assert scheduler.batches_total == 3
+
+    def test_zero_window_still_batches_same_instant(self):
+        engine = CountingEngine()
+        loop, scheduler = make(window_s=0.0, engine=engine)
+        P = TOY_B17.generator
+
+        async def drive():
+            futures = [scheduler.multiply(i + 1, P) for i in range(4)]
+            for f in futures:
+                await f
+
+        loop.run_until_complete(drive())
+        assert engine.batches == [4]
+
+
+class TestMetricsAndErrors:
+    def test_registry_families(self):
+        registry = MetricRegistry()
+        loop, scheduler = make(registry=registry)
+        P = TOY_B17.generator
+
+        async def drive():
+            futures = [scheduler.multiply(i + 1, P) for i in range(5)]
+            for f in futures:
+                await f
+
+        loop.run_until_complete(drive())
+        families = set(registry.snapshot()["metrics"])
+        assert "repro_server_scalarmult_requests_total" in families
+        assert "repro_server_scalarmult_batches_total" in families
+        assert "repro_server_scalarmult_batch_size" in families
+
+    def test_engine_length_mismatch_is_fatal(self):
+        loop, scheduler = make(engine=BrokenEngine())
+        P = TOY_B17.generator
+
+        async def drive():
+            await scheduler.multiply(3, P)
+
+        with pytest.raises(RuntimeError, match="broken"):
+            loop.run_until_complete(drive())
+
+    def test_constructor_validation(self):
+        loop = SimLoop()
+        engine = NaiveScalarEngine(TOY_B17.curve)
+        with pytest.raises(ValueError):
+            ScalarMultScheduler(loop, engine, window_s=-1.0)
+        with pytest.raises(ValueError):
+            ScalarMultScheduler(loop, engine, max_batch=0)

@@ -1,0 +1,65 @@
+"""Tests for the O(N) scan and the per-epoch search cache."""
+
+import pytest
+
+from repro.server import EpochSearchCache, epoch_nonce, scan_lookup
+from repro.server.search import NONCE_WIDTH
+
+
+class TestEpochNonce:
+    def test_deterministic(self):
+        assert epoch_nonce(7, 3) == epoch_nonce(7, 3)
+        assert len(epoch_nonce(7, 3)) == NONCE_WIDTH
+
+    def test_varies_by_seed_and_epoch(self):
+        assert epoch_nonce(7, 3) != epoch_nonce(7, 4)
+        assert epoch_nonce(7, 3) != epoch_nonce(8, 3)
+
+
+class TestScanLookup:
+    def test_finds_every_enrolled_record(self, fleet_store, fleet_spec):
+        for identity in (0, 1, 63, 64, 137, fleet_spec.tags - 1):
+            needle = fleet_store.record(identity)
+            found, scanned = scan_lookup(fleet_store, needle)
+            assert found == fleet_spec.canonical_identity(identity)
+            assert scanned >= 1
+
+    def test_miss_scans_the_whole_fleet(self, fleet_store, fleet_spec):
+        width = fleet_store.record_width
+        needle = b"\xff" * width
+        found, scanned = scan_lookup(fleet_store, needle)
+        assert found is None
+        assert scanned == fleet_spec.tags
+
+
+class TestEpochSearchCache:
+    def test_agrees_with_scan_everywhere(self, fleet_store, fleet_spec):
+        cache = EpochSearchCache(fleet_store, epoch_nonce(0, 0))
+        for identity in range(fleet_spec.tags):
+            needle = fleet_store.record(identity)
+            assert cache.lookup(needle) == \
+                scan_lookup(fleet_store, needle)[0]
+
+    def test_build_is_idempotent(self, fleet_store, fleet_spec):
+        cache = EpochSearchCache(fleet_store, epoch_nonce(0, 0))
+        assert cache.build() == fleet_spec.tags
+        assert cache.build() == fleet_spec.tags
+        assert cache.records == fleet_spec.tags
+
+    def test_miss_returns_none(self, fleet_store):
+        cache = EpochSearchCache(fleet_store, epoch_nonce(0, 0))
+        assert cache.lookup(b"\xff" * fleet_store.record_width) is None
+
+    def test_nonce_width_enforced(self, fleet_store):
+        with pytest.raises(ValueError):
+            EpochSearchCache(fleet_store, b"short")
+
+    def test_tables_differ_across_epochs(self, fleet_store):
+        a = EpochSearchCache(fleet_store, epoch_nonce(0, 0))
+        b = EpochSearchCache(fleet_store, epoch_nonce(0, 1))
+        a.build()
+        b.build()
+        # Same identities, disjoint key material: an epoch-0 table
+        # entry is useless for epoch 1.
+        assert set(a._table.values()) == set(b._table.values())
+        assert not set(a._table) & set(b._table)

@@ -1,0 +1,176 @@
+"""The deterministic virtual-time loop under the server."""
+
+import pytest
+
+from repro.server.simloop import (
+    SimCancelled,
+    SimFuture,
+    SimLoop,
+    SimQueue,
+    SimQueueFull,
+)
+
+
+class TestClockAndOrdering:
+    def test_virtual_time_advances_only_by_events(self):
+        loop = SimLoop()
+        seen = []
+
+        async def main():
+            seen.append(loop.now)
+            await loop.sleep(1.5)
+            seen.append(loop.now)
+            await loop.sleep(0.25)
+            seen.append(loop.now)
+            return "done"
+
+        assert loop.run_until_complete(main()) == "done"
+        assert seen == [0.0, 1.5, 1.75]
+
+    def test_fifo_at_equal_times(self):
+        loop = SimLoop()
+        order = []
+        for i in range(5):
+            loop.call_at(1.0, order.append, i)
+        loop.call_soon(order.append, "first")
+        loop.run()
+        assert order == ["first", 0, 1, 2, 3, 4]
+
+    def test_identical_schedules_are_reproducible(self):
+        def run_once():
+            loop = SimLoop()
+            trace = []
+
+            async def worker(idx, delay):
+                await loop.sleep(delay)
+                trace.append((round(loop.now, 6), idx))
+
+            async def main():
+                tasks = [loop.create_task(worker(i, (i * 7 % 5) * 0.1))
+                         for i in range(20)]
+                for task in tasks:
+                    await task
+
+            loop.run_until_complete(main())
+            return trace
+
+        assert run_once() == run_once()
+
+
+class TestTasks:
+    def test_task_result_and_exception(self):
+        loop = SimLoop()
+
+        async def boom():
+            await loop.sleep(0.1)
+            raise ValueError("kaput")
+
+        task = loop.create_task(boom())
+        loop.run()
+        assert task.done()
+        with pytest.raises(ValueError, match="kaput"):
+            task.result()
+
+    def test_await_propagates_exception(self):
+        loop = SimLoop()
+
+        async def boom():
+            raise KeyError("inner")
+
+        async def outer():
+            try:
+                await loop.create_task(boom())
+            except KeyError:
+                return "caught"
+
+        assert loop.run_until_complete(outer()) == "caught"
+
+    def test_cancel_interrupts_sleep(self):
+        loop = SimLoop()
+        log = []
+
+        async def sleeper():
+            try:
+                await loop.sleep(100.0)
+            except SimCancelled:
+                log.append(("cancelled", loop.now))
+                raise
+
+        task = loop.create_task(sleeper())
+        loop.call_at(2.0, task.cancel, "deadline")
+        loop.run()
+        assert log == [("cancelled", 2.0)]
+        assert isinstance(task.exception(), SimCancelled)
+
+    def test_cancel_after_completion_is_noop(self):
+        loop = SimLoop()
+
+        async def quick():
+            return 42
+
+        task = loop.create_task(quick())
+        loop.run()
+        assert task.cancel() is False
+        assert task.result() == 42
+
+    def test_deadlock_is_loud(self):
+        loop = SimLoop()
+
+        async def forever():
+            await SimFuture(loop)  # never resolved
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            loop.run_until_complete(forever())
+
+
+class TestQueue:
+    def test_bounded_put_raises(self):
+        loop = SimLoop()
+        queue = SimQueue(loop, maxsize=2)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        with pytest.raises(SimQueueFull):
+            queue.put_nowait("c")
+
+    def test_get_wakes_in_fifo_order(self):
+        loop = SimLoop()
+        queue = SimQueue(loop, maxsize=4)
+        got = []
+
+        async def consumer(tag):
+            got.append((tag, await queue.get()))
+
+        async def main():
+            tasks = [loop.create_task(consumer(i)) for i in range(3)]
+            await loop.sleep(1.0)
+            for item in "xyz":
+                queue.put_nowait(item)
+            for task in tasks:
+                await task
+
+        loop.run_until_complete(main())
+        assert got == [(0, "x"), (1, "y"), (2, "z")]
+
+    def test_cancelled_getter_does_not_swallow_items(self):
+        loop = SimLoop()
+        queue = SimQueue(loop, maxsize=4)
+        got = []
+
+        async def doomed():
+            await queue.get()
+
+        async def patient():
+            got.append(await queue.get())
+
+        async def main():
+            doomed_task = loop.create_task(doomed())
+            patient_task = loop.create_task(patient())
+            await loop.sleep(1.0)
+            doomed_task.cancel()
+            await loop.sleep(1.0)
+            queue.put_nowait("survivor")
+            await patient_task
+            assert doomed_task.done()
+
+        loop.run_until_complete(main())
+        assert got == ["survivor"]
