@@ -1,0 +1,135 @@
+"""A3 (battery drain) — depletion floods vs the energy-budget defenses.
+
+The paper's energy table prices the *honest* protocol; an active
+adversary inverts it: every bogus wake, replayed challenge and forced
+epoch restart spends the implant's battery at the attacker's pleasure.
+This bench runs the adversary lab's mixed flood (all four adversaries
+interleaved with honest sessions on one tag's timeline) against each
+defense posture across the channel-loss grid and tabulates what the
+tag bled — total and in the worst budget window — plus whether honest
+sessions still completed.
+
+The table *is* the trade-off: the per-window budget cap bounds the
+drain rate but throttles honest traffic sharing a drained window;
+wake-up-radio gating starves the flood before it costs protocol work
+but bounds nothing once a session is granted; the full posture
+composes them.
+
+Writes the human table to ``results/a3_battery_drain.txt`` and the
+machine-readable baseline to ``results/BENCH_adversary.json``.
+"""
+
+import json
+import shutil
+
+from _helpers import RESULTS_DIR, scaled, write_report
+
+from repro.adversary import AttackSpec, defense_config, run_attack_soak
+
+SEED = 2013
+DEFENSES = ("none", "budget-cap", "wake-gating", "full")
+LOSSES = (0.0, 0.1, 0.2)
+SESSIONS = scaled(16, 8)
+LEGIT_FRACTION = 0.25
+ARRIVAL_RATE = 8.0
+
+
+def _run_cell(defense_name, loss):
+    """One (defense, loss) cell: a supervised single-cohort flood."""
+    spec = AttackSpec(adversary="mixed", defense=defense_name,
+                      sessions=SESSIONS, cohorts=1,
+                      legit_fraction=LEGIT_FRACTION,
+                      arrival_rate=ARRIVAL_RATE, frame_loss=loss,
+                      seed=SEED)
+    directory = (RESULTS_DIR / "adversary"
+                 / f"a3-{defense_name}-loss{loss:g}-s{SESSIONS}")
+    shutil.rmtree(directory, ignore_errors=True)
+    report = run_attack_soak(str(directory), spec, workers=1)
+    assert report.outcome == "clean", report.text()
+    return {
+        "defense": defense_name,
+        "frame_loss": loss,
+        "sessions": report.sessions,
+        "drained_uj": round(report.tag_energy_uj, 2),
+        "peak_window_uj": round(report.peak_window_uj, 2),
+        "adversary_uj": round(report.adversary_energy_uj, 2),
+        "amplification": round(report.amplification, 3),
+        "outcomes": dict(sorted(report.outcomes.items())),
+        "legit_sessions": report.legit_sessions,
+        "legit_accepted": report.legit_accepted,
+        "wake_refusals": report.wake_refusals,
+        "budget_refusals": report.budget_refusals,
+    }
+
+
+def run_experiment():
+    cells = [_run_cell(d, loss) for d in DEFENSES for loss in LOSSES]
+    by_key = {(c["defense"], c["frame_loss"]): c for c in cells}
+
+    lines = [
+        f"A3 — battery drain under a mixed depletion flood "
+        f"({SESSIONS} sessions/cell, {LEGIT_FRACTION:.0%} honest, "
+        f"seed {SEED})",
+        "=" * 76,
+        f"{'defense':<13}{'loss':>6}{'drained uJ':>12}{'peak win uJ':>13}"
+        f"{'amp':>7}{'legit':>8}{'refused':>9}",
+        "-" * 76,
+    ]
+    for cell in cells:
+        refused = cell["outcomes"].get("refused", 0)
+        exhausted = cell["outcomes"].get("budget_exhausted", 0)
+        lines.append(
+            f"{cell['defense']:<13}{cell['frame_loss']:>6.0%}"
+            f"{cell['drained_uj']:>12.1f}{cell['peak_window_uj']:>13.1f}"
+            f"{cell['amplification']:>7.2f}"
+            f"{cell['legit_accepted']:>5}/{cell['legit_sessions']}"
+            f"{refused:>6}+{exhausted}")
+    lines += [
+        "-" * 76,
+        "drained = tag energy across the flood; peak win = worst "
+        "budget window",
+        "(no budget: the whole run is one unbounded window); amp = "
+        "tag/adversary",
+        "energy; refused = wake-gated + budget-exhausted sessions.",
+    ]
+    write_report("a3_battery_drain", lines)
+
+    (RESULTS_DIR / "BENCH_adversary.json").write_text(
+        json.dumps({"adversary": "mixed", "seed": SEED,
+                    "sessions": SESSIONS, "cells": cells},
+                   indent=1, sort_keys=True) + "\n")
+
+    cap_uj = defense_config("budget-cap").budget_cap_uj
+    for loss in LOSSES:
+        undefended = by_key[("none", loss)]
+        capped = by_key[("budget-cap", loss)]
+        gated = by_key[("wake-gating", loss)]
+        full = by_key[("full", loss)]
+        # The acceptance criterion: the undefended flood drains far
+        # past the budget any defended posture enforces, while the
+        # defended tag's worst window stays under the cap.
+        assert undefended["peak_window_uj"] > 2 * cap_uj, \
+            (loss, undefended)
+        for cell in (capped, full):
+            assert cell["peak_window_uj"] <= cap_uj * 1.01, (loss, cell)
+        # Wake gating starves the flood of protocol work: what remains
+        # is mostly the honest sessions' own energy.
+        for cell in (gated, full):
+            assert cell["drained_uj"] < undefended["drained_uj"] / 3, \
+                (loss, cell)
+        # Undefended, the flood costs the tag more than the adversary;
+        # fully defended, the economics tilt the other way.
+        assert undefended["amplification"] > 1.0, (loss, undefended)
+        assert full["amplification"] < \
+            undefended["amplification"] - 0.2, (loss, full)
+        # Graceful degradation: the full posture keeps serving honest
+        # sessions (epoch throttling may cost one under heavy loss).
+        assert full["legit_accepted"] >= full["legit_sessions"] - 1, \
+            (loss, full)
+    return cells
+
+
+def test_a3_battery_drain(benchmark):
+    cells = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    undefended = [c for c in cells if c["defense"] == "none"]
+    assert all(c["amplification"] > 1.0 for c in undefended)

@@ -1,0 +1,491 @@
+"""Supervised attack soaks: floods of adversarial sessions, one tag.
+
+Structured exactly like :mod:`repro.server.soak` — the unit of
+parallelism is a **cohort**, here one *tag* living through a block of
+consecutive sessions on its own virtual timeline.  That framing is
+load-bearing: the defenses only mean something across sessions (a
+per-window energy budget caps the *flood*, not one handshake), so the
+tag's :class:`~.defense.EnergyBudget` and
+:class:`~.defense.WakeUpRadio` persist across every session of a
+cohort, and sessions run back-to-back at seeded arrival times.  Cohort
+results are pure functions of ``(spec, cohort_index)``; workers never
+share a tag; the summary is assembled in cohort order — worker count
+and chaos-kill history are invisible in the bytes.
+
+Supervision is the campaign layer's
+:class:`~repro.campaign.supervisor.ShardSupervisor`, reused verbatim:
+a chaos-killed worker retries from scratch and determinism makes the
+retry byte-identical; a cohort that keeps dying is quarantined and the
+soak reports ``degraded`` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from ..campaign.chaos import (CHAOS_CRASH_EXIT_CODE, ChaosConfig,
+                              ChaosInjectedError)
+from ..campaign.store import _atomic_write_bytes, file_digest
+from ..channel import LossProfile, derive_channel_seed
+from ..obs import runtime as _obs_runtime
+from ..obs.metrics import MetricRegistry, strip_wall_metrics
+from ..protocols.session import RetransmissionPolicy
+from .defense import DefenseConfig, WakeUpRadio, defense_config
+from .engine import (ADVERSARY_NAMES, SESSION_KINDS, run_attack_session)
+from .errors import AdversaryError
+
+__all__ = ["AttackSpec", "AttackReport", "run_attack_soak",
+           "run_attack_cohort", "simulate_attack_cohort",
+           "SUMMARY_NAME", "ATTACK_OUTCOMES"]
+
+SUMMARY_NAME = "summary.json"
+_SCHEMA_VERSION = 1
+
+#: Every way an attack-lab session can end.  The summary enumerates
+#: all of them explicitly — no outcome falls through to a generic
+#: failure count.
+ATTACK_OUTCOMES = ("accepted", "rejected", "aborted", "refused",
+                   "budget_exhausted")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Everything that determines an attack soak's results.
+
+    ``adversary`` is one of :data:`~.engine.ADVERSARY_NAMES` or
+    ``"mixed"`` (seeded rotation over all four); ``legit_fraction``
+    dilutes the flood with honest sessions so the summary can show
+    whether the defended tag still *serves* — graceful degradation is
+    only meaningful if legitimate traffic survives it.
+    """
+
+    adversary: str = "mixed"
+    defense: str = "none"
+    sessions: int = 50             # per cohort (per tag)
+    cohorts: int = 4
+    legit_fraction: float = 0.2
+    arrival_rate: float = 40.0     # session starts per virtual second
+    frame_loss: float = 0.1
+    seed: int = 0
+    curve: str = "TOY-B17"
+    distance_m: float = 0.5
+    budget_cap_uj: float = 0.0     # override the defense set's cap
+    budget_window_s: float = 0.0   # override the defense set's window
+    schema_version: int = _SCHEMA_VERSION
+
+    def __post_init__(self):
+        if self.sessions < 1 or self.cohorts < 1:
+            raise ValueError("need at least one session and one cohort")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.legit_fraction <= 1.0:
+            raise ValueError("legit fraction must be in [0, 1]")
+        if self.adversary != "mixed" \
+                and self.adversary not in ADVERSARY_NAMES:
+            known = ", ".join(ADVERSARY_NAMES + ("mixed",))
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; known: {known}")
+        self.defense_config()  # validate the defense knobs eagerly
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "adversary": self.adversary,
+            "defense": self.defense,
+            "sessions": self.sessions,
+            "cohorts": self.cohorts,
+            "legit_fraction": self.legit_fraction,
+            "arrival_rate": self.arrival_rate,
+            "frame_loss": self.frame_loss,
+            "seed": self.seed,
+            "curve": self.curve,
+            "distance_m": self.distance_m,
+            "budget_cap_uj": self.budget_cap_uj,
+            "budget_window_s": self.budget_window_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AttackSpec":
+        d = dict(d)
+        d.setdefault("schema_version", _SCHEMA_VERSION)
+        return cls(**d)
+
+    def identity_dict(self) -> dict:
+        return self.to_dict()
+
+    def digest(self) -> str:
+        payload = json.dumps(self.identity_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def defense_config(self) -> DefenseConfig:
+        overrides = {}
+        if self.budget_cap_uj:
+            overrides["budget_cap_uj"] = self.budget_cap_uj
+        if self.budget_window_s:
+            overrides["budget_window_s"] = self.budget_window_s
+        return defense_config(self.defense, **overrides)
+
+    def session_kind(self, index: int) -> str:
+        """The seeded kind of global session ``index`` — a pure
+        function of (seed, index), so cohort splits cannot move it."""
+        if self.legit_fraction > 0.0:
+            draw = derive_channel_seed(self.seed, "adversary/legit",
+                                       index, 0, 0) / 2.0 ** 64
+            if draw < self.legit_fraction:
+                return "legit"
+        if self.adversary != "mixed":
+            return self.adversary
+        pick = derive_channel_seed(self.seed, "adversary/mix",
+                                   index, 0, 0)
+        return ADVERSARY_NAMES[pick % len(ADVERSARY_NAMES)]
+
+    @staticmethod
+    def cohort_filename(cohort_index: int) -> str:
+        return f"cohort-{cohort_index:05d}.json"
+
+
+# ----------------------------------------------------------------------
+# one cohort = one tag under one flood
+# ----------------------------------------------------------------------
+
+def _arrival_gap(seed: int, index: int, rate: float) -> float:
+    """Deterministic exponential-ish inter-arrival gap."""
+    unit = derive_channel_seed(seed, "adversary/arrival", index, 0, 0) \
+        / 2.0 ** 64
+    return -math.log(max(unit, 1e-12)) / rate
+
+
+def simulate_attack_cohort(spec: AttackSpec, cohort_index: int, *,
+                           crash_after: Optional[int] = None,
+                           crash_tmp_path: Optional[str] = None,
+                           registry: Optional[MetricRegistry] = None,
+                           ) -> dict:
+    """One tag through one cohort's flood; aggregates + metrics.
+
+    The cohort's sessions run sequentially on a shared virtual clock
+    (a session cannot start before the previous one ends — the tag is
+    one device), with the energy budget and wake radio shared across
+    all of them so per-window caps actually bind across the flood.
+    """
+    defense = spec.defense_config()
+    policy = RetransmissionPolicy()
+    budget = defense.budget()
+    wake = WakeUpRadio(WakeUpRadio.derive_key(spec.seed,
+                                              tag_index=cohort_index))
+    base = cohort_index * spec.sessions
+
+    registry = registry if registry is not None else MetricRegistry()
+    results = []
+    clock = 0.0
+    arrival = 0.0
+    for i in range(spec.sessions):
+        index = base + i
+        if i:
+            arrival += _arrival_gap(spec.seed, index,
+                                    spec.arrival_rate)
+        start = max(clock, arrival)
+        result = run_attack_session(
+            spec.session_kind(index), defense,
+            LossProfile(frame_loss=spec.frame_loss), policy,
+            spec.seed, index,
+            curve=spec.curve, distance_m=spec.distance_m,
+            start_at=start, budget=budget, wake=wake,
+            registry=registry)
+        clock = start + result.elapsed_s
+        results.append(result)
+        if crash_after is not None and len(results) >= crash_after:
+            # Die the way a killed worker does: torn temp file,
+            # no result, the tag abandoned mid-flood.
+            if crash_tmp_path is not None:
+                try:
+                    with open(crash_tmp_path, "wb") as f:
+                        f.write(b"chaos: torn attack write\x00" * 4)
+                except OSError:
+                    pass
+            os._exit(CHAOS_CRASH_EXIT_CODE)
+
+    by_outcome: Dict[str, int] = {k: 0 for k in ATTACK_OUTCOMES}
+    by_kind: Dict[str, int] = {}
+    legit_total = legit_accepted = 0
+    tag_uj = adversary_uj = 0.0
+    epochs = frames = replays = stale = wake_refusals = 0
+    budget_refusals = 0
+    for result in results:
+        if result.outcome not in by_outcome:
+            raise AdversaryError(
+                f"outcome {result.outcome!r} missing from "
+                f"ATTACK_OUTCOMES — every bucket must be enumerated",
+                session_index=result.session_index)
+        by_outcome[result.outcome] += 1
+        by_kind[result.kind] = by_kind.get(result.kind, 0) + 1
+        if result.kind == "legit":
+            legit_total += 1
+            if result.outcome == "accepted":
+                legit_accepted += 1
+        tag_uj += result.tag_uj
+        adversary_uj += result.adversary_uj
+        epochs += result.epochs_used
+        frames += result.frames_sent
+        replays += result.replay_rejections
+        stale += result.stale_rejections
+        wake_refusals += result.wake_refusals
+        budget_refusals += result.budget_refusals
+
+    amplification = round(tag_uj / adversary_uj, 6) \
+        if adversary_uj > 0 else 0.0
+    return {
+        "cohort": cohort_index,
+        "sessions": spec.sessions,
+        "first_index": base,
+        "outcomes": {k: by_outcome[k] for k in sorted(by_outcome)},
+        "kinds": {k: by_kind[k] for k in sorted(by_kind)},
+        "legit_sessions": legit_total,
+        "legit_accepted": legit_accepted,
+        "epochs": epochs,
+        "frames": frames,
+        "replay_rejections": replays,
+        "stale_rejections": stale,
+        "wake_refusals": wake_refusals,
+        "budget_refusals": budget_refusals,
+        "tag_energy_uj": round(tag_uj, 6),
+        "adversary_energy_uj": round(adversary_uj, 6),
+        "amplification": amplification,
+        "peak_window_uj": round(budget.peak_window_uj, 6)
+        if budget is not None else round(tag_uj, 6),
+        "elapsed_virtual_s": round(clock, 6),
+        "metrics": strip_wall_metrics(registry.snapshot()),
+    }
+
+
+def run_attack_cohort(spec_dict: dict, directory: str,
+                      cohort_index: int, attempt: int,
+                      chaos_dict: Optional[dict]) -> dict:
+    """The supervised worker task: simulate, write, report."""
+    spec = AttackSpec.from_dict(spec_dict)
+    chaos = None if chaos_dict is None \
+        else ChaosConfig.from_dict(chaos_dict)
+    crash_after = None
+    if chaos is not None:
+        fault = chaos.execution_fault(cohort_index, attempt)
+        if fault == "crash":
+            crash_after = max(1, spec.sessions // 2)
+        elif fault == "hang":
+            time.sleep(chaos.hang_seconds)
+        elif fault == "error":
+            raise ChaosInjectedError(
+                f"injected attack-soak failure (cohort {cohort_index}, "
+                f"attempt {attempt})"
+            )
+        elif fault == "slow":
+            time.sleep(chaos.slow_seconds)
+
+    crash_tmp = os.path.join(
+        directory, spec.cohort_filename(cohort_index) + ".tmp")
+    with _obs_runtime.shard_scope(cohort_index) as rt:
+        payload = simulate_attack_cohort(spec, cohort_index,
+                                         crash_after=crash_after,
+                                         crash_tmp_path=crash_tmp)
+        if rt is not None:
+            rt.registry.merge_snapshot(payload["metrics"])
+
+    name = spec.cohort_filename(cohort_index)
+    path = os.path.join(directory, name)
+    _atomic_write_bytes(
+        path, json.dumps(payload, indent=1, sort_keys=True).encode())
+    digest = file_digest(path)
+
+    if chaos is not None and chaos.corrupts(cohort_index, attempt):
+        with open(path, "r+b") as f:
+            f.seek(16)
+            byte = f.read(1) or b"\x00"
+            f.seek(16)
+            f.write(bytes([byte[0] ^ 0xFF]))
+
+    return {
+        "shard": cohort_index,
+        "file": name,
+        "sha256": digest,
+        "artifacts": [(name, digest)],
+    }
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+
+@dataclass
+class AttackReport:
+    """What one attack soak established, plus where the summary is."""
+
+    outcome: str                   # clean | degraded
+    spec_digest: str
+    directory: str
+    adversary: str
+    defense: str
+    cohorts_total: int
+    cohorts_completed: int
+    quarantined: List[int] = dataclass_field(default_factory=list)
+    retried_attempts: int = 0
+    sessions: int = 0
+    outcomes: Dict[str, int] = dataclass_field(default_factory=dict)
+    legit_sessions: int = 0
+    legit_accepted: int = 0
+    tag_energy_uj: float = 0.0
+    adversary_energy_uj: float = 0.0
+    amplification: float = 0.0
+    peak_window_uj: float = 0.0
+    wake_refusals: int = 0
+    budget_refusals: int = 0
+    summary_path: str = ""
+    wall_s: float = 0.0
+
+    @property
+    def legit_success_rate(self) -> float:
+        if not self.legit_sessions:
+            return 1.0
+        return self.legit_accepted / self.legit_sessions
+
+    def text(self) -> str:
+        buckets = "  ".join(f"{k} {self.outcomes.get(k, 0)}"
+                            for k in ATTACK_OUTCOMES)
+        lines = [
+            f"attack soak {self.spec_digest[:12]}: {self.outcome}",
+            f"  adversary {self.adversary}  defense {self.defense}",
+            f"  cohorts   {self.cohorts_completed}/{self.cohorts_total}"
+            + (f"  (quarantined: "
+               f"{', '.join(map(str, self.quarantined))})"
+               if self.quarantined else ""),
+            f"  sessions  {self.sessions}  [{buckets}]",
+            f"  legit     {self.legit_accepted}/{self.legit_sessions} "
+            f"honest sessions accepted "
+            f"({self.legit_success_rate:.1%})",
+            f"  drained   tag {self.tag_energy_uj:.1f} uJ vs adversary "
+            f"{self.adversary_energy_uj:.1f} uJ "
+            f"(amplification {self.amplification:.2f}x)",
+            f"  defenses  {self.wake_refusals} wakes refused, "
+            f"{self.budget_refusals} budget refusals, peak window "
+            f"{self.peak_window_uj:.1f} uJ",
+            f"  retries   {self.retried_attempts} worker attempts "
+            f"beyond the first",
+            f"  wall      {self.wall_s:.1f} s",
+            f"  summary   {self.summary_path}",
+        ]
+        return "\n".join(lines)
+
+
+def run_attack_soak(directory: str, spec: AttackSpec, *,
+                    workers: Optional[int] = None,
+                    chaos: Optional[ChaosConfig] = None,
+                    policy=None,
+                    on_event=None) -> AttackReport:
+    """Drive every cohort under supervision; write ``summary.json``.
+
+    The summary is a pure function of the spec — cohort aggregates in
+    cohort order, metric snapshots merged in cohort order, wall-clock
+    families stripped — so ``cmp`` across worker counts (and across
+    chaos-kill histories) matches byte for byte.
+    """
+    from ..campaign.acquire import default_workers
+    from ..campaign.supervisor import ShardSupervisor
+
+    started = time.monotonic()
+    os.makedirs(directory, exist_ok=True)
+    for name in os.listdir(directory):
+        if name.endswith(".tmp"):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+    records: Dict[int, dict] = {}
+    supervisor = ShardSupervisor(
+        spec, directory,
+        workers=default_workers(workers),
+        policy=policy,
+        chaos=chaos,
+        task=run_attack_cohort,
+        on_success=lambda record, attempt: records.__setitem__(
+            record["shard"], record),
+        on_event=on_event,
+    )
+    outcome = supervisor.run(list(range(spec.cohorts)))
+    quarantined = sorted(outcome.quarantined)
+
+    merged = MetricRegistry()
+    cohort_summaries = []
+    report = AttackReport(
+        outcome="degraded" if quarantined else "clean",
+        spec_digest=spec.digest(),
+        directory=str(directory),
+        adversary=spec.adversary,
+        defense=spec.defense,
+        cohorts_total=spec.cohorts,
+        cohorts_completed=len(records),
+        quarantined=quarantined,
+        retried_attempts=outcome.retried_attempts,
+        outcomes={k: 0 for k in ATTACK_OUTCOMES},
+    )
+    for index in sorted(records):
+        path = os.path.join(directory, records[index]["file"])
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+        merged.merge_snapshot(payload["metrics"])
+        cohort_summaries.append({k: v for k, v in payload.items()
+                                 if k != "metrics"})
+        report.sessions += payload["sessions"]
+        for key in ATTACK_OUTCOMES:
+            report.outcomes[key] += payload["outcomes"].get(key, 0)
+        report.legit_sessions += payload["legit_sessions"]
+        report.legit_accepted += payload["legit_accepted"]
+        report.wake_refusals += payload["wake_refusals"]
+        report.budget_refusals += payload["budget_refusals"]
+        report.tag_energy_uj = round(
+            report.tag_energy_uj + payload["tag_energy_uj"], 6)
+        report.adversary_energy_uj = round(
+            report.adversary_energy_uj
+            + payload["adversary_energy_uj"], 6)
+        report.peak_window_uj = max(report.peak_window_uj,
+                                    payload["peak_window_uj"])
+    report.amplification = round(
+        report.tag_energy_uj / report.adversary_energy_uj, 6) \
+        if report.adversary_energy_uj > 0 else 0.0
+
+    summary = {
+        "schema_version": _SCHEMA_VERSION,
+        "spec": spec.identity_dict(),
+        "spec_digest": spec.digest(),
+        "outcome": report.outcome,
+        "quarantined": quarantined,
+        "cohorts": cohort_summaries,
+        "totals": {
+            "sessions": report.sessions,
+            "outcomes": {k: report.outcomes[k]
+                         for k in sorted(report.outcomes)},
+            "legit_sessions": report.legit_sessions,
+            "legit_accepted": report.legit_accepted,
+            "wake_refusals": report.wake_refusals,
+            "budget_refusals": report.budget_refusals,
+            "tag_energy_uj": report.tag_energy_uj,
+            "adversary_energy_uj": report.adversary_energy_uj,
+            "amplification": report.amplification,
+            "peak_window_uj": round(report.peak_window_uj, 6),
+        },
+        "metrics": strip_wall_metrics(merged.snapshot()),
+    }
+    summary_path = os.path.join(directory, SUMMARY_NAME)
+    _atomic_write_bytes(
+        summary_path,
+        json.dumps(summary, indent=1, sort_keys=True).encode())
+    report.summary_path = summary_path
+    report.wall_s = time.monotonic() - started
+
+    rt = _obs_runtime.current()
+    if rt is not None:
+        _obs_runtime.merge_shard_metrics(rt, sorted(records))
+    return report

@@ -41,6 +41,7 @@ __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_protocol_run", "cmd_protocol_soak",
            "cmd_obs_report", "cmd_obs_diff",
            "cmd_server_enroll", "cmd_server_run", "cmd_server_soak",
+           "cmd_attack_run", "cmd_attack_soak",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
 
 EXIT_OK = 0
@@ -890,6 +891,107 @@ def cmd_server_run(spec, metrics_port=None, serve_seconds: float = 0.0,
     return "\n".join(lines), EXIT_OK
 
 
+def cmd_attack_run(adversary: str = "amplification", defenses=None,
+                   sessions: int = 6, seed: int = 7, loss: float = 0.1,
+                   curve: str = "TOY-B17", distance: float = 0.5) -> str:
+    """Narrate one adversary against each defense posture, in process.
+
+    Runs ``sessions`` seeded attack sessions per posture against a
+    fresh tag and reports what the flood drained, what the defenses
+    refused, and the tag-vs-adversary energy amplification.
+    """
+    from .adversary import (ADVERSARY_NAMES, DEFENSE_SETS, defense_config,
+                            run_attack_session)
+    from .channel import LossProfile
+
+    if adversary not in ADVERSARY_NAMES + ("legit",):
+        known = ", ".join(ADVERSARY_NAMES + ("legit",))
+        raise ValueError(f"unknown adversary {adversary!r}; known: {known}")
+    names = list(defenses) if defenses else list(DEFENSE_SETS)
+    for name in names:
+        if name not in DEFENSE_SETS:
+            known = ", ".join(sorted(DEFENSE_SETS))
+            raise ValueError(f"unknown defense set {name!r}; "
+                             f"known: {known}")
+    profile = LossProfile(frame_loss=loss)
+    lines = [f"adversary {adversary}: {sessions} session(s) per defense "
+             f"posture, {loss:.0%} frame loss, seed {seed}"]
+    for name in names:
+        tag_uj = adv_uj = 0.0
+        outcomes: dict = {}
+        refusals = budget_refusals = 0
+        for index in range(sessions):
+            result = run_attack_session(
+                adversary, defense=defense_config(name), profile=profile,
+                seed=seed, session_index=index, curve=curve,
+                distance_m=distance)
+            tag_uj += result.tag_uj
+            adv_uj += result.adversary_uj
+            outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+            refusals += result.wake_refusals
+            budget_refusals += result.budget_refusals
+        buckets = ", ".join(f"{k} {v}" for k, v in sorted(outcomes.items()))
+        amp = tag_uj / adv_uj if adv_uj > 0 else float("inf")
+        lines.append(
+            f"  {name:<11} tag drained {tag_uj:8.1f} uJ "
+            f"(adversary spent {adv_uj:7.1f} uJ, x{amp:.1f}); {buckets}")
+        if refusals or budget_refusals:
+            lines.append(
+                f"  {'':<11} refused {refusals} wake token(s), "
+                f"{budget_refusals} budget charge(s)")
+    return "\n".join(lines)
+
+
+def _attack_spec_from_args(args) -> "object":
+    from .adversary import AttackSpec
+
+    return AttackSpec(
+        adversary=args.adversary,
+        defense=args.defense,
+        sessions=args.sessions,
+        cohorts=args.cohorts,
+        legit_fraction=args.legit_fraction,
+        arrival_rate=args.rate,
+        frame_loss=args.loss,
+        seed=args.seed,
+        curve=args.curve,
+        distance_m=args.distance,
+        budget_cap_uj=args.budget_cap,
+        budget_window_s=args.budget_window,
+    )
+
+
+def cmd_attack_soak(directory: str, spec, workers=None, chaos=None,
+                    chaos_seed: int = 0,
+                    min_legit_success: float = 0.0,
+                    obs: bool = False, obs_profile: bool = False) -> tuple:
+    """Run the supervised attack soak; ``(report, exit_code)``.
+
+    ``EXIT_OK`` when clean and the legit success rate holds,
+    ``EXIT_DEGRADED`` when cohorts were quarantined, ``EXIT_FAILED``
+    when legitimate sessions fell below ``min_legit_success``.
+    """
+    from .adversary import run_attack_soak
+
+    obs_dir = os.path.join(str(directory), "obs") \
+        if (obs or obs_profile) else None
+    with _obs_session(obs_dir, kind="attack-soak", seed=spec.seed,
+                      config_digest=spec.digest(), profile=obs_profile,
+                      argv=["attack", "soak", "--dir", str(directory)]):
+        report = run_attack_soak(directory, spec, workers=workers,
+                                 chaos=_server_chaos(chaos, chaos_seed))
+    output = report.text()
+    if (report.legit_sessions
+            and report.legit_success_rate < min_legit_success):
+        output += (f"\n  FAILED: legit success "
+                   f"{report.legit_success_rate:.1%} below the floor "
+                   f"{min_legit_success:.1%}")
+        return output, EXIT_FAILED
+    if report.outcome == "degraded":
+        return output, EXIT_DEGRADED
+    return output, EXIT_OK
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -1226,6 +1328,72 @@ def main(argv=None) -> int:
                            "run so a scrape loop sees the final state")
     srun.add_argument("--quiet", action="store_true")
 
+    attack_p = sub.add_parser(
+        "attack", help="adversary lab: battery-depletion floods vs "
+                       "energy-budget defenses"
+    )
+    averbs = attack_p.add_subparsers(dest="verb", required=True)
+
+    arun = averbs.add_parser(
+        "run", help="narrate one adversary against each defense posture"
+    )
+    arun.add_argument("--adversary", default="amplification",
+                      help="bogus-flood | replay-flood | amplification | "
+                           "abandonment | legit")
+    arun.add_argument("--defense", action="append", dest="defenses",
+                      default=None,
+                      help="defense posture to include (repeatable; "
+                           "default: all)")
+    arun.add_argument("--sessions", type=int, default=6,
+                      help="attack sessions per posture")
+    arun.add_argument("--seed", type=int, default=7)
+    arun.add_argument("--loss", type=float, default=0.1,
+                      help="frame-loss probability")
+    arun.add_argument("--curve", default="TOY-B17")
+    arun.add_argument("--distance", type=float, default=0.5,
+                      help="radio distance in meters (sets the BER)")
+
+    asoak = averbs.add_parser(
+        "soak", help="supervised multi-cohort flood soak"
+    )
+    asoak.add_argument("--dir", required=True,
+                       help="soak output directory")
+    asoak.add_argument("--adversary", default="mixed",
+                       help="mixed | bogus-flood | replay-flood | "
+                            "amplification | abandonment")
+    asoak.add_argument("--defense", default="none",
+                       help="none | budget-cap | wake-gating | backoff | "
+                            "full")
+    asoak.add_argument("--sessions", type=int, default=50,
+                       help="sessions per cohort")
+    asoak.add_argument("--cohorts", type=int, default=4)
+    asoak.add_argument("--legit-fraction", type=float, default=0.2,
+                       help="fraction of honest sessions in the mix")
+    asoak.add_argument("--rate", type=float, default=40.0,
+                       help="mean session arrivals per virtual second")
+    asoak.add_argument("--loss", type=float, default=0.1,
+                       help="frame-loss probability")
+    asoak.add_argument("--seed", type=int, default=0)
+    asoak.add_argument("--curve", default="TOY-B17")
+    asoak.add_argument("--distance", type=float, default=0.5)
+    asoak.add_argument("--budget-cap", type=float, default=0.0,
+                       help="override the posture's per-window budget "
+                            "cap (uJ; 0 keeps the posture default)")
+    asoak.add_argument("--budget-window", type=float, default=0.0,
+                       help="override the budget window (seconds)")
+    asoak.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cores, max 8)")
+    asoak.add_argument("--chaos", default=None,
+                       help="fault injection, e.g. 'crash=0.3'")
+    asoak.add_argument("--chaos-seed", type=int, default=0)
+    asoak.add_argument("--min-legit-success", type=float, default=0.0,
+                       help="honest-session success floor below which "
+                            "the soak FAILS")
+    asoak.add_argument("--obs", action="store_true",
+                       help="trace the soak into <dir>/obs")
+    asoak.add_argument("--obs-profile", action="store_true",
+                       help="--obs plus perf_counter hot-path timers")
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -1248,6 +1416,8 @@ def main(argv=None) -> int:
         return _obs_main(args)
     elif args.command == "server":
         return _server_main(args)
+    elif args.command == "attack":
+        return _attack_main(args)
     else:
         output = cmd_evaluate(weak=args.weak, traces=args.traces,
                               seed=args.seed)
@@ -1352,6 +1522,38 @@ def _server_main(args) -> int:
         return EXIT_INTERRUPTED
     except (ServerError, ValueError, KeyError) as exc:
         print(f"server error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
+
+
+def _attack_main(args) -> int:
+    """Dispatch an ``attack`` verb under the exit-code contract."""
+    from .adversary import AdversaryError
+
+    code = EXIT_OK
+    try:
+        if args.verb == "run":
+            output = cmd_attack_run(
+                adversary=args.adversary, defenses=args.defenses,
+                sessions=args.sessions, seed=args.seed, loss=args.loss,
+                curve=args.curve, distance=args.distance,
+            )
+        else:
+            output, code = cmd_attack_soak(
+                args.dir, _attack_spec_from_args(args),
+                workers=args.workers, chaos=args.chaos,
+                chaos_seed=args.chaos_seed,
+                min_legit_success=args.min_legit_success,
+                obs=args.obs, obs_profile=args.obs_profile,
+            )
+    except KeyboardInterrupt:
+        print("\ninterrupted — the flood is deterministic; rerunning "
+              "the same command reproduces it from scratch",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (AdversaryError, ValueError, KeyError) as exc:
+        print(f"attack error: {exc}", file=sys.stderr)
         return EXIT_FAILED
     _print(output)
     return code

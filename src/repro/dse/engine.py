@@ -91,38 +91,48 @@ def analyze_space(directory: str, spec: DesignSpaceSpec,
         config = spec.coprocessor_config(job)
         findings = data.get("whitebox") or ()
         for vdd in spec.vdd_volts:
-            score = score_design(config, vdd=vdd, findings=findings)
-            for frequency_hz in spec.frequencies_hz:
-                point = OperatingPoint(frequency_hz=frequency_hz, vdd=vdd)
-                report = model.report_activity(data["consumed"],
-                                               data["cycles"], point)
-                area_ge = data["area"]["total"]
-                energy_uj = report.energy_joules * 1e6
-                row = {
-                    "id": (f"d{job.digit_size}-{job.countermeasures}-"
-                           f"{vdd:g}V-{_hz_label(frequency_hz)}"),
-                    "digit_size": job.digit_size,
-                    "countermeasures": job.countermeasures,
-                    "vdd": vdd,
-                    "frequency_hz": frequency_hz,
-                    "area_ge": area_ge,
-                    "cycles": data["cycles"],
-                    "latency_s": report.duration_seconds,
-                    "power_uw": report.power_watts * 1e6,
-                    "energy_uj": energy_uj,
-                    "area_energy": area_ge * energy_uj,
-                    "security": score.value,
-                    "security_open": list(score.open_doors),
-                    "pareto": False,
-                }
-                row["violations"] = constraint_violations(
-                    row,
-                    max_latency_s=spec.max_latency_s,
-                    max_area_ge=spec.max_area_ge,
-                    min_security=spec.min_security,
-                )
-                row["feasible"] = not row["violations"]
-                rows.append(row)
+            # A defense posture never touches the simulated bytes —
+            # config_digest ignores it — so adding the axis re-prices
+            # the same cached cells instead of re-simulating them.
+            for defense in (spec.defenses or (None,)):
+                score = score_design(config, vdd=vdd, findings=findings,
+                                     defenses=defense)
+                for frequency_hz in spec.frequencies_hz:
+                    point = OperatingPoint(frequency_hz=frequency_hz,
+                                           vdd=vdd)
+                    report = model.report_activity(data["consumed"],
+                                                   data["cycles"], point)
+                    area_ge = data["area"]["total"]
+                    energy_uj = report.energy_joules * 1e6
+                    row_id = (f"d{job.digit_size}-{job.countermeasures}-"
+                              f"{vdd:g}V-{_hz_label(frequency_hz)}")
+                    row = {
+                        "id": row_id,
+                        "digit_size": job.digit_size,
+                        "countermeasures": job.countermeasures,
+                        "vdd": vdd,
+                        "frequency_hz": frequency_hz,
+                        "area_ge": area_ge,
+                        "cycles": data["cycles"],
+                        "latency_s": report.duration_seconds,
+                        "power_uw": report.power_watts * 1e6,
+                        "energy_uj": energy_uj,
+                        "area_energy": area_ge * energy_uj,
+                        "security": score.value,
+                        "security_open": list(score.open_doors),
+                        "pareto": False,
+                    }
+                    if defense is not None:
+                        row["id"] = f"{row_id}-{defense}"
+                        row["defense"] = defense
+                    row["violations"] = constraint_violations(
+                        row,
+                        max_latency_s=spec.max_latency_s,
+                        max_area_ge=spec.max_area_ge,
+                        min_security=spec.min_security,
+                    )
+                    row["feasible"] = not row["violations"]
+                    rows.append(row)
     feasible = [row for row in rows if row["feasible"]]
     front = pareto_front(feasible, spec.objectives)
     for row in front:

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass, field as dataclass_field
 from typing import Optional
 
+from ..adversary.defense import DEFENSE_SETS
 from ..arch.control import BalancedEncoding, UnbalancedEncoding
 from ..arch.coprocessor import CoprocessorConfig, InvalidDigitSizeError
 from ..ec.curves import get_curve
@@ -79,6 +80,7 @@ class DesignSpaceSpec:
     vdd_volts: tuple = (0.8, 1.0, 1.2)
     frequencies_hz: tuple = (100e3, 847.5e3, 4e6)
     countermeasures: tuple = ("full", "none")
+    defenses: tuple = ()
     curve: str = "K-163"
     seed: int = 0
     whitebox: bool = False
@@ -114,6 +116,16 @@ class DesignSpaceSpec:
                 known = ", ".join(sorted(COUNTERMEASURE_SETS))
                 raise SpaceValidationError(
                     f"unknown countermeasure set {cm!r}; known: {known}")
+        defenses = tuple(self.defenses)
+        object.__setattr__(self, "defenses", defenses)
+        if len(set(defenses)) != len(defenses):
+            raise SpaceValidationError(
+                f"defenses has duplicates: {defenses}")
+        for defense in defenses:
+            if defense not in DEFENSE_SETS:
+                known = ", ".join(sorted(DEFENSE_SETS))
+                raise SpaceValidationError(
+                    f"unknown defense set {defense!r}; known: {known}")
         for objective in self.objectives:
             if objective not in OBJECTIVES:
                 known = ", ".join(sorted(OBJECTIVES))
@@ -135,7 +147,13 @@ class DesignSpaceSpec:
     # -- supervisor spec protocol --------------------------------------
 
     def to_dict(self) -> dict:
+        # The defenses axis is omitted when empty so pre-axis specs keep
+        # their digests (and their pareto.json files) byte-identical.
+        extra = {}
+        if self.defenses:
+            extra["defenses"] = list(self.defenses)
         return {
+            **extra,
             "digit_sizes": list(self.digit_sizes),
             "vdd_volts": list(self.vdd_volts),
             "frequencies_hz": list(self.frequencies_hz),
@@ -155,7 +173,7 @@ class DesignSpaceSpec:
     def from_dict(cls, data: dict) -> "DesignSpaceSpec":
         kwargs = dict(data)
         for name in ("digit_sizes", "vdd_volts", "frequencies_hz",
-                     "countermeasures", "objectives"):
+                     "countermeasures", "objectives", "defenses"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(**kwargs)
@@ -235,6 +253,8 @@ class DesignSpaceSpec:
 
     @property
     def grid_size(self) -> int:
-        """Rows of the evaluated grid (cells x operating points)."""
+        """Rows of the evaluated grid (cells x operating points,
+        multiplied by the defense postures when that axis is active)."""
         return (len(self.grid_jobs())
-                * len(self.vdd_volts) * len(self.frequencies_hz))
+                * len(self.vdd_volts) * len(self.frequencies_hz)
+                * max(1, len(self.defenses)))

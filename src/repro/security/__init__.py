@@ -5,11 +5,14 @@ from .evaluation import AttackFinding, EvaluationReport, WhiteBoxEvaluation
 from .score import ATTACK_THREATS, SecurityScore, score_design
 from .pyramid import (
     AbstractionLevel,
+    BATTERY_DEPLETION_THREAT,
     Countermeasure,
     SecurityPyramid,
     Threat,
     default_pyramid,
+    defense_countermeasures,
     pyramid_for_config,
+    pyramid_with_defenses,
 )
 
 __all__ = [
@@ -19,6 +22,9 @@ __all__ = [
     "SecurityPyramid",
     "default_pyramid",
     "pyramid_for_config",
+    "BATTERY_DEPLETION_THREAT",
+    "defense_countermeasures",
+    "pyramid_with_defenses",
     "AttackFinding",
     "EvaluationReport",
     "WhiteBoxEvaluation",

@@ -15,7 +15,9 @@ import enum
 from dataclasses import dataclass, field as dataclass_field
 
 __all__ = ["AbstractionLevel", "Threat", "Countermeasure", "SecurityPyramid",
-           "default_pyramid", "pyramid_for_config"]
+           "default_pyramid", "pyramid_for_config",
+           "BATTERY_DEPLETION_THREAT", "defense_countermeasures",
+           "pyramid_with_defenses"]
 
 
 class AbstractionLevel(enum.IntEnum):
@@ -187,6 +189,60 @@ def default_pyramid() -> SecurityPyramid:
                        "repro.arch.coprocessor",
                        primary=False),
     ]:
+        pyramid.add_countermeasure(cm)
+    return pyramid
+
+
+#: The active-adversary threat the adversary lab adds (not part of
+#: :data:`PAPER_THREATS`, whose length is the paper's own account):
+#: a malicious reader floods the tag with protocol work until the
+#: battery dies.  Only scored when a design declares its depletion
+#: defenses (see :func:`repro.security.score.score_design`).
+BATTERY_DEPLETION_THREAT = Threat(
+    "battery-depletion",
+    "active flood forces protocol work until the battery dies")
+
+
+def defense_countermeasures(defenses) -> list:
+    """Countermeasures implied by an adversary-lab defense posture.
+
+    ``defenses`` is duck-typed (a
+    :class:`repro.adversary.defense.DefenseConfig` or anything with
+    its attributes) so the security layer never imports the adversary
+    package at module import time.  Wake gating and the energy budget
+    are primary — each alone bounds what a flood can drain; restart
+    throttling only slows the bleed, so it is supporting hygiene.
+    """
+    measures = []
+    if getattr(defenses, "wake_gating", False):
+        measures.append(Countermeasure(
+            "authenticated wake-up radio gating",
+            AbstractionLevel.PROTOCOL,
+            ("battery-depletion",),
+            "repro.adversary.defense"))
+    if getattr(defenses, "budget_cap_uj", 0.0) > 0:
+        measures.append(Countermeasure(
+            "per-window energy budget cap",
+            AbstractionLevel.ARCHITECTURE,
+            ("battery-depletion",),
+            "repro.adversary.defense"))
+    if getattr(defenses, "restart_backoff_scale", 1.0) > 1.0 \
+            or getattr(defenses, "max_session_epochs", 0) > 0:
+        measures.append(Countermeasure(
+            "bounded restart backoff / epoch throttling",
+            AbstractionLevel.PROTOCOL,
+            ("battery-depletion",),
+            "repro.adversary.defense",
+            primary=False))
+    return measures
+
+
+def pyramid_with_defenses(config, defenses) -> SecurityPyramid:
+    """:func:`pyramid_for_config` extended with the battery-depletion
+    threat and whatever depletion defenses the design deploys."""
+    pyramid = pyramid_for_config(config)
+    pyramid.add_threat(BATTERY_DEPLETION_THREAT)
+    for cm in defense_countermeasures(defenses):
         pyramid.add_countermeasure(cm)
     return pyramid
 

@@ -27,7 +27,8 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..power.technology import TechnologyParams, UMC_130NM
-from .pyramid import PAPER_THREATS, pyramid_for_config
+from .pyramid import (BATTERY_DEPLETION_THREAT, PAPER_THREATS,
+                      defense_countermeasures, pyramid_for_config)
 
 __all__ = ["ATTACK_THREATS", "SecurityScore", "score_design"]
 
@@ -73,10 +74,24 @@ class SecurityScore:
                 f"(open: {doors})")
 
 
+def _resolve_defenses(defenses):
+    """Accept a named defense set, a dict of knobs, or a
+    DefenseConfig-shaped object (duck-typed: the adversary package is
+    only imported when a name or dict must be resolved)."""
+    if isinstance(defenses, str):
+        from ..adversary.defense import defense_config
+        return defense_config(defenses)
+    if isinstance(defenses, dict):
+        from ..adversary.defense import DefenseConfig
+        return DefenseConfig(**defenses)
+    return defenses
+
+
 def score_design(config,
                  vdd: Optional[float] = None,
                  findings: Iterable = (),
                  technology: TechnologyParams = UMC_130NM,
+                 defenses=None,
                  ) -> SecurityScore:
     """Score one design point.
 
@@ -92,6 +107,15 @@ def score_design(config,
         Optional white-box results — :class:`AttackFinding` objects or
         ``{"attack": ..., "resistant": ...}`` dicts.  A non-resistant
         finding opens the threat in :data:`ATTACK_THREATS`.
+    defenses:
+        Optional battery-depletion posture — a defense-set name from
+        :data:`repro.adversary.defense.DEFENSE_SETS`, a dict of
+        :class:`~repro.adversary.defense.DefenseConfig` knobs, or the
+        config itself.  When given, the ``battery-depletion`` threat
+        joins the scored set and is closed only by a *primary*
+        depletion countermeasure (wake gating or an energy budget
+        cap); None keeps the paper's original eight-threat score
+        byte-identical.
     """
     pyramid = pyramid_for_config(config)
     open_doors = {t.name for t in pyramid.uncovered_threats()}
@@ -107,6 +131,12 @@ def score_design(config,
         if not resistant and attack in ATTACK_THREATS:
             open_doors.add(ATTACK_THREATS[attack])
     order = [t.name for t in PAPER_THREATS]
+    if defenses is not None:
+        resolved = _resolve_defenses(defenses)
+        order.append(BATTERY_DEPLETION_THREAT.name)
+        if not any(cm.primary
+                   for cm in defense_countermeasures(resolved)):
+            open_doors.add(BATTERY_DEPLETION_THREAT.name)
     return SecurityScore(
         closed=tuple(n for n in order if n not in open_doors),
         open_doors=tuple(n for n in order if n in open_doors),

@@ -40,20 +40,25 @@ from .enrollment import (
 )
 from .errors import (
     AdmissionRejectedError,
+    ReplayQuarantinedError,
     ServerError,
     SessionDeadlineError,
+    SourceThrottledError,
 )
 from .http import MetricsServer
 from .reader import IdentificationServer, ServerConfig
 from .scheduler import NaiveScalarEngine, ScalarMultScheduler
 from .search import EpochSearchCache, epoch_nonce, scan_lookup
 from .simloop import SimCancelled, SimLoop, SimQueue, SimQueueFull
-from .soak import SoakReport, SoakSpec, run_soak
+from .soak import SESSION_OUTCOMES, SoakReport, SoakSpec, run_soak
 
 __all__ = [
     "ServerError",
     "AdmissionRejectedError",
     "SessionDeadlineError",
+    "SourceThrottledError",
+    "ReplayQuarantinedError",
+    "SESSION_OUTCOMES",
     "EnrollmentError",
     "EnrollmentSpec",
     "EnrollmentStore",

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Optional
 
 __all__ = ["ServerError", "AdmissionRejectedError",
-           "SessionDeadlineError", "EnrollmentError"]
+           "SessionDeadlineError", "EnrollmentError",
+           "SourceThrottledError", "ReplayQuarantinedError"]
 
 
 class ServerError(RuntimeError):
@@ -47,3 +48,24 @@ class SessionDeadlineError(ServerError):
 class EnrollmentError(ServerError):
     """The enrollment store refused an operation (spec mismatch,
     digest failure, mutation of an immutable sharded fleet)."""
+
+
+class SourceThrottledError(ServerError):
+    """A source exceeded its concurrent-session allowance.
+
+    Per-source throttling is the server side of the adversary lab's
+    battery-depletion story: one malicious reader identity cannot
+    monopolize admission.  Raised synchronously at submission time,
+    like :class:`AdmissionRejectedError` — typed shedding, never
+    silence.
+    """
+
+
+class ReplayQuarantinedError(ServerError):
+    """The source was quarantined for replaying commit material.
+
+    A commitment ``R`` seen again from a *different* session is replay
+    traffic (a fresh tag draws a fresh nonce every commit); with
+    replay quarantine enabled the server refuses all further arrivals
+    from that source at admission.
+    """

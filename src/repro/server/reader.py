@@ -99,6 +99,9 @@ class ServerConfig:
     scheduler_window_s: float = 1e-4
     scheduler_max_batch: int = 64
     distance_m: float = 0.5
+    source_session_limit: int = 0   # 0 = per-source throttling off
+    replay_quarantine: bool = False
+    tag_budget_uj: float = 0.0      # 0 = per-session tag budget off
 
     def __post_init__(self):
         if self.capacity < 1:
@@ -111,6 +114,10 @@ class ServerConfig:
             raise ValueError(f"search_mode must be one of {SEARCH_MODES}")
         if self.epoch_sessions < 1:
             raise ValueError("epoch_sessions must be positive")
+        if self.source_session_limit < 0:
+            raise ValueError("source session limit must be non-negative")
+        if self.tag_budget_uj < 0:
+            raise ValueError("tag budget must be non-negative")
 
     def to_dict(self) -> dict:
         return {
@@ -122,6 +129,9 @@ class ServerConfig:
             "scheduler_window_s": self.scheduler_window_s,
             "scheduler_max_batch": self.scheduler_max_batch,
             "distance_m": self.distance_m,
+            "source_session_limit": self.source_session_limit,
+            "replay_quarantine": self.replay_quarantine,
+            "tag_budget_uj": self.tag_budget_uj,
         }
 
     @classmethod
@@ -131,10 +141,16 @@ class ServerConfig:
 
 @dataclass
 class SessionOutcome:
-    """One session's verdict and full deterministic accounting."""
+    """One session's verdict and full deterministic accounting.
+
+    ``outcome`` is one of ``accepted | rejected | aborted | deadline |
+    adversarial | budget_exhausted`` — the full enumeration; soak
+    summaries bucket every one explicitly so no session ever falls
+    through to a generic failure count.
+    """
 
     index: int
-    outcome: str                      # accepted|rejected|aborted|deadline
+    outcome: str
     identity: Optional[int]
     expected_identity: int
     detail: str
@@ -207,9 +223,16 @@ class IdentificationServer:
         self.peak_in_flight = 0
         self.admitted = 0
         self.shed = 0
+        self.throttled = 0
         self._slot_waiter: Optional[SimFuture] = None
         self._caches: Dict[int, EpochSearchCache] = {}
         self._acceptor: Optional["SimTask"] = None
+        # Per-source defenses (adversary lab): live session counts for
+        # throttling, seen commitments for replay detection, and the
+        # quarantine set itself.
+        self._source_sessions: Dict[str, int] = {}
+        self._seen_commits: Dict[bytes, Tuple[str, int]] = {}
+        self.quarantined_sources: set = set()
 
     # -- admission -----------------------------------------------------
 
@@ -218,27 +241,63 @@ class IdentificationServer:
             self._acceptor = self.loop.create_task(self._accept_loop(),
                                                    name="acceptor")
 
-    def submit(self, index: int) -> SimFuture:
+    def submit(self, index: int, source: Optional[str] = None,
+               adversarial: bool = False) -> SimFuture:
         """Offer session ``index`` for admission.
 
         Returns a future resolving to this session's
-        :class:`SessionOutcome`, or raises
-        :class:`AdmissionRejectedError` *now* when the admission queue
-        is full — the shed path is synchronous and typed.
+        :class:`SessionOutcome`, or sheds *now* with a typed error:
+        :class:`AdmissionRejectedError` when the admission queue is
+        full, :class:`~.errors.ReplayQuarantinedError` when ``source``
+        was quarantined for replaying commit material, and
+        :class:`~.errors.SourceThrottledError` when ``source`` is over
+        its concurrent-session allowance.  ``adversarial`` marks the
+        simulation's ground truth (a malicious reader driving the
+        session) so the outcome is bucketed as ``adversarial`` rather
+        than a generic failure.
         """
+        from .errors import ReplayQuarantinedError, SourceThrottledError
         if self._acceptor is None:
             raise ServerError("server not started", session_index=index)
+        if source is not None and source in self.quarantined_sources:
+            self.shed += 1
+            self._count("repro_server_sheds_total",
+                        "arrivals shed at the admission queue",
+                        reason="quarantined")
+            raise ReplayQuarantinedError(
+                f"source {source!r} is quarantined for replaying "
+                f"commitments", session_index=index)
+        if source is not None and self.config.source_session_limit:
+            live = self._source_sessions.get(source, 0)
+            if live >= self.config.source_session_limit:
+                self.shed += 1
+                self.throttled += 1
+                self._count("repro_server_sheds_total",
+                            "arrivals shed at the admission queue",
+                            reason="throttled")
+                self._count("repro_server_throttles_total",
+                            "arrivals refused by per-source throttling")
+                raise SourceThrottledError(
+                    f"source {source!r} already has {live} session(s) "
+                    f"in flight (limit "
+                    f"{self.config.source_session_limit})",
+                    session_index=index)
         future = SimFuture(self.loop)
         try:
-            self._admission.put_nowait((index, future))
+            self._admission.put_nowait(
+                (index, source, adversarial, future))
         except SimQueueFull:
             self.shed += 1
             self._count("repro_server_sheds_total",
-                        "arrivals shed at the admission queue")
+                        "arrivals shed at the admission queue",
+                        reason="overload")
             raise AdmissionRejectedError(
                 f"admission queue full "
                 f"({self.config.admission_queue} waiting)",
                 session_index=index) from None
+        if source is not None:
+            self._source_sessions[source] = \
+                self._source_sessions.get(source, 0) + 1
         self.admitted += 1
         self._count("repro_server_admissions_total",
                     "arrivals admitted past the queue")
@@ -264,7 +323,7 @@ class IdentificationServer:
             item = await self._admission.get()
             if item is _SHUTDOWN:
                 return
-            index, future = item
+            index, source, adversarial, future = item
             while self._in_flight >= self.config.capacity:
                 self._slot_waiter = SimFuture(self.loop)
                 await self._slot_waiter
@@ -281,18 +340,25 @@ class IdentificationServer:
                 with rt.span("server.accept", key=index,
                              in_flight=self._in_flight):
                     pass
-            task = self.loop.create_task(self._run_session(index),
-                                         name=f"session-{index}")
+            task = self.loop.create_task(
+                self._run_session(index, source, adversarial),
+                name=f"session-{index}")
             deadline = self.loop.call_at(
                 self.loop.now + self.config.session_deadline_s,
                 task.cancel, "session deadline")
             task.add_done_callback(
-                self._session_closer(index, future, deadline))
+                self._session_closer(index, source, future, deadline))
 
-    def _session_closer(self, index, future, deadline_handle):
+    def _session_closer(self, index, source, future, deadline_handle):
         def closer(task) -> None:
             deadline_handle.cancel()
             self._in_flight -= 1
+            if source is not None:
+                live = self._source_sessions.get(source, 1) - 1
+                if live > 0:
+                    self._source_sessions[source] = live
+                else:
+                    self._source_sessions.pop(source, None)
             self._set_gauge("repro_server_sessions_in_flight",
                             "sessions currently being served",
                             float(self._in_flight))
@@ -308,8 +374,11 @@ class IdentificationServer:
 
     # -- the per-session exchange --------------------------------------
 
-    async def _run_session(self, index: int) -> SessionOutcome:
-        exchange = _SessionExchange(self, index)
+    async def _run_session(self, index: int,
+                           source: Optional[str] = None,
+                           adversarial: bool = False) -> SessionOutcome:
+        exchange = _SessionExchange(self, index, source=source,
+                                    adversarial=adversarial)
         rt = _obs_runtime.current()
         span = rt.span("server.session", key=index) if rt is not None \
             else None
@@ -323,8 +392,15 @@ class IdentificationServer:
             else:
                 outcome = await exchange.run()
         except SimCancelled:
-            outcome = exchange.as_outcome("deadline",
-                                          "session deadline expired")
+            if exchange.adversarial:
+                # Ground truth wins the bucket: a malicious session
+                # timed out *because* it never meant to conclude.
+                outcome = exchange.as_outcome(
+                    "adversarial",
+                    "malicious reader traffic; deadline expired")
+            else:
+                outcome = exchange.as_outcome("deadline",
+                                              "session deadline expired")
         self._record_session(outcome)
         return outcome
 
@@ -379,6 +455,34 @@ class IdentificationServer:
                     sp.set(hit=identity is not None, scanned=scanned)
         return identity, scanned
 
+    # -- replay quarantine ---------------------------------------------
+
+    def observe_commit(self, source: Optional[str], index: int,
+                       payload: bytes) -> bool:
+        """Replay detection on commit material; True → quarantined.
+
+        An honest tag draws a fresh nonce for every commit, so the
+        same commitment bytes arriving from a *different* session are
+        replay traffic; the offending source is quarantined and all
+        its further arrivals shed at admission.  Same-session repeats
+        (channel duplicates, retransmissions) never trigger.
+        """
+        if not self.config.replay_quarantine:
+            return False
+        key = bytes(payload)
+        seen = self._seen_commits.get(key)
+        if seen is None:
+            self._seen_commits[key] = (source, index)
+            return False
+        _seen_source, seen_index = seen
+        if seen_index == index:
+            return False
+        if source is not None:
+            self.quarantined_sources.add(source)
+        self._count("repro_server_quarantines_total",
+                    "sources quarantined for replaying commitments")
+        return True
+
     # -- metrics -------------------------------------------------------
 
     def _count(self, name: str, help_text: str, amount: float = 1.0,
@@ -431,7 +535,9 @@ class _SessionExchange:
     preserves the engine's ordering exactly.
     """
 
-    def __init__(self, server: IdentificationServer, index: int):
+    def __init__(self, server: IdentificationServer, index: int, *,
+                 source: Optional[str] = None,
+                 adversarial: bool = False):
         import heapq as _heapq
         self._heapq = _heapq
         self.server = server
@@ -439,6 +545,8 @@ class _SessionExchange:
         self.policy = server.policy
         self.seed = server.seed
         self.index = index
+        self.source = source
+        self.adversarial = adversarial
         spec = server.spec
         domain = server.domain
         self.domain = domain
@@ -495,6 +603,9 @@ class _SessionExchange:
         self.records_scanned = 0
         self.concluded: Optional[Tuple[bool, Optional[int], str]] = None
         self.aborted_phase: Optional[str] = None
+        self.detected_replay = False
+        self.budget_dead = False
+        self._adv_commit: Optional[bytes] = None
 
     # -- agenda --------------------------------------------------------
 
@@ -526,19 +637,56 @@ class _SessionExchange:
 
     # -- tag side ------------------------------------------------------
 
+    def _tag_energy_uj(self) -> float:
+        from ..energy.comparison import protocol_energy
+        return protocol_energy("peeters-hermans/tag", self.tag.ops,
+                               self.server.config.distance_m
+                               ).total_j * 1e6
+
     def _start_epoch(self) -> None:
+        if self.budget_dead:
+            return
         if self.epoch + 1 >= self.policy.max_epochs:
             self.aborted_phase = self.tag_state
             return
-        if self.epoch >= 0:
+        budget = self.server.config.tag_budget_uj
+        if not self.adversarial and budget > 0 \
+                and self._tag_energy_uj() >= budget:
+            # The tag's per-session µJ allowance is spent: it stops
+            # retrying instead of following retransmissions into a
+            # dead battery — the adversary lab's graceful-degradation
+            # contract, server-side.
+            self.budget_dead = True
+            return
+        if self.epoch >= 0 and not self.adversarial:
             self.tag.abort()
         self.epoch += 1
         self.consumed_m1_attempt = None
         self.tag_state = "await-m1"
-        payload = compress_point(self.domain.curve,
-                                 self.tag.commit(self.rng_tag))
+        if self.adversarial:
+            # A malicious reader replaying captured commit material:
+            # the same bytes every epoch (and every session from this
+            # source) — exactly what replay quarantine looks for.  No
+            # real tag is involved, so no tag energy is drawn.
+            payload = self._adv_commit_payload()
+        else:
+            payload = compress_point(self.domain.curve,
+                                     self.tag.commit(self.rng_tag))
         self._send(_TAG, 0, 0, "R", payload)
         self._arm_timer(_TAG, self.loop.now + self.policy.round_deadline_s)
+
+    def _adv_commit_payload(self) -> bytes:
+        if self._adv_commit is None:
+            import hashlib as _hashlib
+            label = (self.source or f"session-{self.index}").encode()
+            draw = int.from_bytes(_hashlib.sha256(
+                b"repro.server/adv-commit/" + label).digest()[:8],
+                "big")
+            k = 1 + draw % (self.ring.n - 1)
+            point = self.domain.curve.multiply_naive(
+                k, self.domain.generator)
+            self._adv_commit = compress_point(self.domain.curve, point)
+        return self._adv_commit
 
     def _restart_epoch(self) -> None:
         delay = self.policy.epoch_backoff(self.seed, self.index,
@@ -547,6 +695,10 @@ class _SessionExchange:
         self._push(self.loop.now + delay, "epoch")
 
     def _tag_frame(self, frame: Frame) -> None:
+        if self.adversarial:
+            # The malicious reader solicits work; it never answers
+            # challenges (it cannot — it holds no tag secret).
+            return
         if frame.round_index != 1 or frame.epoch != self.epoch:
             self.stale += 1
             return
@@ -594,6 +746,10 @@ class _SessionExchange:
                                                 frame.payload)
         except FrameError:
             self.payload_rejected += 1
+            return
+        if self.server.observe_commit(self.source, self.index,
+                                      frame.payload):
+            self.detected_replay = True
             return
         self._challenge = self.ring.random_scalar(self.rng_reader)
         self.reader_ops.random_bits += self.ring.n.bit_length()
@@ -675,7 +831,8 @@ class _SessionExchange:
         self._start_epoch()
         while self._agenda:
             if self.concluded is not None \
-                    or self.aborted_phase is not None:
+                    or self.aborted_phase is not None \
+                    or self.detected_replay or self.budget_dead:
                 break
             at, _seq, kind, args = self._heapq.heappop(self._agenda)
             if at > self.loop.now:
@@ -724,6 +881,21 @@ class _SessionExchange:
             return self.as_outcome("accepted" if accepted
                                    else "rejected", detail,
                                    identity=identity)
+        if self.detected_replay:
+            return self.as_outcome(
+                "adversarial",
+                "commitment replayed from another session; source "
+                "quarantined")
+        if self.budget_dead:
+            return self.as_outcome(
+                "budget_exhausted",
+                f"tag energy budget "
+                f"({self.server.config.tag_budget_uj:g} uJ) spent; "
+                f"tag stopped retrying")
+        if self.adversarial:
+            return self.as_outcome(
+                "adversarial",
+                "malicious reader traffic; session never completed")
         return self.as_outcome("aborted", "session aborted")
 
     # -- reporting -----------------------------------------------------
@@ -734,6 +906,12 @@ class _SessionExchange:
         tag_energy = protocol_energy(
             "peeters-hermans/tag", self.tag.ops,
             self.server.config.distance_m)
+        tag_energy_uj = tag_energy.total_j * 1e6
+        if self.adversarial:
+            # No real tag behind a malicious reader's traffic: the
+            # initiator-side bits are the adversary's to pay, not a
+            # battery's.
+            tag_energy_uj = 0.0
         reader_energy = protocol_energy(
             "peeters-hermans/reader", self.reader_ops,
             self.server.config.distance_m)
@@ -752,6 +930,6 @@ class _SessionExchange:
             payload_rejections=self.payload_rejected,
             elapsed_s=self.loop.now - self.started_at,
             records_scanned=self.records_scanned,
-            tag_energy_uj=tag_energy.total_j * 1e6,
+            tag_energy_uj=tag_energy_uj,
             reader_energy_uj=reader_energy.total_j * 1e6,
         )

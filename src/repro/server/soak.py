@@ -41,15 +41,22 @@ from ..obs import runtime as _obs_runtime
 from ..obs.metrics import MetricRegistry, strip_wall_metrics
 from ..protocols.session import RetransmissionPolicy
 from .enrollment import EnrollmentStore
-from .errors import AdmissionRejectedError, ServerError
+from .errors import (AdmissionRejectedError, ReplayQuarantinedError,
+                     ServerError, SourceThrottledError)
 from .reader import IdentificationServer, ServerConfig
 from .simloop import SimLoop
 
 __all__ = ["SoakSpec", "SoakReport", "run_soak", "run_cohort",
-           "simulate_cohort", "SUMMARY_NAME"]
+           "simulate_cohort", "SUMMARY_NAME", "SESSION_OUTCOMES"]
 
 SUMMARY_NAME = "summary.json"
 _SCHEMA_VERSION = 1
+
+#: The full enumeration of session outcomes a soak can observe.  The
+#: summary zero-fills every bucket so "no attacks seen" and "attacks
+#: not counted" are distinguishable at a glance.
+SESSION_OUTCOMES = ("accepted", "rejected", "aborted", "deadline",
+                    "adversarial", "budget_exhausted")
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,10 @@ class SoakSpec:
     session_deadline_s: float = 2.0
     search_mode: str = "cached"
     distance_m: float = 0.5
+    adversarial_fraction: float = 0.0
+    throttle_limit: int = 0
+    replay_quarantine: bool = False
+    tag_budget_uj: float = 0.0
     schema_version: int = _SCHEMA_VERSION
 
     def __post_init__(self):
@@ -82,6 +93,12 @@ class SoakSpec:
             raise ValueError("need at least one session and one cohort")
         if self.arrival_rate <= 0:
             raise ValueError("arrival rate must be positive")
+        if not 0.0 <= self.adversarial_fraction <= 1.0:
+            raise ValueError("adversarial fraction must be in [0, 1]")
+        if self.throttle_limit < 0:
+            raise ValueError("throttle limit must be non-negative")
+        if self.tag_budget_uj < 0:
+            raise ValueError("tag budget must be non-negative")
 
     def to_dict(self) -> dict:
         return {
@@ -98,6 +115,10 @@ class SoakSpec:
             "session_deadline_s": self.session_deadline_s,
             "search_mode": self.search_mode,
             "distance_m": self.distance_m,
+            "adversarial_fraction": self.adversarial_fraction,
+            "throttle_limit": self.throttle_limit,
+            "replay_quarantine": self.replay_quarantine,
+            "tag_budget_uj": self.tag_budget_uj,
         }
 
     @classmethod
@@ -123,7 +144,27 @@ class SoakSpec:
             session_deadline_s=self.session_deadline_s,
             search_mode=self.search_mode,
             distance_m=self.distance_m,
+            source_session_limit=self.throttle_limit,
+            replay_quarantine=self.replay_quarantine,
+            tag_budget_uj=self.tag_budget_uj,
         )
+
+    def is_adversarial(self, index: int) -> bool:
+        """Ground truth for global session ``index`` — a pure function
+        of (seed, index), so cohort splits cannot move it."""
+        if self.adversarial_fraction <= 0.0:
+            return False
+        draw = derive_channel_seed(self.seed, "server/adversarial",
+                                   index, 0, 0) / 2.0 ** 64
+        return draw < self.adversarial_fraction
+
+    def source_for(self, index: int) -> str:
+        """Arrival source identity: malicious readers cluster behind a
+        handful of identities (what throttling and quarantine key on);
+        honest tags arrive from distinct ones."""
+        if self.is_adversarial(index):
+            return f"adv-{index % 4}"
+        return f"tag-{index}"
 
     @staticmethod
     def cohort_filename(cohort_index: int) -> str:
@@ -174,15 +215,26 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
         server.start()
         futures = []
         shed_indices = []
+        shed_reasons = {"overload": 0, "throttled": 0,
+                        "quarantined": 0}
         for i in range(spec.sessions):
             index = base + i
             if i:
                 await loop.sleep(_arrival_gap(spec.seed, index,
                                               spec.arrival_rate))
             try:
-                futures.append(server.submit(index))
+                futures.append(server.submit(
+                    index, source=spec.source_for(index),
+                    adversarial=spec.is_adversarial(index)))
+            except ReplayQuarantinedError:
+                shed_indices.append(index)
+                shed_reasons["quarantined"] += 1
+            except SourceThrottledError:
+                shed_indices.append(index)
+                shed_reasons["throttled"] += 1
             except AdmissionRejectedError:
                 shed_indices.append(index)
+                shed_reasons["overload"] += 1
         outcomes = []
         for future in futures:
             outcomes.append(await future)
@@ -198,19 +250,24 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
                         pass
                 os._exit(CHAOS_CRASH_EXIT_CODE)
         await server.close()
-        return outcomes, shed_indices
+        return outcomes, shed_indices, shed_reasons
 
-    outcomes, shed_indices = loop.run_until_complete(drive())
+    outcomes, shed_indices, shed_reasons = \
+        loop.run_until_complete(drive())
 
-    by_outcome: Dict[str, int] = {}
+    by_outcome: Dict[str, int] = {k: 0 for k in SESSION_OUTCOMES}
     totals = {
         "epochs": 0, "frames": 0, "retransmissions": 0,
         "records_scanned": 0, "correct": 0,
     }
     tag_uj = reader_uj = 0.0
     for outcome in outcomes:
-        by_outcome[outcome.outcome] = \
-            by_outcome.get(outcome.outcome, 0) + 1
+        if outcome.outcome not in by_outcome:
+            raise ServerError(
+                f"outcome {outcome.outcome!r} missing from "
+                f"SESSION_OUTCOMES — every bucket must be enumerated",
+                session_index=outcome.index)
+        by_outcome[outcome.outcome] += 1
         totals["epochs"] += outcome.epochs_used
         totals["frames"] += outcome.frames_sent
         totals["retransmissions"] += outcome.retransmissions
@@ -226,6 +283,9 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
         "first_index": base,
         "outcomes": {k: by_outcome[k] for k in sorted(by_outcome)},
         "shed": len(shed_indices),
+        "shed_reasons": {k: shed_reasons[k]
+                         for k in sorted(shed_reasons)},
+        "quarantined_sources": sorted(server.quarantined_sources),
         "admitted": server.admitted,
         "peak_in_flight": server.peak_in_flight,
         "epochs": totals["epochs"],
@@ -318,6 +378,10 @@ class SoakReport:
     accepted: int = 0
     shed: int = 0
     deadline: int = 0
+    adversarial: int = 0
+    budget_exhausted: int = 0
+    throttled: int = 0
+    shed_quarantined: int = 0
     correct: int = 0
     peak_in_flight: int = 0
     tag_energy_uj: float = 0.0
@@ -339,6 +403,10 @@ class SoakReport:
             f"  sessions  {self.sessions}  accepted {self.accepted} "
             f"({self.acceptance_rate:.1%})  shed {self.shed}  "
             f"deadline {self.deadline}",
+            f"  attacked  adversarial {self.adversarial}  "
+            f"budget_exhausted {self.budget_exhausted}  "
+            f"throttled {self.throttled}  "
+            f"quarantined-arrivals {self.shed_quarantined}",
             f"  correct   {self.correct}/{self.accepted} accepted "
             f"identifications named the canonical tag",
             f"  peak      {self.peak_in_flight} concurrent sessions "
@@ -422,7 +490,13 @@ def run_soak(directory: str, spec: SoakSpec, *,
         report.sessions += payload["sessions"]
         report.accepted += payload["outcomes"].get("accepted", 0)
         report.deadline += payload["outcomes"].get("deadline", 0)
+        report.adversarial += payload["outcomes"].get("adversarial", 0)
+        report.budget_exhausted += \
+            payload["outcomes"].get("budget_exhausted", 0)
         report.shed += payload["shed"]
+        reasons = payload.get("shed_reasons", {})
+        report.throttled += reasons.get("throttled", 0)
+        report.shed_quarantined += reasons.get("quarantined", 0)
         report.correct += payload["correct"]
         report.peak_in_flight = max(report.peak_in_flight,
                                     payload["peak_in_flight"])
@@ -443,6 +517,10 @@ def run_soak(directory: str, spec: SoakSpec, *,
             "accepted": report.accepted,
             "shed": report.shed,
             "deadline": report.deadline,
+            "adversarial": report.adversarial,
+            "budget_exhausted": report.budget_exhausted,
+            "throttled": report.throttled,
+            "shed_quarantined": report.shed_quarantined,
             "correct": report.correct,
             "peak_in_flight": report.peak_in_flight,
             "tag_energy_uj": report.tag_energy_uj,

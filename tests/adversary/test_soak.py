@@ -1,0 +1,123 @@
+"""Tests for the attack soak: byte-identical summaries are the
+headline, outcome buckets and metrics the supporting cast."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.adversary import (
+    ATTACK_OUTCOMES,
+    AttackSpec,
+    run_attack_soak,
+    simulate_attack_cohort,
+)
+from repro.adversary.soak import SUMMARY_NAME
+from repro.campaign.chaos import ChaosConfig
+
+
+@pytest.fixture(scope="module")
+def attack_spec():
+    return AttackSpec(adversary="mixed", defense="full", sessions=10,
+                      cohorts=2, legit_fraction=0.3, frame_loss=0.1,
+                      seed=11)
+
+
+class TestSpec:
+    def test_round_trip(self, attack_spec):
+        assert AttackSpec.from_dict(attack_spec.to_dict()) == attack_spec
+
+    def test_digest_is_stable(self, attack_spec):
+        assert attack_spec.digest() == \
+            dataclasses.replace(attack_spec).digest()
+        assert attack_spec.digest() != \
+            dataclasses.replace(attack_spec, seed=12).digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackSpec(sessions=0)
+        with pytest.raises(ValueError):
+            AttackSpec(adversary="evil-twin")
+        with pytest.raises(ValueError):
+            AttackSpec(defense="belt")
+        with pytest.raises(ValueError):
+            AttackSpec(legit_fraction=1.5)
+
+    def test_session_kinds_are_seeded(self, attack_spec):
+        kinds = [attack_spec.session_kind(i)
+                 for i in range(attack_spec.sessions
+                                * attack_spec.cohorts)]
+        assert kinds == [attack_spec.session_kind(i)
+                         for i in range(len(kinds))]
+        assert "legit" in kinds
+        assert any(k != "legit" for k in kinds)
+
+
+class TestSimulateCohort:
+    def test_deterministic(self, attack_spec):
+        assert simulate_attack_cohort(attack_spec, 0) == \
+            simulate_attack_cohort(attack_spec, 0)
+
+    def test_cohorts_are_disjoint_tags(self, attack_spec):
+        a = simulate_attack_cohort(attack_spec, 0)
+        b = simulate_attack_cohort(attack_spec, 1)
+        assert a["first_index"] == 0
+        assert b["first_index"] == attack_spec.sessions
+        assert a != b
+
+    def test_every_outcome_is_a_named_bucket(self, attack_spec):
+        payload = simulate_attack_cohort(attack_spec, 0)
+        assert set(payload["outcomes"]) == set(ATTACK_OUTCOMES)
+        assert sum(payload["outcomes"].values()) == payload["sessions"]
+
+
+class TestByteIdenticalSummaries:
+    def test_across_worker_counts_and_chaos(self, tmp_path, attack_spec):
+        run_attack_soak(tmp_path / "w1", attack_spec, workers=1)
+        run_attack_soak(tmp_path / "w4", attack_spec, workers=4)
+        chaos_report = run_attack_soak(
+            tmp_path / "chaos", attack_spec, workers=2,
+            chaos=ChaosConfig.parse("crash=0.4", seed=5))
+        assert chaos_report.outcome == "clean"
+        summary = (tmp_path / "w1" / SUMMARY_NAME).read_bytes()
+        assert (tmp_path / "w4" / SUMMARY_NAME).read_bytes() == summary
+        assert (tmp_path / "chaos" / SUMMARY_NAME).read_bytes() == summary
+
+    def test_summary_shape(self, tmp_path, attack_spec):
+        report = run_attack_soak(tmp_path / "s", attack_spec, workers=1)
+        assert report.outcome == "clean"
+        assert report.sessions == \
+            attack_spec.sessions * attack_spec.cohorts
+        assert report.legit_sessions > 0
+        assert report.legit_accepted <= report.legit_sessions
+        summary = json.loads((tmp_path / "s" / SUMMARY_NAME).read_text())
+        assert summary["spec_digest"] == attack_spec.digest()
+        assert set(summary["totals"]["outcomes"]) == set(ATTACK_OUTCOMES)
+        families = set(summary["metrics"]["metrics"])
+        assert "repro_adversary_sessions_total" in families
+        assert "repro_adversary_energy_uj_total" in families
+        assert not any(name.endswith("_seconds") for name in families)
+
+    def test_defended_vs_undefended_totals(self, tmp_path, attack_spec):
+        undefended = dataclasses.replace(attack_spec, defense="none")
+        defended = run_attack_soak(tmp_path / "d", attack_spec,
+                                   workers=1)
+        baseline = run_attack_soak(tmp_path / "u", undefended,
+                                   workers=1)
+        assert defended.tag_energy_uj < baseline.tag_energy_uj
+        assert defended.wake_refusals > 0
+        assert baseline.wake_refusals == 0
+        assert defended.outcomes["refused"] > 0
+
+
+class TestChaosQuarantine:
+    def test_always_crashing_cohort_degrades(self, tmp_path,
+                                             attack_spec):
+        spec = dataclasses.replace(attack_spec, cohorts=1)
+        report = run_attack_soak(
+            tmp_path / "q", spec, workers=2,
+            chaos=ChaosConfig.parse("crash=1.0", seed=0))
+        assert report.outcome == "degraded"
+        assert report.quarantined == [0]
+        summary = json.loads((tmp_path / "q" / SUMMARY_NAME).read_text())
+        assert summary["outcome"] == "degraded"

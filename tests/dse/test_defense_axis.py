@@ -1,0 +1,96 @@
+"""The DSE defenses axis: re-pricing cached cells, digest stability."""
+
+import json
+
+import pytest
+
+from repro.dse import DesignSpaceSpec
+from repro.dse.engine import ExplorationEngine, analyze_space
+from repro.dse.errors import SpaceValidationError
+
+
+def make_spec(**overrides):
+    kwargs = dict(digit_sizes=(2, 4), vdd_volts=(1.0,),
+                  frequencies_hz=(847.5e3,), countermeasures=("full",),
+                  curve="TOY-B17")
+    kwargs.update(overrides)
+    return DesignSpaceSpec(**kwargs)
+
+
+class TestSpec:
+    def test_empty_axis_keeps_digest_and_dict(self):
+        """Pre-axis specs stay byte-identical: no ``defenses`` key in
+        to_dict, same digest, old dicts still load."""
+        spec = make_spec()
+        assert "defenses" not in spec.to_dict()
+        d = spec.to_dict()
+        assert DesignSpaceSpec.from_dict(d) == spec
+        assert make_spec(defenses=()).digest() == spec.digest()
+
+    def test_axis_changes_exploration_digest(self):
+        assert make_spec(defenses=("none", "full")).digest() != \
+            make_spec().digest()
+
+    def test_round_trip(self):
+        spec = make_spec(defenses=("none", "wake-gating"))
+        assert DesignSpaceSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_validation(self):
+        with pytest.raises(SpaceValidationError, match="unknown defense"):
+            make_spec(defenses=("belt",))
+        with pytest.raises(SpaceValidationError, match="duplicates"):
+            make_spec(defenses=("full", "full"))
+
+    def test_grid_size_scales(self):
+        assert make_spec().grid_size == 2
+        assert make_spec(defenses=("none", "full")).grid_size == 4
+
+    def test_config_digest_ignores_defenses(self):
+        """The cache key never sees the defense posture — adding the
+        axis re-prices cached measurements, it never re-simulates."""
+        base = make_spec()
+        axis = make_spec(defenses=("none", "budget-cap", "full"))
+        for jb, ja in zip(base.grid_jobs(), axis.grid_jobs()):
+            assert base.config_digest(jb) == axis.config_digest(ja)
+
+
+class TestAnalyze:
+    def test_repricing_uses_the_cache(self, tmp_path):
+        base = make_spec()
+        first = ExplorationEngine(str(tmp_path), base, workers=1).run()
+        assert first.evaluated == len(base.measurement_jobs())
+
+        axis = make_spec(defenses=("none", "full"))
+        second = ExplorationEngine(str(tmp_path), axis, workers=1).run()
+        assert second.evaluated == 0  # nothing re-simulated
+        assert second.cached == len(axis.measurement_jobs())
+        assert len(second.rows) == axis.grid_size
+
+    def test_rows_score_their_posture(self, tmp_path):
+        spec = make_spec(defenses=("none", "full"))
+        ExplorationEngine(str(tmp_path), spec, workers=1).run()
+        rows, _ = analyze_space(str(tmp_path), spec)
+        by_defense = {}
+        for row in rows:
+            assert row["id"].endswith(f"-{row['defense']}")
+            by_defense.setdefault(row["defense"], []).append(row)
+        assert set(by_defense) == {"none", "full"}
+        for none_row, full_row in zip(by_defense["none"],
+                                      by_defense["full"]):
+            assert none_row["security"] < full_row["security"]
+            assert "battery-depletion" in none_row["security_open"]
+            assert "battery-depletion" not in full_row["security_open"]
+            # The defense is scoring arithmetic, not silicon: the
+            # priced physics of the cell is identical.
+            for key in ("area_ge", "energy_uj", "latency_s",
+                        "power_uw", "cycles"):
+                assert none_row[key] == full_row[key]
+
+    def test_axis_off_rows_are_unchanged(self, tmp_path):
+        """With no defenses the rows carry no defense key at all —
+        pareto.json for old specs stays byte-identical."""
+        spec = make_spec()
+        ExplorationEngine(str(tmp_path), spec, workers=1).run()
+        rows, _ = analyze_space(str(tmp_path), spec)
+        assert all("defense" not in row for row in rows)

@@ -1,0 +1,110 @@
+"""Nonce single-use lifecycle under duplicated and replayed frames.
+
+The adversary lab's replay flood leans entirely on one invariant: the
+tag never computes ``s`` twice under one ``r``.  These tests pin the
+lifecycle at the protocol layer (commit / respond / abort state
+machine) and then over the channel, where duplicated frames deliver
+the same challenge twice."""
+
+import random
+
+import pytest
+
+from repro.channel import BodyAreaChannel, LossProfile
+from repro.ec import NIST_K163
+from repro.protocols import (
+    NonceConsumedError,
+    NoncePendingError,
+    PeetersHermansReader,
+    PeetersHermansTag,
+)
+
+RING = NIST_K163.scalar_ring
+
+
+def make_pair(rng, identity=7):
+    reader = PeetersHermansReader(NIST_K163, RING.random_scalar(rng))
+    tag = PeetersHermansTag(NIST_K163, RING.random_scalar(rng),
+                            reader.public)
+    reader.register(identity, tag.identity_point)
+    return tag, reader
+
+
+class TestLifecycle:
+    def test_second_respond_raises(self):
+        rng = random.Random(1)
+        tag, reader = make_pair(rng)
+        commitment = tag.commit(rng)
+        challenge = reader.challenge(rng)
+        s = tag.respond(challenge, rng)
+        assert reader.identify(commitment, challenge, s) == 7
+        # The duplicated challenge frame must never yield a second s.
+        with pytest.raises(NonceConsumedError):
+            tag.respond(challenge, rng)
+
+    def test_replayed_different_challenge_also_refused(self):
+        """After the nonce is spent, *any* challenge is refused — a
+        second s under one r (even for a new e) leaks the key."""
+        rng = random.Random(2)
+        tag, _ = make_pair(rng)
+        tag.commit(rng)
+        tag.respond(3, rng)
+        with pytest.raises(NonceConsumedError):
+            tag.respond(5, rng)
+
+    def test_commit_with_pending_nonce_raises(self):
+        rng = random.Random(3)
+        tag, _ = make_pair(rng)
+        tag.commit(rng)
+        with pytest.raises(NoncePendingError):
+            tag.commit(rng)
+
+    def test_abort_discards_and_allows_fresh_commit(self):
+        rng = random.Random(4)
+        tag, reader = make_pair(rng)
+        first = tag.commit(rng)
+        tag.abort()
+        second = tag.commit(rng)
+        assert first != second
+        challenge = reader.challenge(rng)
+        s = tag.respond(challenge, rng)
+        # The response verifies against the *fresh* commit only.
+        assert reader.identify(second, challenge, s) == 7
+        assert reader.identify(first, challenge, s) is None
+
+    def test_fresh_epoch_uses_fresh_nonce(self):
+        rng = random.Random(5)
+        tag, reader = make_pair(rng)
+        seen = set()
+        for _ in range(5):
+            commitment = tag.commit(rng)
+            seen.add((commitment.x, commitment.y))
+            challenge = reader.challenge(rng)
+            assert reader.identify(commitment, challenge,
+                                   tag.respond(challenge, rng)) == 7
+        assert len(seen) == 5
+
+
+class TestOverDuplicatingChannel:
+    def test_duplicated_challenge_frames_yield_one_response(self):
+        """A channel that echoes every frame delivers each challenge
+        at least twice; the tag answers exactly once per nonce."""
+        rng = random.Random(6)
+        tag, reader = make_pair(rng)
+        channel = BodyAreaChannel(
+            LossProfile(frame_loss=0.0, duplicate_rate=1.0),
+            seed=9, session=0)
+        commitment = tag.commit(rng)
+        challenge = reader.challenge(rng)
+        deliveries = channel.transmit(bytes([challenge & 0xFF]),
+                                      frame=1, attempt=0, now=0.0)
+        assert len(deliveries) >= 2
+        responses, refused = [], 0
+        for _ in deliveries:
+            try:
+                responses.append(tag.respond(challenge, rng))
+            except NonceConsumedError:
+                refused += 1
+        assert len(responses) == 1
+        assert refused == len(deliveries) - 1
+        assert reader.identify(commitment, challenge, responses[0]) == 7

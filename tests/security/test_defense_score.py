@@ -1,0 +1,91 @@
+"""Scoring the battery-depletion posture: back-compat is pinned."""
+
+import pytest
+
+from repro.arch.coprocessor import CoprocessorConfig
+from repro.ec.curves import get_curve
+from repro.security import (
+    BATTERY_DEPLETION_THREAT,
+    defense_countermeasures,
+    pyramid_with_defenses,
+    score_design,
+)
+from repro.security.pyramid import PAPER_THREATS
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CoprocessorConfig(domain=get_curve("K-163"), digit_size=4)
+
+
+class TestBackCompat:
+    def test_no_defenses_keeps_the_eight_threat_score(self, config):
+        """``defenses=None`` is the paper's original account —
+        byte-identical, battery-depletion not even mentioned."""
+        score = score_design(config)
+        assert score.total == len(PAPER_THREATS) == 8
+        assert score.value == 1.0
+        assert BATTERY_DEPLETION_THREAT.name not in score.closed
+        assert BATTERY_DEPLETION_THREAT.name not in score.open_doors
+
+
+class TestDefenseScoring:
+    def test_primary_defense_closes_the_door(self, config):
+        for name in ("budget-cap", "wake-gating", "full"):
+            score = score_design(config, defenses=name)
+            assert score.total == 9
+            assert BATTERY_DEPLETION_THREAT.name in score.closed, name
+
+    def test_no_defense_opens_the_door(self, config):
+        score = score_design(config, defenses="none")
+        assert score.total == 9
+        assert score.open_doors == (BATTERY_DEPLETION_THREAT.name,)
+        assert score.value == pytest.approx(8 / 9)
+
+    def test_backoff_alone_is_supporting_not_primary(self, config):
+        """Throttling slows the bleed but bounds nothing — the door
+        stays open, exactly like circuit-level hygiene elsewhere."""
+        score = score_design(config, defenses="backoff")
+        assert BATTERY_DEPLETION_THREAT.name in score.open_doors
+
+    def test_accepts_dicts_and_configs(self, config):
+        from repro.adversary import defense_config
+
+        as_dict = score_design(
+            config, defenses={"name": "x", "wake_gating": True})
+        as_config = score_design(config,
+                                 defenses=defense_config("wake-gating"))
+        assert BATTERY_DEPLETION_THREAT.name in as_dict.closed
+        assert BATTERY_DEPLETION_THREAT.name in as_config.closed
+
+    def test_composes_with_vdd_and_findings(self, config):
+        score = score_design(config, vdd=0.9, defenses="none")
+        assert set(score.open_doors) == \
+            {"fault-attack", BATTERY_DEPLETION_THREAT.name}
+
+
+class TestPyramidWithDefenses:
+    def test_extends_the_pyramid(self, config):
+        from repro.adversary import defense_config
+
+        pyramid = pyramid_with_defenses(config, defense_config("full"))
+        names = [t.name for t in pyramid.threats]
+        assert BATTERY_DEPLETION_THREAT.name in names
+        assert pyramid.uncovered_threats() == []
+        report = pyramid.report()
+        assert "wake-up radio gating" in report
+
+    def test_countermeasure_levels(self):
+        from repro.adversary import defense_config
+        from repro.security import AbstractionLevel
+
+        measures = defense_countermeasures(defense_config("full"))
+        by_name = {cm.name: cm for cm in measures}
+        assert len(measures) == 3
+        gating = by_name["authenticated wake-up radio gating"]
+        budget = by_name["per-window energy budget cap"]
+        backoff = by_name["bounded restart backoff / epoch throttling"]
+        assert gating.level is AbstractionLevel.PROTOCOL and gating.primary
+        assert budget.level is AbstractionLevel.ARCHITECTURE \
+            and budget.primary
+        assert not backoff.primary

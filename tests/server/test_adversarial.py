@@ -1,0 +1,155 @@
+"""Server-side graceful degradation: throttling, replay quarantine,
+and the adversarial / budget_exhausted outcome buckets."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.server import (
+    SESSION_OUTCOMES,
+    SoakSpec,
+    run_soak,
+)
+from repro.server.soak import SUMMARY_NAME, simulate_cohort
+
+
+@pytest.fixture(scope="module")
+def adversarial_spec(fleet_store):
+    return SoakSpec(
+        enrollment_digest=fleet_store.spec.digest(),
+        store_dir=fleet_store.directory,
+        sessions=40,
+        cohorts=2,
+        frame_loss=0.1,
+        seed=3,
+        session_deadline_s=1.0,
+        adversarial_fraction=0.3,
+        throttle_limit=2,
+        replay_quarantine=True,
+        tag_budget_uj=80.0,
+    )
+
+
+class TestSpec:
+    def test_round_trip(self, adversarial_spec):
+        assert SoakSpec.from_dict(adversarial_spec.to_dict()) == \
+            adversarial_spec
+
+    def test_old_dicts_still_load(self, adversarial_spec):
+        """Dicts from before the adversary lab (no defense fields)
+        still deserialize with the defenses off."""
+        d = adversarial_spec.to_dict()
+        for name in ("adversarial_fraction", "throttle_limit",
+                     "replay_quarantine", "tag_budget_uj"):
+            d.pop(name)
+        spec = SoakSpec.from_dict(d)
+        assert spec.adversarial_fraction == 0.0
+        assert spec.throttle_limit == 0
+        assert not spec.replay_quarantine
+
+    def test_validation(self, adversarial_spec):
+        with pytest.raises(ValueError):
+            dataclasses.replace(adversarial_spec,
+                                adversarial_fraction=1.5)
+        with pytest.raises(ValueError):
+            dataclasses.replace(adversarial_spec, throttle_limit=-1)
+        with pytest.raises(ValueError):
+            dataclasses.replace(adversarial_spec, tag_budget_uj=-1.0)
+
+    def test_adversarial_draws_are_seeded(self, adversarial_spec):
+        total = adversarial_spec.sessions * adversarial_spec.cohorts
+        flags = [adversarial_spec.is_adversarial(i)
+                 for i in range(total)]
+        assert flags == [adversarial_spec.is_adversarial(i)
+                         for i in range(total)]
+        assert any(flags) and not all(flags)
+
+    def test_adversarial_sources_pool(self, adversarial_spec):
+        sources = {adversarial_spec.source_for(i)
+                   for i in range(80) if adversarial_spec.is_adversarial(i)}
+        assert sources <= {"adv-0", "adv-1", "adv-2", "adv-3"}
+        honest = {adversarial_spec.source_for(i)
+                  for i in range(80)
+                  if not adversarial_spec.is_adversarial(i)}
+        assert all(s.startswith("tag-") for s in honest)
+
+
+class TestOutcomeBuckets:
+    def test_no_outcome_falls_through(self, adversarial_spec):
+        """Every session lands in a named SESSION_OUTCOMES bucket —
+        adversarial and budget_exhausted included, nothing generic."""
+        payload = simulate_cohort(adversarial_spec, 0)
+        assert set(payload["outcomes"]) == set(SESSION_OUTCOMES)
+        assert sum(payload["outcomes"].values()) + payload["shed"] == \
+            payload["sessions"]
+        assert payload["outcomes"]["adversarial"] > 0
+
+    def test_adversarial_sessions_never_identify(self, adversarial_spec):
+        payload = simulate_cohort(adversarial_spec, 0)
+        assert payload["outcomes"]["accepted"] + \
+            payload["outcomes"]["rejected"] <= \
+            payload["sessions"] - payload["outcomes"]["adversarial"]
+
+    def test_shed_reasons_are_itemized(self, adversarial_spec):
+        payload = simulate_cohort(adversarial_spec, 0)
+        reasons = payload["shed_reasons"]
+        assert set(reasons) <= {"overload", "throttled", "quarantined"}
+        assert sum(reasons.values()) == payload["shed"]
+
+
+class TestDefenses:
+    def test_throttle_caps_concurrent_adversarial_sessions(
+            self, adversarial_spec):
+        # Quarantine off, or it blocks the flood sources before the
+        # throttle ever sees a concurrent burst.
+        spec = dataclasses.replace(adversarial_spec,
+                                   replay_quarantine=False)
+        throttled = simulate_cohort(spec, 0)
+        open_spec = dataclasses.replace(spec, throttle_limit=0)
+        unthrottled = simulate_cohort(open_spec, 0)
+        assert throttled["shed_reasons"].get("throttled", 0) > 0
+        assert unthrottled["shed_reasons"].get("throttled", 0) == 0
+
+    def test_replay_quarantine_blocks_the_source(self, adversarial_spec):
+        payload = simulate_cohort(adversarial_spec, 0)
+        assert payload["quarantined_sources"]
+        assert all(s.startswith("adv-")
+                   for s in payload["quarantined_sources"])
+        assert payload["shed_reasons"].get("quarantined", 0) > 0
+        off = dataclasses.replace(adversarial_spec,
+                                  replay_quarantine=False)
+        assert simulate_cohort(off, 0)["quarantined_sources"] == []
+
+    def test_budget_bucket_appears(self, fleet_store):
+        spec = SoakSpec(
+            enrollment_digest=fleet_store.spec.digest(),
+            store_dir=fleet_store.directory,
+            sessions=20,
+            cohorts=1,
+            frame_loss=0.4,
+            seed=3,
+            tag_budget_uj=40.0,
+        )
+        payload = simulate_cohort(spec, 0)
+        assert payload["outcomes"]["budget_exhausted"] > 0
+
+
+class TestSoakSummary:
+    def test_byte_identical_and_bucketed(self, tmp_path,
+                                         adversarial_spec):
+        report_1 = run_soak(tmp_path / "w1", adversarial_spec,
+                            workers=1)
+        run_soak(tmp_path / "w4", adversarial_spec, workers=4)
+        assert (tmp_path / "w1" / SUMMARY_NAME).read_bytes() == \
+            (tmp_path / "w4" / SUMMARY_NAME).read_bytes()
+        assert report_1.adversarial > 0
+        assert "adversarial" in report_1.text()
+        summary = json.loads((tmp_path / "w1" / SUMMARY_NAME).read_text())
+        totals = summary["totals"]
+        assert totals["adversarial"] == report_1.adversarial
+        assert totals["sessions"] == \
+            adversarial_spec.sessions * adversarial_spec.cohorts
+        families = summary["metrics"]["metrics"]
+        assert "repro_server_quarantines_total" in families
+        assert "repro_server_throttles_total" in families
