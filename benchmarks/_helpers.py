@@ -39,10 +39,15 @@ def scaled(full: int, fast: int) -> int:
 
 
 def write_report(name: str, lines: list) -> str:
-    """Write (and echo) an experiment report; returns the text."""
+    """Write (and echo) an experiment report; returns the text.
+
+    Atomic (write-tmp-fsync-rename) so a bench killed mid-write never
+    leaves a half-finished report shadowing the previous run's."""
+    from repro.obs.metrics import atomic_write_bytes
+
     RESULTS_DIR.mkdir(exist_ok=True)
     text = "\n".join(lines) + "\n"
-    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    atomic_write_bytes(str(RESULTS_DIR / f"{name}.txt"), text.encode())
     print(text)
     return text
 

@@ -23,6 +23,11 @@ from .engine import (
     make_attack_policy,
     run_attack_session,
 )
+from .fieldcut import (
+    FieldCutAttacker,
+    FieldCutOutcome,
+    run_fieldcut_attack,
+)
 from .errors import (
     AdversaryError,
     BudgetExhaustedError,
@@ -52,6 +57,8 @@ __all__ = [
     "DefenseConfig",
     "DefenseConfigError",
     "EnergyBudget",
+    "FieldCutAttacker",
+    "FieldCutOutcome",
     "SUMMARY_NAME",
     "WAKE_TOKEN_BYTES",
     "WakeTokenRejectedError",
@@ -61,5 +68,6 @@ __all__ = [
     "run_attack_cohort",
     "run_attack_session",
     "run_attack_soak",
+    "run_fieldcut_attack",
     "simulate_attack_cohort",
 ]

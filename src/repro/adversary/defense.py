@@ -126,6 +126,15 @@ def defense_config(name: str, **overrides) -> DefenseConfig:
     return DefenseConfig(name=name, **kwargs)
 
 
+#: Relative tolerance absorbing binary-float edge cases at the budget's
+#: boundaries: a charge landing *exactly* on the cap must succeed even
+#: after many accumulated charges (0.1 is not representable, so the
+#: running sum can sit one ulp above the cap), and a clock sitting
+#: exactly on a window boundary must open the new window even when the
+#: quotient rounds just below the integer (0.3 / 0.1 == 2.999...96).
+_EDGE_RTOL = 1e-9
+
+
 class EnergyBudget:
     """A per-window µJ cap on the tag's protocol work.
 
@@ -134,7 +143,10 @@ class EnergyBudget:
     the clock crosses into a new window.  :meth:`charge` is
     all-or-nothing: a charge that would exceed the cap raises
     :class:`~.errors.BudgetExhaustedError` and spends *nothing* — the
-    whole point is that refused work costs no energy.
+    whole point is that refused work costs no energy.  Spending exactly
+    the remaining budget succeeds; both boundary comparisons carry
+    :data:`_EDGE_RTOL` so float representation error never turns an
+    exact-cap spend or an exact-boundary rollover into a refusal.
     """
 
     def __init__(self, cap_uj: float, window_s: float = 0.5):
@@ -151,7 +163,7 @@ class EnergyBudget:
         self.refusals = 0
 
     def _roll(self, now: float) -> None:
-        index = int(now / self.window_s)
+        index = int(now / self.window_s + _EDGE_RTOL)
         if index > self.window_index:
             self.window_index = index
             self.window_spent_uj = 0.0
@@ -165,7 +177,7 @@ class EnergyBudget:
         if uj < 0:
             raise DefenseConfigError("cannot charge negative energy")
         self._roll(now)
-        if self.window_spent_uj + uj > self.cap_uj:
+        if self.window_spent_uj + uj > self.cap_uj * (1.0 + _EDGE_RTOL):
             self.refusals += 1
             raise BudgetExhaustedError(
                 f"energy budget exhausted: {uj:.2f} uJ requested with "

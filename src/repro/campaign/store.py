@@ -30,6 +30,7 @@ write-to-temp-then-rename, the strongest atomicity a JSON file gets.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 from dataclasses import dataclass
@@ -38,6 +39,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from ..ec.point import AffinePoint
+from ..obs.metrics import atomic_write_bytes
 from .errors import DATA_INTEGRITY, CampaignError
 from .spec import SCHEMA_VERSION, CampaignSpec
 
@@ -61,12 +63,12 @@ def file_digest(path: str) -> str:
 
 
 def _atomic_write_bytes(path: str, payload: bytes) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as f:
-        f.write(payload)
-        f.flush()
-        os.fsync(f.fileno())
-    os.replace(tmp, path)
+    """Alias of :func:`repro.obs.metrics.atomic_write_bytes` — one
+    write-tmp-fsync-rename discipline for every artifact the repo
+    persists.  The temp file keeps the ``.tmp`` suffix so
+    :meth:`TraceStore.initialize`'s débris sweep still collects
+    orphans from crashed writers."""
+    atomic_write_bytes(path, payload)
 
 
 @dataclass(frozen=True)
@@ -286,12 +288,9 @@ class TraceStore:
         samples_path = os.path.join(self.directory, samples_name)
         aux_path = os.path.join(self.directory, aux_name)
 
-        tmp = samples_path + ".tmp"
-        with open(tmp, "wb") as f:
-            np.save(f, samples)
-            f.flush()
-            os.fsync(f.fileno())
-        os.replace(tmp, samples_path)
+        buffer = io.BytesIO()
+        np.save(buffer, samples)
+        _atomic_write_bytes(samples_path, buffer.getvalue())
 
         aux = {
             "points": [[hex(p.x), hex(p.y)] for p in points],

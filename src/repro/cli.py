@@ -42,6 +42,7 @@ __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_obs_report", "cmd_obs_diff",
            "cmd_server_enroll", "cmd_server_run", "cmd_server_soak",
            "cmd_attack_run", "cmd_attack_soak",
+           "cmd_power_run", "cmd_power_soak",
            "EXIT_OK", "EXIT_FAILED", "EXIT_DEGRADED", "EXIT_INTERRUPTED"]
 
 EXIT_OK = 0
@@ -992,6 +993,126 @@ def cmd_attack_soak(directory: str, spec, workers=None, chaos=None,
     return output, EXIT_OK
 
 
+def cmd_power_run(curve: str = "TOY-B17", seed: int = 2013,
+                  session: int = 0, cuts: int = 3, on_cycles: int = 8000,
+                  interval: int = 8, schedules: int = 5,
+                  attack: bool = True) -> str:
+    """Narrate one session's survival of power cuts, in process.
+
+    Baseline the session on stable power, replay it under seeded cut
+    schedules and under cuts aimed at every protocol tender spot,
+    check every outcome is byte-identical, then (unless disabled) run
+    the field-cutting key-recovery attack against the naive and the
+    checkpointing tag.
+    """
+    from .intermittent import (IntermittentSpec, PowerCutSchedule,
+                               adversarial_schedules, probe_timeline,
+                               run_intermittent_session, run_with_schedule)
+
+    spec = IntermittentSpec(curve=curve, seed=seed,
+                            checkpoint_interval=interval)
+    base = run_intermittent_session(spec, session)
+    lines = [
+        f"intermittent session {session} on {curve}, seed {seed}, "
+        f"checkpoint every {interval} ladder steps",
+        f"  stable power: {'accepted' if base.accepted else 'rejected'} "
+        f"as identity {base.identity}, {base.cycles} cycles, "
+        f"{base.total_uj:.2f} uJ ({base.checkpoint_uj:.2f} on "
+        f"checkpoints), digest {base.outcome_digest[:16]}",
+    ]
+    lines.append(f"  {schedules} seeded schedule(s), {cuts} cuts around "
+                 f"{on_cycles} cycles:")
+    for index in range(schedules):
+        sched = PowerCutSchedule.seeded(index, session, cuts,
+                                        mean_on_cycles=on_cycles)
+        result = run_with_schedule(spec, session, sched)
+        verdict = "IDENTICAL" if (result.completed and
+                                  result.outcome_digest
+                                  == base.outcome_digest) else (
+            result.abort_reason or "DIVERGED")
+        lines.append(
+            f"    cut-seed {index}: {result.power_cycles} cut(s), "
+            f"{result.steps_wasted} step(s) re-executed, "
+            f"{result.torn_discards} torn record(s) discarded "
+            f"-> {verdict}")
+    scheds = adversarial_schedules(probe_timeline(spec, session))
+    lines.append(f"  {len(scheds)} adversarially aimed cut(s):")
+    for label in sorted(scheds):
+        result = run_with_schedule(spec, session, scheds[label])
+        verdict = "IDENTICAL" if (result.completed and
+                                  result.outcome_digest
+                                  == base.outcome_digest) else (
+            result.abort_reason or "DIVERGED")
+        lines.append(f"    before {label:<22} -> {verdict}")
+    if attack:
+        from .adversary.fieldcut import run_fieldcut_attack
+
+        naive, durable = run_fieldcut_attack(spec, session)
+        lines.append("  field-cutting attacker (cut in the ack window, "
+                     "fresh challenge on restart):")
+        lines.append(f"    {naive.verdict()}")
+        lines.append(f"    {durable.verdict()}")
+    return "\n".join(lines)
+
+
+def cmd_power_soak(directory: str, spec, workers=None,
+                   min_completed: float = 1.0,
+                   obs: bool = False, obs_profile: bool = False) -> tuple:
+    """Run the power-cut fleet soak; ``(report, exit_code)``.
+
+    Writes the placement-invariant ``summary.json`` atomically into
+    ``directory``.  ``EXIT_OK`` when every session completed,
+    ``EXIT_DEGRADED`` when some aborted typed-cleanly but the
+    completion floor held, ``EXIT_FAILED`` when the floor broke or a
+    session died unclean.
+    """
+    import json as _json
+
+    from .obs.integration import fleet_spec_digest
+    from .obs.metrics import atomic_write_bytes
+    from .protocols.fleet import run_power_soak
+
+    directory = str(directory)
+    os.makedirs(directory, exist_ok=True)
+    obs_dir = os.path.join(directory, "obs") \
+        if (obs or obs_profile) else None
+    with _obs_session(obs_dir, kind="power-soak", seed=spec.seed,
+                      config_digest=fleet_spec_digest(spec),
+                      profile=obs_profile,
+                      argv=["power", "soak", "--dir", directory]):
+        report = run_power_soak(spec, workers=workers)
+    payload = _json.dumps(report.summary_payload(), indent=1,
+                          sort_keys=True).encode()
+    summary_path = os.path.join(directory, "summary.json")
+    atomic_write_bytes(summary_path, payload)
+    output = report.summary() + f"\n  wrote {summary_path}"
+    if not report.all_clean:
+        return (output + "\n  FAILED: a session died without a typed "
+                "abort", EXIT_FAILED)
+    fraction = report.completed / report.sessions
+    if fraction < min_completed:
+        return (output + f"\n  FAILED: completion {fraction:.1%} below "
+                f"the floor {min_completed:.1%}", EXIT_FAILED)
+    if report.completed < report.sessions:
+        return output, EXIT_DEGRADED
+    return output, EXIT_OK
+
+
+def _power_soak_spec_from_args(args) -> "object":
+    from .protocols.fleet import PowerSoakSpec
+
+    return PowerSoakSpec(
+        curve=args.curve,
+        sessions=args.sessions,
+        seed=args.seed,
+        cut_seed=args.cut_seed,
+        cuts=args.cuts,
+        mean_on_cycles=args.on_cycles,
+        checkpoint_interval=args.interval,
+        max_power_cycles=args.max_power_cycles,
+    )
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -1394,6 +1515,60 @@ def main(argv=None) -> int:
     asoak.add_argument("--obs-profile", action="store_true",
                        help="--obs plus perf_counter hot-path timers")
 
+    power = sub.add_parser(
+        "power", help="intermittent power: brownouts, checkpoints, "
+                      "zero nonce reuse"
+    )
+    wverbs = power.add_subparsers(dest="verb", required=True)
+
+    wrun = wverbs.add_parser(
+        "run", help="narrate one session across seeded and "
+                    "adversarial power cuts"
+    )
+    wrun.add_argument("--curve", default="TOY-B17")
+    wrun.add_argument("--seed", type=int, default=2013)
+    wrun.add_argument("--session", type=int, default=0)
+    wrun.add_argument("--cuts", type=int, default=3,
+                      help="cuts per seeded schedule")
+    wrun.add_argument("--on-cycles", type=int, default=8000,
+                      help="mean power-on window (cycles)")
+    wrun.add_argument("--interval", type=int, default=8,
+                      help="ladder steps between checkpoints")
+    wrun.add_argument("--schedules", type=int, default=5,
+                      help="seeded cut schedules to replay")
+    wrun.add_argument("--no-attack", action="store_true",
+                      help="skip the field-cutting attack demo")
+
+    wsoak = wverbs.add_parser(
+        "soak", help="fleet soak under seeded power-cut schedules"
+    )
+    wsoak.add_argument("--dir", required=True,
+                       help="soak output directory (summary.json "
+                            "lands here)")
+    wsoak.add_argument("--curve", default="TOY-B17")
+    wsoak.add_argument("--sessions", type=int, default=50)
+    wsoak.add_argument("--seed", type=int, default=2013)
+    wsoak.add_argument("--cut-seed", type=int, default=1,
+                       help="seed of the cut-placement stream")
+    wsoak.add_argument("--cuts", type=int, default=3,
+                       help="cuts per session")
+    wsoak.add_argument("--on-cycles", type=int, default=8000,
+                       help="mean power-on window (cycles)")
+    wsoak.add_argument("--interval", type=int, default=8,
+                       help="ladder steps between checkpoints")
+    wsoak.add_argument("--max-power-cycles", type=int, default=64,
+                       help="restarts before a session aborts typed")
+    wsoak.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cores, max 8; "
+                            "0 = in-process)")
+    wsoak.add_argument("--min-completed", type=float, default=1.0,
+                       help="completion floor below which the soak "
+                            "FAILS")
+    wsoak.add_argument("--obs", action="store_true",
+                       help="trace the soak into <dir>/obs")
+    wsoak.add_argument("--obs-profile", action="store_true",
+                       help="--obs plus perf_counter hot-path timers")
+
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -1418,6 +1593,8 @@ def main(argv=None) -> int:
         return _server_main(args)
     elif args.command == "attack":
         return _attack_main(args)
+    elif args.command == "power":
+        return _power_main(args)
     else:
         output = cmd_evaluate(weak=args.weak, traces=args.traces,
                               seed=args.seed)
@@ -1554,6 +1731,37 @@ def _attack_main(args) -> int:
         return EXIT_INTERRUPTED
     except (AdversaryError, ValueError, KeyError) as exc:
         print(f"attack error: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    _print(output)
+    return code
+
+
+def _power_main(args) -> int:
+    """Dispatch a ``power`` verb under the exit-code contract."""
+    from .intermittent import IntermittentError
+
+    code = EXIT_OK
+    try:
+        if args.verb == "run":
+            output = cmd_power_run(
+                curve=args.curve, seed=args.seed, session=args.session,
+                cuts=args.cuts, on_cycles=args.on_cycles,
+                interval=args.interval, schedules=args.schedules,
+                attack=not args.no_attack,
+            )
+        else:
+            output, code = cmd_power_soak(
+                args.dir, _power_soak_spec_from_args(args),
+                workers=args.workers, min_completed=args.min_completed,
+                obs=args.obs, obs_profile=args.obs_profile,
+            )
+    except KeyboardInterrupt:
+        print("\ninterrupted — the soak is deterministic; rerunning "
+              "the same command reproduces it from scratch",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (IntermittentError, ValueError, KeyError) as exc:
+        print(f"power error: {exc}", file=sys.stderr)
         return EXIT_FAILED
     _print(output)
     return code

@@ -59,6 +59,49 @@ def _hz_label(frequency_hz: float) -> str:
     return f"{frequency_hz:g}Hz"
 
 
+def _checkpoint_record_bytes(field_bits: int) -> int:
+    """Size of one canonical ladder-checkpoint record.
+
+    The engine checkpoints ``{"epoch", "target", "state"}`` where the
+    state carries eight hex-encoded field/scalar registers plus the
+    bit index (see :meth:`repro.ec.ladder.LadderState.to_dict`); the
+    JSON framing around them is constant.  Deterministic arithmetic,
+    so priced rows stay byte-identical across runs.
+    """
+    hex_chars = (field_bits + 3) // 4
+    return 8 * hex_chars + 130
+
+
+def _checkpoint_pricing(spec: DesignSpaceSpec, interval: int,
+                        energy_uj: float) -> dict:
+    """The intermittent-power bill of one operating point.
+
+    * ``checkpoint_uj`` — NVM staging + commit of a ladder record
+      every ``interval`` steps across one point multiplication;
+    * ``reexec_uj`` — the expected re-execution loss of one power cut
+      (uniformly placed, so half an interval of ladder work on
+      average, priced at this point's per-step energy).
+
+    Both fold into the row's ranked ``energy_uj``: the explorer sees
+    the trade-off the interval knob actually buys — short intervals
+    pay NVM energy, long ones pay re-execution.
+    """
+    from ..intermittent import NVMModel
+
+    nvm = NVMModel()
+    steps = max(1, spec.domain.order.bit_length() - 1)
+    record = _checkpoint_record_bytes(spec.domain.field.m)
+    per_checkpoint_uj = (nvm.stage_energy_j(record)
+                         + nvm.commit_energy_j()) * 1e6
+    checkpoint_uj = (steps // interval) * per_checkpoint_uj
+    reexec_uj = (interval / 2.0) * (energy_uj / steps)
+    return {
+        "checkpoint_interval": interval,
+        "checkpoint_uj": checkpoint_uj,
+        "reexec_uj": reexec_uj,
+    }
+
+
 def analyze_space(directory: str, spec: DesignSpaceSpec,
                   skip_missing: bool = False) -> tuple:
     """Price the cached measurements into (rows, front).
@@ -94,45 +137,67 @@ def analyze_space(directory: str, spec: DesignSpaceSpec,
             # A defense posture never touches the simulated bytes —
             # config_digest ignores it — so adding the axis re-prices
             # the same cached cells instead of re-simulating them.
+            # Neither a defense posture nor a checkpoint interval
+            # touches the simulated bytes — config_digest ignores both
+            # — so activating these axes re-prices the same cached
+            # cells instead of re-simulating them.
             for defense in (spec.defenses or (None,)):
-                score = score_design(config, vdd=vdd, findings=findings,
-                                     defenses=defense)
-                for frequency_hz in spec.frequencies_hz:
-                    point = OperatingPoint(frequency_hz=frequency_hz,
-                                           vdd=vdd)
-                    report = model.report_activity(data["consumed"],
-                                                   data["cycles"], point)
-                    area_ge = data["area"]["total"]
-                    energy_uj = report.energy_joules * 1e6
-                    row_id = (f"d{job.digit_size}-{job.countermeasures}-"
-                              f"{vdd:g}V-{_hz_label(frequency_hz)}")
-                    row = {
-                        "id": row_id,
-                        "digit_size": job.digit_size,
-                        "countermeasures": job.countermeasures,
-                        "vdd": vdd,
-                        "frequency_hz": frequency_hz,
-                        "area_ge": area_ge,
-                        "cycles": data["cycles"],
-                        "latency_s": report.duration_seconds,
-                        "power_uw": report.power_watts * 1e6,
-                        "energy_uj": energy_uj,
-                        "area_energy": area_ge * energy_uj,
-                        "security": score.value,
-                        "security_open": list(score.open_doors),
-                        "pareto": False,
-                    }
-                    if defense is not None:
-                        row["id"] = f"{row_id}-{defense}"
-                        row["defense"] = defense
-                    row["violations"] = constraint_violations(
-                        row,
-                        max_latency_s=spec.max_latency_s,
-                        max_area_ge=spec.max_area_ge,
-                        min_security=spec.min_security,
-                    )
-                    row["feasible"] = not row["violations"]
-                    rows.append(row)
+                for interval in (spec.checkpoint_intervals or (None,)):
+                    checkpoint = None
+                    if interval is not None:
+                        checkpoint = {"durable": True,
+                                      "checkpoint_interval": interval}
+                    score = score_design(config, vdd=vdd,
+                                         findings=findings,
+                                         defenses=defense,
+                                         checkpoint=checkpoint)
+                    for frequency_hz in spec.frequencies_hz:
+                        point = OperatingPoint(
+                            frequency_hz=frequency_hz, vdd=vdd)
+                        report = model.report_activity(
+                            data["consumed"], data["cycles"], point)
+                        area_ge = data["area"]["total"]
+                        energy_uj = report.energy_joules * 1e6
+                        row_id = (f"d{job.digit_size}-"
+                                  f"{job.countermeasures}-"
+                                  f"{vdd:g}V-{_hz_label(frequency_hz)}")
+                        row = {
+                            "id": row_id,
+                            "digit_size": job.digit_size,
+                            "countermeasures": job.countermeasures,
+                            "vdd": vdd,
+                            "frequency_hz": frequency_hz,
+                            "area_ge": area_ge,
+                            "cycles": data["cycles"],
+                            "latency_s": report.duration_seconds,
+                            "power_uw": report.power_watts * 1e6,
+                            "energy_uj": energy_uj,
+                            "area_energy": area_ge * energy_uj,
+                            "security": score.value,
+                            "security_open": list(score.open_doors),
+                            "pareto": False,
+                        }
+                        if defense is not None:
+                            row["id"] = f"{row['id']}-{defense}"
+                            row["defense"] = defense
+                        if interval is not None:
+                            pricing = _checkpoint_pricing(
+                                spec, interval, energy_uj)
+                            row.update(pricing)
+                            row["energy_uj"] = (energy_uj
+                                                + pricing["checkpoint_uj"]
+                                                + pricing["reexec_uj"])
+                            row["area_energy"] = (area_ge
+                                                  * row["energy_uj"])
+                            row["id"] = f"{row['id']}-ck{interval}"
+                        row["violations"] = constraint_violations(
+                            row,
+                            max_latency_s=spec.max_latency_s,
+                            max_area_ge=spec.max_area_ge,
+                            min_security=spec.min_security,
+                        )
+                        row["feasible"] = not row["violations"]
+                        rows.append(row)
     feasible = [row for row in rows if row["feasible"]]
     front = pareto_front(feasible, spec.objectives)
     for row in front:

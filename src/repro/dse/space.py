@@ -81,6 +81,7 @@ class DesignSpaceSpec:
     frequencies_hz: tuple = (100e3, 847.5e3, 4e6)
     countermeasures: tuple = ("full", "none")
     defenses: tuple = ()
+    checkpoint_intervals: tuple = ()
     curve: str = "K-163"
     seed: int = 0
     whitebox: bool = False
@@ -126,6 +127,16 @@ class DesignSpaceSpec:
                 known = ", ".join(sorted(DEFENSE_SETS))
                 raise SpaceValidationError(
                     f"unknown defense set {defense!r}; known: {known}")
+        intervals = tuple(self.checkpoint_intervals)
+        object.__setattr__(self, "checkpoint_intervals", intervals)
+        if len(set(intervals)) != len(intervals):
+            raise SpaceValidationError(
+                f"checkpoint_intervals has duplicates: {intervals}")
+        for interval in intervals:
+            if not isinstance(interval, int) or interval < 1:
+                raise SpaceValidationError(
+                    "checkpoint intervals must be positive integers, "
+                    f"got {interval!r}")
         for objective in self.objectives:
             if objective not in OBJECTIVES:
                 known = ", ".join(sorted(OBJECTIVES))
@@ -147,11 +158,13 @@ class DesignSpaceSpec:
     # -- supervisor spec protocol --------------------------------------
 
     def to_dict(self) -> dict:
-        # The defenses axis is omitted when empty so pre-axis specs keep
+        # Opt-in axes are omitted when empty so pre-axis specs keep
         # their digests (and their pareto.json files) byte-identical.
         extra = {}
         if self.defenses:
             extra["defenses"] = list(self.defenses)
+        if self.checkpoint_intervals:
+            extra["checkpoint_intervals"] = list(self.checkpoint_intervals)
         return {
             **extra,
             "digit_sizes": list(self.digit_sizes),
@@ -173,7 +186,8 @@ class DesignSpaceSpec:
     def from_dict(cls, data: dict) -> "DesignSpaceSpec":
         kwargs = dict(data)
         for name in ("digit_sizes", "vdd_volts", "frequencies_hz",
-                     "countermeasures", "objectives", "defenses"):
+                     "countermeasures", "objectives", "defenses",
+                     "checkpoint_intervals"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(**kwargs)
@@ -254,7 +268,9 @@ class DesignSpaceSpec:
     @property
     def grid_size(self) -> int:
         """Rows of the evaluated grid (cells x operating points,
-        multiplied by the defense postures when that axis is active)."""
+        multiplied by the defense postures and checkpoint intervals
+        when those axes are active)."""
         return (len(self.grid_jobs())
                 * len(self.vdd_volts) * len(self.frequencies_hz)
-                * max(1, len(self.defenses)))
+                * max(1, len(self.defenses))
+                * max(1, len(self.checkpoint_intervals)))

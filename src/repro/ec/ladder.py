@@ -29,9 +29,13 @@ from .point import AffinePoint
 __all__ = [
     "LadderIteration",
     "LadderExecution",
+    "LadderState",
     "montgomery_ladder",
     "montgomery_ladder_full",
     "ladder_step",
+    "ladder_suspend_init",
+    "ladder_suspend_advance",
+    "ladder_suspend_result",
 ]
 
 #: Field-operation cost of one ladder iteration (Madd + Mdouble):
@@ -226,6 +230,149 @@ def montgomery_ladder_full(
         )
     execution.result = _recover_y(curve, point, x1, z1, x2, z2)
     return execution
+
+
+# ----------------------------------------------------------------------
+# the suspendable ladder: the same iteration, one step at a time
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LadderState:
+    """A Montgomery-ladder execution frozen between two iterations.
+
+    The intermittent-power layer checkpoints this to modeled NVM: the
+    four projective registers plus the index of the *next* key bit are
+    the complete machine state — resuming from a ``LadderState`` and
+    running to the end produces bit-identical registers to an
+    uninterrupted :func:`montgomery_ladder_full` with the same
+    ``initial_z``.  Frozen so a checkpointed state can never be
+    mutated behind the store's back; :func:`ladder_suspend_advance`
+    returns a fresh state instead.
+
+    ``bit_index`` counts down from ``k.bit_length() - 2``; ``-1``
+    means every iteration has run and only y-recovery remains.
+    """
+
+    scalar: int
+    base_x: int
+    base_y: int
+    initial_z: int
+    bit_index: int
+    x1: int
+    z1: int
+    x2: int
+    z2: int
+
+    @property
+    def finished(self) -> bool:
+        return self.bit_index < 0
+
+    @property
+    def steps_total(self) -> int:
+        return max(0, self.scalar.bit_length() - 1)
+
+    @property
+    def steps_done(self) -> int:
+        return self.steps_total - (self.bit_index + 1)
+
+    def to_dict(self) -> dict:
+        """Checkpoint payload: every register as lowercase hex."""
+        return {
+            "k": format(self.scalar, "x"),
+            "bx": format(self.base_x, "x"),
+            "by": format(self.base_y, "x"),
+            "z0": format(self.initial_z, "x"),
+            "bit": self.bit_index,
+            "x1": format(self.x1, "x"),
+            "z1": format(self.z1, "x"),
+            "x2": format(self.x2, "x"),
+            "z2": format(self.z2, "x"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LadderState":
+        return cls(
+            scalar=int(data["k"], 16),
+            base_x=int(data["bx"], 16),
+            base_y=int(data["by"], 16),
+            initial_z=int(data["z0"], 16),
+            bit_index=int(data["bit"]),
+            x1=int(data["x1"], 16),
+            z1=int(data["z1"], 16),
+            x2=int(data["x2"], 16),
+            z2=int(data["z2"], 16),
+        )
+
+
+def ladder_suspend_init(
+    curve: BinaryEllipticCurve,
+    k: int,
+    point: AffinePoint,
+    initial_z: int,
+) -> LadderState:
+    """Set up a suspendable ladder run (Algorithm 1's preamble).
+
+    The degenerate inputs the full ladder special-cases (``k == 0``,
+    the identity, the 2-torsion point) have no iteration loop to
+    suspend, so they are rejected here — protocol scalars are drawn
+    from ``[1, n)`` and bases are valid curve points, which is the
+    suspendable path's contract.
+    """
+    if k < 1:
+        raise ValueError("the suspendable ladder needs a positive scalar")
+    if point.is_infinity or point.x == 0:
+        raise ValueError("the suspendable ladder needs an ordinary "
+                         "base point (not the identity or 2-torsion)")
+    f = curve.field
+    if initial_z == 0 or initial_z >= f.order:
+        raise ValueError("initial Z must be a non-zero reduced field value")
+    x1, z1 = f.mul_raw(point.x, initial_z), initial_z
+    x2, z2 = _mdouble(f, curve._sqrt_b, x1, z1)
+    return LadderState(
+        scalar=k, base_x=point.x, base_y=point.y, initial_z=initial_z,
+        bit_index=k.bit_length() - 2, x1=x1, z1=z1, x2=x2, z2=z2,
+    )
+
+
+def ladder_suspend_advance(
+    curve: BinaryEllipticCurve,
+    state: LadderState,
+    steps: int,
+) -> LadderState:
+    """Run up to ``steps`` ladder iterations; return the new state.
+
+    Pure: the input state is untouched, so a caller that checkpoints
+    ``state`` and crashes mid-advance resumes from exactly the bits
+    the checkpoint had consumed.
+    """
+    if steps < 0:
+        raise ValueError("cannot advance a negative number of steps")
+    x1, z1, x2, z2 = state.x1, state.z1, state.x2, state.z2
+    bit_index = state.bit_index
+    for _ in range(steps):
+        if bit_index < 0:
+            break
+        bit = (state.scalar >> bit_index) & 1
+        x1, z1, x2, z2 = ladder_step(curve, state.base_x, bit,
+                                     x1, z1, x2, z2)
+        bit_index -= 1
+    return LadderState(
+        scalar=state.scalar, base_x=state.base_x, base_y=state.base_y,
+        initial_z=state.initial_z, bit_index=bit_index,
+        x1=x1, z1=z1, x2=x2, z2=z2,
+    )
+
+
+def ladder_suspend_result(
+    curve: BinaryEllipticCurve,
+    state: LadderState,
+) -> AffinePoint:
+    """y-recovery of a finished suspendable run."""
+    if not state.finished:
+        raise ValueError(
+            f"ladder still has {state.bit_index + 1} iterations to run")
+    base = AffinePoint(state.base_x, state.base_y)
+    return _recover_y(curve, base, state.x1, state.z1, state.x2, state.z2)
 
 
 def montgomery_ladder(

@@ -1,0 +1,61 @@
+"""Typed failures of the intermittent-power subsystem.
+
+The taxonomy style of :mod:`repro.campaign.errors`: every way a
+power-constrained session can go wrong has its own class, carrying the
+context a log line needs (cycle, window, Vdd) so post-mortems never
+have to reconstruct where a brownout landed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IntermittentError", "PowerLossError", "CheckpointCorruptError",
+           "ResumeExhaustedError", "SupplySpecError"]
+
+
+class IntermittentError(RuntimeError):
+    """Base class for intermittent-power failures."""
+
+
+class PowerLossError(IntermittentError):
+    """The supply crossed the brownout threshold: the device is off.
+
+    Raised at an *exact* cycle — the resume engine catches it, counts
+    one power cycle, and restarts from the last committed checkpoint.
+    Code outside the engine should never see this escape.
+    """
+
+    def __init__(self, message: str, *, cycle: int, vdd: float,
+                 window_index: int):
+        super().__init__(
+            f"{message} [cycle {cycle}, window {window_index}, "
+            f"Vdd {vdd:.3f} V]")
+        self.cycle = cycle
+        self.vdd = vdd
+        self.window_index = window_index
+
+
+class CheckpointCorruptError(IntermittentError):
+    """A *committed* checkpoint record failed its integrity check.
+
+    Under the two-phase commit protocol this must never happen — a
+    torn write can only ever damage the staged copy, which restore
+    discards silently.  Seeing this error means the commit protocol
+    itself is broken, so it is loud rather than recoverable.
+    """
+
+
+class ResumeExhaustedError(IntermittentError):
+    """The power-cycle budget ran out before the session finished.
+
+    Livelock is real: a supply window shorter than the work between
+    two consecutive commits makes forward progress impossible.  The
+    engine converts this into a typed clean abort instead of spinning.
+    """
+
+    def __init__(self, message: str, *, power_cycles: int):
+        super().__init__(f"{message} [{power_cycles} power cycles]")
+        self.power_cycles = power_cycles
+
+
+class SupplySpecError(ValueError):
+    """An invalid supply-model specification."""

@@ -22,8 +22,9 @@ from typing import Optional
 
 from .metrics import MetricRegistry
 
-__all__ = ["record_store", "record_fleet_report", "fleet_spec_digest",
-           "fleet_point_stats", "snapshot_value", "snapshot_histogram"]
+__all__ = ["record_store", "record_fleet_report", "record_intermittent_result",
+           "fleet_spec_digest", "fleet_point_stats", "snapshot_value",
+           "snapshot_histogram"]
 
 
 def snapshot_value(snapshot: dict, name: str, **labels) -> float:
@@ -159,6 +160,52 @@ def record_fleet_report(registry: MetricRegistry,
             energy.inc(record.initiator_uj, loss=loss, role="initiator")
             energy.inc(record.responder_uj, loss=loss, role="responder")
         availability.set(point.availability, loss=loss)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# intermittent session -> registry (the `power run/soak` aggregation)
+# ----------------------------------------------------------------------
+
+def record_intermittent_result(registry: MetricRegistry,
+                               result) -> MetricRegistry:
+    """Fold one IntermittentResult into ``registry``.
+
+    Counters accumulate across sessions (a soak calls this once per
+    session); the energy counter is labelled by component so the CLI
+    can read the checkpoint-overhead share straight out of the
+    snapshot.
+    """
+    if result.accepted:
+        outcome = "accepted"
+    elif result.completed:
+        outcome = "rejected"
+    else:
+        outcome = "aborted"
+    registry.counter("repro_intermittent_sessions_total",
+                     "intermittent sessions by outcome").inc(outcome=outcome)
+    registry.counter("repro_intermittent_power_cycles_total",
+                     "power cuts survived").inc(result.power_cycles)
+    registry.counter("repro_intermittent_checkpoints_total",
+                     "committed checkpoints").inc(result.checkpoints_committed)
+    registry.counter("repro_intermittent_torn_discards_total",
+                     "torn staged records discarded at power-on"
+                     ).inc(result.torn_discards)
+    steps = registry.counter("repro_intermittent_ladder_steps_total",
+                             "ladder steps by productivity")
+    steps.inc(result.steps_executed - result.steps_wasted, kind="productive")
+    if result.steps_wasted:
+        steps.inc(result.steps_wasted, kind="wasted")
+    energy = registry.counter("repro_intermittent_energy_uj_total",
+                              "microjoules spent, by component")
+    energy.inc(result.compute_uj, component="compute")
+    energy.inc(result.radio_uj, component="radio")
+    energy.inc(result.checkpoint_uj, component="checkpoint")
+    registry.histogram(
+        "repro_intermittent_session_uj",
+        "total microjoules per session",
+        buckets=(1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0),
+    ).observe(result.total_uj)
     return registry
 
 

@@ -42,7 +42,8 @@ from .session import (
 )
 
 __all__ = ["FleetSpec", "SessionRecord", "SweepPoint", "FleetReport",
-           "run_fleet", "DEFAULT_SWEEP"]
+           "run_fleet", "DEFAULT_SWEEP", "PowerSoakSpec",
+           "PowerSessionRecord", "PowerSoakReport", "run_power_soak"]
 
 #: Frame-loss points of the default sweep (0–20%, the ISSUE's range).
 DEFAULT_SWEEP: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.20)
@@ -303,6 +304,288 @@ def _loss_salt(frame_loss: float) -> int:
     """A stable per-sweep-point salt so points are independent streams."""
     digest = hashlib.sha256(f"fleet-loss/{frame_loss!r}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# the power soak: a fleet of sessions under seeded power-cut schedules
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PowerSoakSpec:
+    """A fleet of intermittent-power sessions, each under its own
+    seeded cut schedule.
+
+    ``seed`` drives the protocol (keys, nonces, Z randomization);
+    ``cut_seed`` drives the cut placements — two independent streams,
+    so the same fleet can be soaked under many different outage
+    patterns and the *outcomes* compared byte for byte.
+    """
+
+    curve: str = "TOY-B17"
+    sessions: int = 50
+    seed: int = 2013
+    cut_seed: int = 1
+    cuts: int = 3
+    mean_on_cycles: int = 8_000
+    checkpoint_interval: int = 8
+    randomize_z: bool = True
+    max_power_cycles: int = 64
+
+    def __post_init__(self):
+        if self.sessions < 1:
+            raise ValueError("need at least one session")
+        if self.cuts < 0:
+            raise ValueError("cut count must be non-negative")
+        if self.mean_on_cycles < 1:
+            raise ValueError("mean on-window must be at least one cycle")
+
+    def intermittent_spec(self):
+        from ..intermittent import IntermittentSpec
+
+        return IntermittentSpec(
+            curve=self.curve, seed=self.seed,
+            checkpoint_interval=self.checkpoint_interval,
+            randomize_z=self.randomize_z,
+            max_power_cycles=self.max_power_cycles,
+        )
+
+    def schedule(self, session_index: int):
+        from ..intermittent import PowerCutSchedule
+
+        if self.cuts == 0:
+            return PowerCutSchedule()
+        return PowerCutSchedule.seeded(
+            self.cut_seed, session_index, self.cuts,
+            mean_on_cycles=self.mean_on_cycles)
+
+
+@dataclass(frozen=True)
+class PowerSessionRecord:
+    """The light per-session record a power-soak worker ships back.
+
+    Field names match :class:`~repro.intermittent.IntermittentResult`
+    where they overlap, so
+    :func:`~repro.obs.integration.record_intermittent_result` folds
+    either shape into the registry.
+    """
+
+    session_index: int
+    completed: bool
+    accepted: bool
+    identity: Optional[int]
+    abort_reason: Optional[str]
+    power_cycles: int
+    checkpoints_committed: int
+    torn_discards: int
+    steps_executed: int
+    steps_wasted: int
+    checkpoint_uj: float
+    compute_uj: float
+    radio_uj: float
+    outcome_digest: str
+
+    @property
+    def total_uj(self) -> float:
+        return self.checkpoint_uj + self.compute_uj + self.radio_uj
+
+
+@dataclass
+class PowerSoakReport:
+    """Every session's outcome under its cut schedule."""
+
+    spec: PowerSoakSpec
+    records: List[PowerSessionRecord]
+
+    @property
+    def sessions(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for r in self.records if r.accepted)
+
+    @property
+    def all_clean(self) -> bool:
+        """Every session completed, or aborted with a typed reason —
+        nothing crashed, nothing corrupted."""
+        return all(r.completed or r.abort_reason for r in self.records)
+
+    @property
+    def total_power_cycles(self) -> int:
+        return sum(r.power_cycles for r in self.records)
+
+    @property
+    def total_torn_discards(self) -> int:
+        return sum(r.torn_discards for r in self.records)
+
+    def outcome_digest(self) -> str:
+        """Order-independent digest over every session's outcome."""
+        h = hashlib.sha256()
+        for record in sorted(self.records, key=lambda r: r.session_index):
+            h.update(f"{record.session_index}:".encode())
+            h.update(record.outcome_digest.encode())
+        return h.hexdigest()
+
+    def summary_payload(self) -> dict:
+        """The ``summary.json`` body: *placement-invariant* facts only.
+
+        Per-session outcome digests and their combination — never
+        energy, cycle or power-cut figures, which legitimately vary
+        with where the cuts land.  CI asserts this payload is
+        byte-identical across worker counts *and* across cut seeds
+        whose schedules allow every session to complete.
+        """
+        return {
+            "curve": self.spec.curve,
+            "protocol_seed": self.spec.seed,
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "accepted": self.accepted,
+            "identities": [r.identity
+                           for r in sorted(self.records,
+                                           key=lambda r: r.session_index)],
+            "outcomes": {str(r.session_index): r.outcome_digest
+                         for r in sorted(self.records,
+                                         key=lambda r: r.session_index)},
+            "outcome_digest": self.outcome_digest(),
+        }
+
+    def summary(self) -> str:
+        """Render the soak table from the obs metrics snapshot (the
+        same read-back discipline as :meth:`FleetReport.summary`)."""
+        from ..obs.integration import record_intermittent_result, \
+            snapshot_histogram, snapshot_value
+        from ..obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        for record in self.records:
+            record_intermittent_result(registry, record)
+        snapshot = registry.snapshot()
+        sessions = self.sessions
+        uj = snapshot_histogram(snapshot, "repro_intermittent_session_uj")
+        ckpt_uj = snapshot_value(snapshot,
+                                 "repro_intermittent_energy_uj_total",
+                                 component="checkpoint")
+        wasted = snapshot_value(snapshot,
+                                "repro_intermittent_ladder_steps_total",
+                                kind="wasted")
+        productive = snapshot_value(snapshot,
+                                    "repro_intermittent_ladder_steps_total",
+                                    kind="productive")
+        lines = [
+            f"power soak on {self.spec.curve}: {sessions} sessions, "
+            f"seed {self.spec.seed}, cut seed {self.spec.cut_seed}, "
+            f"{self.spec.cuts} cuts/session around "
+            f"{self.spec.mean_on_cycles} cycles",
+            f"  completed {self.completed}/{sessions}, "
+            f"accepted {self.accepted}/{sessions}",
+            f"  power cycles survived: {self.total_power_cycles} "
+            f"(torn staged records discarded: {self.total_torn_discards})",
+            f"  ladder steps: {int(productive)} productive, "
+            f"{int(wasted)} re-executed after cuts",
+            f"  energy: {uj['sum']:.1f} uJ total "
+            f"({ckpt_uj:.1f} uJ on checkpoints), "
+            f"worst session {uj['max']:.1f} uJ" if uj["count"] else
+            "  energy: none recorded",
+            f"  outcome digest: {self.outcome_digest()[:16]}",
+        ]
+        verdict = ("every session completed or aborted typed-clean"
+                   if self.all_clean else
+                   "UNCLEAN — a session died without a typed reason")
+        return "\n".join(lines + ["  verdict: " + verdict])
+
+
+def _run_power_slice(spec: PowerSoakSpec,
+                     indices: Sequence[int]) -> List[PowerSessionRecord]:
+    """Worker entry: run a slice of intermittent sessions.
+
+    Builds sessions directly (not through
+    :func:`~repro.intermittent.run_intermittent_session`) so workers
+    never emit spans — the coordinator is the only aggregation path,
+    keeping the registry independent of worker count.
+    """
+    from ..intermittent import IntermittentSession
+
+    ispec = spec.intermittent_spec()
+    records = []
+    for index in indices:
+        supply = spec.schedule(index).supply()
+        result = IntermittentSession(ispec, index, supply=supply).run()
+        records.append(PowerSessionRecord(
+            session_index=index,
+            completed=result.completed,
+            accepted=result.accepted,
+            identity=result.identity,
+            abort_reason=result.abort_reason,
+            power_cycles=result.power_cycles,
+            checkpoints_committed=result.checkpoints_committed,
+            torn_discards=result.torn_discards,
+            steps_executed=result.steps_executed,
+            steps_wasted=result.steps_wasted,
+            checkpoint_uj=result.checkpoint_uj,
+            compute_uj=result.compute_uj,
+            radio_uj=result.radio_uj,
+            outcome_digest=result.outcome_digest,
+        ))
+    return records
+
+
+def run_power_soak(spec: PowerSoakSpec, workers: Optional[int] = None,
+                   progress=None) -> PowerSoakReport:
+    """Soak a fleet of sessions under seeded power-cut schedules.
+
+    Same fan-out discipline as :func:`run_fleet`: sessions are
+    embarrassingly parallel, records are keyed and sorted, and the
+    report cannot depend on worker count or scheduling.
+    """
+    from ..obs.integration import record_intermittent_result
+
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    chunk = max(1, spec.sessions // max(1, workers * 4))
+    jobs = [list(range(start, min(start + chunk, spec.sessions)))
+            for start in range(0, spec.sessions, chunk)]
+
+    rt = _obs_runtime.current()
+    with contextlib.ExitStack() as stack:
+        soak_span = None
+        if rt is not None:
+            soak_span = stack.enter_context(rt.span(
+                "power.soak", key=0, curve=spec.curve,
+                sessions=spec.sessions, cuts=spec.cuts,
+                interval=spec.checkpoint_interval,
+            ))
+        records: List[PowerSessionRecord] = []
+        done = 0
+        if workers <= 1 or len(jobs) == 1:
+            for indices in jobs:
+                records.extend(_run_power_slice(spec, indices))
+                done += 1
+                if progress:
+                    progress(done, len(jobs))
+        else:
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                futures = [pool.submit(_run_power_slice, spec, indices)
+                           for indices in jobs]
+                for future in concurrent.futures.as_completed(futures):
+                    records.extend(future.result())
+                    done += 1
+                    if progress:
+                        progress(done, len(jobs))
+        records.sort(key=lambda r: r.session_index)
+        report = PowerSoakReport(spec=spec, records=records)
+        if rt is not None:
+            for record in records:
+                record_intermittent_result(rt.registry, record)
+            soak_span.set(completed=report.completed,
+                          accepted=report.accepted,
+                          clean=report.all_clean,
+                          digest=report.outcome_digest()[:16])
+    return report
 
 
 def run_fleet(spec: FleetSpec, workers: Optional[int] = None,

@@ -7,12 +7,15 @@ from .pyramid import (
     AbstractionLevel,
     BATTERY_DEPLETION_THREAT,
     Countermeasure,
+    POWER_INTERRUPTION_THREAT,
     SecurityPyramid,
     Threat,
     default_pyramid,
     defense_countermeasures,
+    intermittent_countermeasures,
     pyramid_for_config,
     pyramid_with_defenses,
+    pyramid_with_intermittent,
 )
 
 __all__ = [
@@ -23,8 +26,11 @@ __all__ = [
     "default_pyramid",
     "pyramid_for_config",
     "BATTERY_DEPLETION_THREAT",
+    "POWER_INTERRUPTION_THREAT",
     "defense_countermeasures",
+    "intermittent_countermeasures",
     "pyramid_with_defenses",
+    "pyramid_with_intermittent",
     "AttackFinding",
     "EvaluationReport",
     "WhiteBoxEvaluation",

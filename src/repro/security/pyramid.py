@@ -17,7 +17,8 @@ from dataclasses import dataclass, field as dataclass_field
 __all__ = ["AbstractionLevel", "Threat", "Countermeasure", "SecurityPyramid",
            "default_pyramid", "pyramid_for_config",
            "BATTERY_DEPLETION_THREAT", "defense_countermeasures",
-           "pyramid_with_defenses"]
+           "pyramid_with_defenses", "POWER_INTERRUPTION_THREAT",
+           "intermittent_countermeasures", "pyramid_with_intermittent"]
 
 
 class AbstractionLevel(enum.IntEnum):
@@ -243,6 +244,59 @@ def pyramid_with_defenses(config, defenses) -> SecurityPyramid:
     pyramid = pyramid_for_config(config)
     pyramid.add_threat(BATTERY_DEPLETION_THREAT)
     for cm in defense_countermeasures(defenses):
+        pyramid.add_countermeasure(cm)
+    return pyramid
+
+
+#: The intermittent-power threat (also opt-in): a reader that owns the
+#: tag's field can cut it mid-session, forcing a restart that — on a
+#: naive tag — re-derives a consumed nonce and leaks the key (see
+#: :mod:`repro.adversary.fieldcut`), or tears the durable state.
+POWER_INTERRUPTION_THREAT = Threat(
+    "power-interruption",
+    "field cuts mid-session force nonce reuse or torn state")
+
+
+def intermittent_countermeasures(posture) -> list:
+    """Countermeasures implied by an intermittent-power posture.
+
+    ``posture`` is duck-typed (an
+    :class:`~repro.intermittent.IntermittentSpec`, or anything with a
+    ``checkpoint_interval`` and optionally a ``durable`` flag).  The
+    commit-before-use nonce vault and the two-phase atomic store are
+    primary — together they make a second response under one nonce
+    impossible and a torn committed record unconstructible.  Periodic
+    ladder checkpointing only bounds the re-execution bill, so it is
+    supporting hygiene.
+    """
+    measures = []
+    if getattr(posture, "durable", True):
+        measures.append(Countermeasure(
+            "commit-before-use nonce checkpointing",
+            AbstractionLevel.PROTOCOL,
+            ("power-interruption",),
+            "repro.intermittent.checkpoint"))
+        measures.append(Countermeasure(
+            "two-phase atomic NVM commit",
+            AbstractionLevel.ARCHITECTURE,
+            ("power-interruption",),
+            "repro.intermittent.checkpoint"))
+    if getattr(posture, "checkpoint_interval", 0) > 0:
+        measures.append(Countermeasure(
+            "periodic ladder-state checkpointing",
+            AbstractionLevel.ALGORITHM,
+            ("power-interruption",),
+            "repro.intermittent.engine",
+            primary=False))
+    return measures
+
+
+def pyramid_with_intermittent(config, posture) -> SecurityPyramid:
+    """:func:`pyramid_for_config` extended with the power-interruption
+    threat and whatever checkpointing posture the design deploys."""
+    pyramid = pyramid_for_config(config)
+    pyramid.add_threat(POWER_INTERRUPTION_THREAT)
+    for cm in intermittent_countermeasures(posture):
         pyramid.add_countermeasure(cm)
     return pyramid
 

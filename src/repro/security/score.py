@@ -28,7 +28,8 @@ from typing import Iterable, Optional
 
 from ..power.technology import TechnologyParams, UMC_130NM
 from .pyramid import (BATTERY_DEPLETION_THREAT, PAPER_THREATS,
-                      defense_countermeasures, pyramid_for_config)
+                      POWER_INTERRUPTION_THREAT, defense_countermeasures,
+                      intermittent_countermeasures, pyramid_for_config)
 
 __all__ = ["ATTACK_THREATS", "SecurityScore", "score_design"]
 
@@ -87,11 +88,26 @@ def _resolve_defenses(defenses):
     return defenses
 
 
+def _resolve_checkpoint(checkpoint):
+    """Accept ``True`` (the default checkpointing posture), a dict of
+    knobs, or an IntermittentSpec-shaped object (duck-typed like
+    :func:`_resolve_defenses` — the intermittent package is imported
+    only when the default must be built)."""
+    if checkpoint is True:
+        from ..intermittent import IntermittentSpec
+        return IntermittentSpec()
+    if isinstance(checkpoint, dict):
+        from types import SimpleNamespace
+        return SimpleNamespace(**checkpoint)
+    return checkpoint
+
+
 def score_design(config,
                  vdd: Optional[float] = None,
                  findings: Iterable = (),
                  technology: TechnologyParams = UMC_130NM,
                  defenses=None,
+                 checkpoint=None,
                  ) -> SecurityScore:
     """Score one design point.
 
@@ -116,6 +132,14 @@ def score_design(config,
         depletion countermeasure (wake gating or an energy budget
         cap); None keeps the paper's original eight-threat score
         byte-identical.
+    checkpoint:
+        Optional intermittent-power posture — ``True`` for the default
+        :class:`~repro.intermittent.IntermittentSpec`, a dict of its
+        knobs (``durable``, ``checkpoint_interval``), or the spec
+        itself.  When given, the ``power-interruption`` threat joins
+        the scored set and is closed only by a *primary* checkpointing
+        countermeasure (the commit-before-use nonce vault); None keeps
+        prior scores byte-identical.
     """
     pyramid = pyramid_for_config(config)
     open_doors = {t.name for t in pyramid.uncovered_threats()}
@@ -137,6 +161,12 @@ def score_design(config,
         if not any(cm.primary
                    for cm in defense_countermeasures(resolved)):
             open_doors.add(BATTERY_DEPLETION_THREAT.name)
+    if checkpoint is not None:
+        posture = _resolve_checkpoint(checkpoint)
+        order.append(POWER_INTERRUPTION_THREAT.name)
+        if not any(cm.primary
+                   for cm in intermittent_countermeasures(posture)):
+            open_doors.add(POWER_INTERRUPTION_THREAT.name)
     return SecurityScore(
         closed=tuple(n for n in order if n not in open_doors),
         open_doors=tuple(n for n in order if n in open_doors),

@@ -83,6 +83,34 @@ class TestEnergyBudget:
         with pytest.raises(DefenseConfigError):
             budget.charge(-0.1, now=0.0)
 
+    def test_spend_exactly_at_cap_succeeds(self):
+        budget = EnergyBudget(cap_uj=10.0, window_s=1.0)
+        budget.charge(10.0, now=0.0)
+        assert budget.window_spent_uj == pytest.approx(10.0)
+        assert budget.refusals == 0
+        assert budget.remaining_uj(0.5) == pytest.approx(0.0)
+
+    def test_exact_remaining_after_float_accumulation(self):
+        # 100 charges of 0.1 then the exact remainder: the running sum
+        # is one ulp off 10.0, which must not refuse the final spend.
+        budget = EnergyBudget(cap_uj=15.0, window_s=1.0)
+        for _ in range(100):
+            budget.charge(0.1, now=0.0)
+        budget.charge(15.0 - budget.window_spent_uj, now=0.0)
+        assert budget.refusals == 0
+        # ...but any real overshoot beyond the tolerance still refuses.
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(0.001, now=0.0)
+
+    def test_window_boundary_is_exact(self):
+        # 0.3 / 0.1 rounds to 2.999...96; a clock sitting exactly on a
+        # window boundary must open the new window, not extend the old.
+        budget = EnergyBudget(cap_uj=1.0, window_s=0.1)
+        budget.charge(1.0, now=0.2)
+        budget.charge(1.0, now=0.3)  # exact boundary: fresh budget
+        assert budget.total_spent_uj == pytest.approx(2.0)
+        assert budget.refusals == 0
+
 
 class TestWakeUpRadio:
     def test_token_is_deterministic(self):

@@ -1,0 +1,71 @@
+"""The field-cutting attacker: naive tag broken, durable tag held."""
+
+import pytest
+
+from repro.adversary import (
+    FieldCutAttacker,
+    FieldCutOutcome,
+    run_fieldcut_attack,
+)
+from repro.intermittent import IntermittentSpec
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_fieldcut_attack(IntermittentSpec(curve="TOY-B17",
+                                                seed=2013))
+
+
+class TestNaiveTag:
+    def test_key_is_recovered(self, outcomes):
+        naive, _ = outcomes
+        assert naive.target == "naive"
+        assert naive.responses_harvested == 2
+        assert naive.key_recovered
+        assert naive.broken
+        assert naive.recovered_x == naive.secret_x
+        assert "BROKEN" in naive.verdict()
+
+    def test_cut_lands_in_the_ack_window(self, outcomes):
+        naive, _ = outcomes
+        assert naive.cut_cycle is not None and naive.cut_cycle > 0
+
+
+class TestCheckpointingTag:
+    def test_key_is_not_recovered(self, outcomes):
+        _, durable = outcomes
+        assert durable.target == "checkpointing"
+        # The resumed tag re-emits the committed response verbatim:
+        # one distinct s, no second equation, nothing to solve.
+        assert durable.responses_harvested <= 1
+        assert not durable.key_recovered
+        assert not durable.broken
+        assert "held" in durable.verdict()
+
+    def test_probe_targets_each_variants_own_timeline(self):
+        """The naive tag finishes earlier (no NVM cycles), so the two
+        probes must find different ack windows — aiming a durable-run
+        cut at a naive tag misses entirely."""
+        attacker = FieldCutAttacker(IntermittentSpec(curve="TOY-B17",
+                                                     seed=2013))
+        naive_cut = attacker.probe(durable=False)
+        durable_cut = attacker.probe(durable=True)
+        assert naive_cut is not None and durable_cut is not None
+        assert naive_cut < durable_cut
+
+
+class TestOutcomeShape:
+    def test_verdict_for_unbroken_outcome(self):
+        outcome = FieldCutOutcome(
+            target="naive", cut_cycle=None, responses_harvested=0,
+            key_recovered=False, recovered_r=None, recovered_x=None,
+            secret_x=1)
+        assert not outcome.broken
+        assert "held" in outcome.verdict()
+
+    def test_wrong_recovery_is_not_broken(self):
+        outcome = FieldCutOutcome(
+            target="naive", cut_cycle=1, responses_harvested=2,
+            key_recovered=True, recovered_r=5, recovered_x=9,
+            secret_x=1)
+        assert not outcome.broken

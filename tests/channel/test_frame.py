@@ -99,3 +99,39 @@ class TestFieldEncodings:
                     decompress_point(TOY_B17.curve, data)
                 return
         pytest.skip("no off-curve x found in probe range")
+
+
+class TestCrcExhaustive:
+    """CRC-16/CCITT-FALSE has Hamming distance 4 at these block
+    lengths, so *every* 1- and 2-bit corruption of a small frame must
+    be detected — not probabilistically, exhaustively."""
+
+    @staticmethod
+    def _frames(payload_sizes):
+        for size in payload_sizes:
+            payload = bytes(range(size))
+            yield encode_frame(make_frame(label="s", payload=payload))
+
+    def test_all_single_bit_corruptions_detected(self):
+        for data in self._frames(range(9)):  # payloads 0..8 bytes
+            for bit in range(len(data) * 8):
+                mutated = bytearray(data)
+                mutated[bit // 8] ^= 1 << (bit % 8)
+                with pytest.raises((FrameCorruptedError, FrameFormatError)):
+                    decode_frame(bytes(mutated))
+
+    def test_all_double_bit_corruptions_detected(self):
+        # Every unordered pair of bit positions, at the smallest and
+        # largest small-frame sizes (~24k decodes; the sizes between
+        # add nothing the distance-4 argument doesn't already cover).
+        for data in self._frames((0, 8)):
+            n_bits = len(data) * 8
+            for first in range(n_bits):
+                base = bytearray(data)
+                base[first // 8] ^= 1 << (first % 8)
+                for second in range(first + 1, n_bits):
+                    mutated = bytearray(base)
+                    mutated[second // 8] ^= 1 << (second % 8)
+                    with pytest.raises(
+                            (FrameCorruptedError, FrameFormatError)):
+                        decode_frame(bytes(mutated))

@@ -1,0 +1,92 @@
+"""Tests for the ``power`` CLI group: narratives, soaks, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_DEGRADED,
+    EXIT_FAILED,
+    EXIT_OK,
+    cmd_power_run,
+    main,
+)
+
+
+class TestPowerRun:
+    def test_narrates_schedules_and_attack(self):
+        text = cmd_power_run(schedules=2)
+        assert "stable power: accepted" in text
+        assert text.count("IDENTICAL") >= 2 + 8  # seeded + aimed cuts
+        assert "DIVERGED" not in text
+        assert "naive tag BROKEN" in text
+        assert "checkpointing tag held" in text
+
+    def test_via_main(self, capsys):
+        code = main(["power", "run", "--schedules", "1", "--no-attack"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "adversarially aimed" in out
+        assert "field-cutting" not in out
+
+    def test_unknown_curve_fails(self, capsys):
+        code = main(["power", "run", "--curve", "NO-SUCH"])
+        assert code == EXIT_FAILED
+        assert "power error" in capsys.readouterr().err
+
+
+class TestPowerSoak:
+    def test_clean_soak_writes_summary(self, tmp_path, capsys):
+        directory = tmp_path / "soak"
+        code = main(["power", "soak", "--dir", str(directory),
+                     "--sessions", "4", "--workers", "1"])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "power soak" in out
+        summary = json.loads((directory / "summary.json").read_text())
+        assert summary["completed"] == 4
+        assert summary["accepted"] == 4
+        assert set(summary["outcomes"]) == {"0", "1", "2", "3"}
+
+    def test_summary_invariant_across_worker_counts(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(["power", "soak", "--dir", str(a),
+                     "--sessions", "4", "--workers", "1"]) == EXIT_OK
+        assert main(["power", "soak", "--dir", str(b),
+                     "--sessions", "4", "--workers", "3"]) == EXIT_OK
+        assert (a / "summary.json").read_bytes() == \
+            (b / "summary.json").read_bytes()
+
+    def test_exhausted_budget_degrades(self, tmp_path, capsys):
+        """Windows too short to finish: typed aborts, degraded exit
+        (once the completion floor is waived)."""
+        code = main(["power", "soak", "--dir", str(tmp_path / "d"),
+                     "--sessions", "2", "--workers", "1",
+                     "--cuts", "80", "--on-cycles", "600",
+                     "--max-power-cycles", "8",
+                     "--min-completed", "0.0"])
+        assert code == EXIT_DEGRADED
+
+    def test_completion_floor_fails(self, tmp_path, capsys):
+        code = main(["power", "soak", "--dir", str(tmp_path / "f"),
+                     "--sessions", "2", "--workers", "1",
+                     "--cuts", "80", "--on-cycles", "600",
+                     "--max-power-cycles", "8",
+                     "--min-completed", "1.0"])
+        assert code == EXIT_FAILED
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_invalid_spec_fails(self, tmp_path, capsys):
+        code = main(["power", "soak", "--dir", str(tmp_path / "x"),
+                     "--sessions", "0"])
+        assert code == EXIT_FAILED
+        assert "power error" in capsys.readouterr().err
+
+    def test_obs_flag_writes_manifest(self, tmp_path):
+        directory = tmp_path / "o"
+        code = main(["power", "soak", "--dir", str(directory),
+                     "--sessions", "2", "--workers", "1", "--obs"])
+        assert code == EXIT_OK
+        manifest = json.loads(
+            (directory / "obs" / "run.json").read_text())
+        assert manifest["kind"] == "power-soak"

@@ -1,0 +1,94 @@
+"""The DSE checkpoint-interval axis: pricing, digest stability."""
+
+import json
+
+import pytest
+
+from repro.dse import DesignSpaceSpec
+from repro.dse.engine import ExplorationEngine, analyze_space
+from repro.dse.errors import SpaceValidationError
+
+
+def make_spec(**overrides):
+    kwargs = dict(digit_sizes=(2, 4), vdd_volts=(1.0,),
+                  frequencies_hz=(847.5e3,), countermeasures=("full",),
+                  curve="TOY-B17")
+    kwargs.update(overrides)
+    return DesignSpaceSpec(**kwargs)
+
+
+class TestSpec:
+    def test_empty_axis_keeps_digest_and_dict(self):
+        spec = make_spec()
+        assert "checkpoint_intervals" not in spec.to_dict()
+        assert DesignSpaceSpec.from_dict(spec.to_dict()) == spec
+        assert make_spec(checkpoint_intervals=()).digest() == spec.digest()
+
+    def test_axis_changes_exploration_digest(self):
+        assert make_spec(checkpoint_intervals=(4, 16)).digest() != \
+            make_spec().digest()
+
+    def test_round_trip(self):
+        spec = make_spec(checkpoint_intervals=(4, 64))
+        assert DesignSpaceSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_validation(self):
+        with pytest.raises(SpaceValidationError, match="positive integers"):
+            make_spec(checkpoint_intervals=(0,))
+        with pytest.raises(SpaceValidationError, match="duplicates"):
+            make_spec(checkpoint_intervals=(8, 8))
+
+    def test_grid_size_scales(self):
+        assert make_spec().grid_size == 2
+        assert make_spec(checkpoint_intervals=(4, 16, 64)).grid_size == 6
+
+    def test_config_digest_ignores_the_axis(self):
+        base = make_spec()
+        axis = make_spec(checkpoint_intervals=(4, 16))
+        for jb, ja in zip(base.grid_jobs(), axis.grid_jobs()):
+            assert base.config_digest(jb) == axis.config_digest(ja)
+
+
+class TestAnalyze:
+    def test_repricing_uses_the_cache(self, tmp_path):
+        base = make_spec()
+        first = ExplorationEngine(str(tmp_path), base, workers=1).run()
+        assert first.evaluated == len(base.measurement_jobs())
+
+        axis = make_spec(checkpoint_intervals=(4, 64))
+        second = ExplorationEngine(str(tmp_path), axis, workers=1).run()
+        assert second.evaluated == 0  # nothing re-simulated
+        assert len(second.rows) == axis.grid_size
+
+    def test_rows_price_their_interval(self, tmp_path):
+        spec = make_spec(checkpoint_intervals=(4, 64))
+        ExplorationEngine(str(tmp_path), spec, workers=1).run()
+        rows, _ = analyze_space(str(tmp_path), spec)
+        by_interval = {}
+        for row in rows:
+            interval = row["checkpoint_interval"]
+            assert row["id"].endswith(f"-ck{interval}")
+            by_interval.setdefault(interval, []).append(row)
+        assert set(by_interval) == {4, 64}
+        for fine, coarse in zip(by_interval[4], by_interval[64]):
+            # Denser checkpoints cost more NVM energy but re-execute
+            # less after a cut; the trade is monotone on both legs.
+            assert fine["checkpoint_uj"] > coarse["checkpoint_uj"]
+            assert fine["reexec_uj"] < coarse["reexec_uj"]
+            # The priced total folds both in.
+            assert fine["energy_uj"] != coarse["energy_uj"]
+
+    def test_rows_score_the_durable_posture(self, tmp_path):
+        spec = make_spec(checkpoint_intervals=(8,))
+        ExplorationEngine(str(tmp_path), spec, workers=1).run()
+        rows, _ = analyze_space(str(tmp_path), spec)
+        for row in rows:
+            assert "power-interruption" not in row["security_open"]
+
+    def test_axis_off_rows_are_unchanged(self, tmp_path):
+        spec = make_spec()
+        ExplorationEngine(str(tmp_path), spec, workers=1).run()
+        rows, _ = analyze_space(str(tmp_path), spec)
+        assert all("checkpoint_interval" not in row for row in rows)
+        assert all("checkpoint_uj" not in row for row in rows)

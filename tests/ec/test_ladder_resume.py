@@ -1,0 +1,113 @@
+"""The suspendable ladder: bit-identical to the full run, any split."""
+
+import random
+
+import pytest
+
+from repro.ec.curves import TOY_B17, get_curve
+from repro.ec.ladder import (
+    LadderState,
+    ladder_suspend_advance,
+    ladder_suspend_init,
+    ladder_suspend_result,
+    montgomery_ladder_full,
+)
+
+DOMAIN = get_curve("TOY-B17")
+
+
+def run_suspended(k, point, z0, chunks):
+    """Run the ladder in the given step chunks, round-tripping the
+    state through its checkpoint dict between every advance."""
+    state = ladder_suspend_init(DOMAIN.curve, k, point, z0)
+    for steps in chunks:
+        state = ladder_suspend_advance(DOMAIN.curve, state, steps)
+        state = LadderState.from_dict(state.to_dict())
+    while not state.finished:
+        state = ladder_suspend_advance(DOMAIN.curve, state, 1)
+    return ladder_suspend_result(DOMAIN.curve, state)
+
+
+class TestEquivalence:
+    def test_matches_full_ladder_over_random_trials(self):
+        rng = random.Random(42)
+        ring = DOMAIN.scalar_ring
+        for _ in range(25):
+            k = ring.random_scalar(rng)
+            z0 = rng.randrange(1, DOMAIN.field.order)
+            expected = montgomery_ladder_full(
+                DOMAIN.curve, k, DOMAIN.generator, initial_z=z0).result
+            got = run_suspended(k, DOMAIN.generator, z0,
+                                chunks=[rng.randrange(1, 6)
+                                        for _ in range(4)])
+            assert got == expected
+
+    def test_registers_match_uninterrupted_run_exactly(self):
+        """Not just the result point: the frozen registers after N
+        steps equal the full ladder's N-th iteration registers."""
+        k, z0 = 0x1234 % DOMAIN.order, 7
+        full = montgomery_ladder_full(DOMAIN.curve, k, DOMAIN.generator,
+                                      initial_z=z0)
+        state = ladder_suspend_init(DOMAIN.curve, k, DOMAIN.generator, z0)
+        for iteration in full.iterations:
+            state = ladder_suspend_advance(DOMAIN.curve, state, 1)
+            assert (state.x1, state.z1, state.x2, state.z2) == \
+                (iteration.X1, iteration.Z1, iteration.X2, iteration.Z2)
+
+    def test_advance_is_pure(self):
+        state = ladder_suspend_init(DOMAIN.curve, 0x55 % DOMAIN.order,
+                                    DOMAIN.generator, 3)
+        before = state.to_dict()
+        ladder_suspend_advance(DOMAIN.curve, state, 5)
+        assert state.to_dict() == before
+
+    def test_overshooting_steps_is_harmless(self):
+        k = 0x31 % DOMAIN.order
+        expected = montgomery_ladder_full(DOMAIN.curve, k,
+                                          DOMAIN.generator,
+                                          initial_z=1).result
+        state = ladder_suspend_init(DOMAIN.curve, k, DOMAIN.generator, 1)
+        state = ladder_suspend_advance(DOMAIN.curve, state, 10_000)
+        assert state.finished
+        assert ladder_suspend_result(DOMAIN.curve, state) == expected
+
+
+class TestStateAccounting:
+    def test_progress_counters(self):
+        k = 0b1011  # 4 bits -> 3 iterations
+        state = ladder_suspend_init(DOMAIN.curve, k, DOMAIN.generator, 1)
+        assert state.steps_total == 3
+        assert state.steps_done == 0
+        state = ladder_suspend_advance(DOMAIN.curve, state, 2)
+        assert state.steps_done == 2
+        assert not state.finished
+
+    def test_checkpoint_dict_round_trip(self):
+        state = ladder_suspend_init(DOMAIN.curve, 0x19 % DOMAIN.order,
+                                    DOMAIN.generator, 5)
+        state = ladder_suspend_advance(DOMAIN.curve, state, 2)
+        assert LadderState.from_dict(state.to_dict()) == state
+
+
+class TestContract:
+    def test_degenerate_inputs_rejected(self):
+        from repro.ec.point import AffinePoint
+
+        with pytest.raises(ValueError):
+            ladder_suspend_init(DOMAIN.curve, 0, DOMAIN.generator, 1)
+        with pytest.raises(ValueError):
+            ladder_suspend_init(DOMAIN.curve, 5,
+                                AffinePoint.infinity(), 1)
+        with pytest.raises(ValueError):
+            ladder_suspend_init(DOMAIN.curve, 5, DOMAIN.generator, 0)
+
+    def test_result_before_finish_rejected(self):
+        state = ladder_suspend_init(DOMAIN.curve, 0x55 % DOMAIN.order,
+                                    DOMAIN.generator, 1)
+        with pytest.raises(ValueError, match="iterations to run"):
+            ladder_suspend_result(DOMAIN.curve, state)
+
+    def test_negative_advance_rejected(self):
+        state = ladder_suspend_init(DOMAIN.curve, 3, DOMAIN.generator, 1)
+        with pytest.raises(ValueError):
+            ladder_suspend_advance(DOMAIN.curve, state, -1)

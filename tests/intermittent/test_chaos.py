@@ -1,0 +1,94 @@
+"""Chaos tests: aimed cuts, and the nonce-lifecycle matrix.
+
+The matrix test is the PR's core safety claim, stated as a wire
+property: across 1000 seeded power-cut schedules and both ladder
+variants, no epoch's nonce ever pairs with two distinct responses on
+the wire — the commit-before-use ordering holds under *any* cut
+placement, not just the adversarially aimed ones.
+"""
+
+import pytest
+
+from repro.intermittent import (
+    ADVERSARIAL_EVENTS,
+    IntermittentSpec,
+    PowerCutSchedule,
+    adversarial_schedules,
+    probe_timeline,
+    run_with_schedule,
+)
+
+SPEC = IntermittentSpec(curve="TOY-B17", seed=2013)
+
+
+def distinct_responses_per_epoch(result):
+    """epoch -> distinct s payloads that crossed the air."""
+    seen = {}
+    for _sender, epoch, label, payload in result.wire:
+        if label == "s":
+            seen.setdefault(epoch, set()).add(payload)
+    return seen
+
+
+class TestSeededSchedules:
+    def test_schedules_are_deterministic(self):
+        a = PowerCutSchedule.seeded(7, 3, 4, mean_on_cycles=8000)
+        b = PowerCutSchedule.seeded(7, 3, 4, mean_on_cycles=8000)
+        assert a == b
+        assert a != PowerCutSchedule.seeded(8, 3, 4, mean_on_cycles=8000)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            PowerCutSchedule(windows=(0,))
+        with pytest.raises(ValueError):
+            PowerCutSchedule.seeded(0, 0, -1)
+
+
+class TestAdversarialSchedules:
+    def test_every_event_gets_a_schedule(self):
+        timeline = probe_timeline(SPEC)
+        schedules = adversarial_schedules(timeline)
+        assert set(schedules) == {label for label, _ in ADVERSARIAL_EVENTS}
+
+    def test_aimed_cuts_preserve_the_outcome(self):
+        reference = run_with_schedule(SPEC, 0, PowerCutSchedule())
+        for label, schedule in \
+                adversarial_schedules(probe_timeline(SPEC)).items():
+            result = run_with_schedule(SPEC, 0, schedule)
+            assert result.completed, label
+            assert result.outcome_digest == reference.outcome_digest, label
+            assert max(map(len, distinct_responses_per_epoch(
+                result).values()), default=0) <= 1, label
+
+    def test_cut_mid_stage_is_counted_torn(self):
+        schedules = adversarial_schedules(probe_timeline(SPEC))
+        result = run_with_schedule(SPEC, 0, schedules["response-staged"])
+        assert result.completed
+        assert result.torn_discards == 1
+
+
+class TestNonceLifecycleMatrix:
+    @pytest.mark.parametrize("randomize_z", [True, False],
+                            ids=["rpc", "plain-z"])
+    def test_no_nonce_reuse_across_1000_schedules(self, randomize_z):
+        """1000 seeded cut schedules per ladder variant: zero nonce
+        reuse on the wire, zero corrupted checkpoints, and every
+        completing run lands on the baseline outcome digest."""
+        spec = IntermittentSpec(curve="TOY-B17", seed=2013,
+                                randomize_z=randomize_z)
+        reference = run_with_schedule(spec, 0, PowerCutSchedule())
+        completions = 0
+        for chaos_seed in range(1000):
+            schedule = PowerCutSchedule.seeded(
+                chaos_seed, 0, cuts=3, mean_on_cycles=8000)
+            result = run_with_schedule(spec, 0, schedule)
+            per_epoch = distinct_responses_per_epoch(result)
+            assert all(len(s) <= 1 for s in per_epoch.values()), chaos_seed
+            if result.completed:
+                completions += 1
+                assert result.outcome_digest == reference.outcome_digest, \
+                    chaos_seed
+            else:
+                assert result.abort_reason is not None, chaos_seed
+        # The matrix must actually exercise completion paths.
+        assert completions > 900

@@ -1,0 +1,106 @@
+"""Tests for the two-phase checkpoint store and the nonce vault."""
+
+import pytest
+
+from repro.intermittent import (
+    CheckpointStore,
+    NVMModel,
+    NonceVault,
+    PowerLossError,
+    PowerSupply,
+)
+from repro.protocols.peeters_hermans import NonceConsumedError
+
+
+def stable_store(**nvm_kwargs):
+    return CheckpointStore(PowerSupply(windows=()),
+                           NVMModel(**nvm_kwargs) if nvm_kwargs else None)
+
+
+class TestTwoPhaseCommit:
+    def test_checkpoint_round_trip(self):
+        store = stable_store()
+        store.checkpoint("session", {"phase": "respond", "epoch": 0})
+        assert store.restore("session") == {"phase": "respond", "epoch": 0}
+        assert store.commits == 1
+
+    def test_staged_is_invisible_until_committed(self):
+        store = stable_store()
+        store.checkpoint("session", {"phase": "commit"})
+        store.stage("session", {"phase": "respond"})
+        assert store.restore("session") == {"phase": "commit"}
+        store.commit("session")
+        assert store.restore("session") == {"phase": "respond"}
+
+    def test_commit_without_stage_rejected(self):
+        with pytest.raises(ValueError, match="without a staged"):
+            stable_store().commit("session")
+
+    def test_energy_and_cycles_accrue(self):
+        store = stable_store()
+        store.checkpoint("session", {"phase": "commit"})
+        assert store.energy_uj > 0
+        assert store.cycles > 0
+        assert store.supply.cycle == store.cycles
+
+    def test_cut_mid_stage_leaves_torn_staged_copy(self):
+        # Window sized to die inside the byte-programming loop.
+        nvm = NVMModel()
+        supply = PowerSupply(windows=(3 * nvm.write_cycles_per_byte,))
+        store = CheckpointStore(supply, nvm)
+        with pytest.raises(PowerLossError):
+            store.stage("session", {"phase": "respond", "epoch": 0})
+        supply.restart()
+        assert store.discard_staged() == 1
+        assert store.torn_discards == 1
+        # The previously committed record (none) is untouched.
+        assert store.restore("session") is None
+
+    def test_cut_mid_commit_keeps_previous_record(self):
+        nvm = NVMModel()
+        store = stable_store()
+        store.checkpoint("session", {"phase": "commit"})
+        stage_cost = nvm.stage_cycles(len(b'{"phase":"a"}'))
+        # Die inside the flush barrier: stage fits, commit does not.
+        supply = PowerSupply(windows=(stage_cost + nvm.fsync_cycles // 2,))
+        torn = CheckpointStore(supply, nvm)
+        torn.stage("session", {"phase": "a"})
+        with pytest.raises(PowerLossError):
+            torn.commit("session")
+        supply.restart()
+        torn.discard_staged()
+        assert torn.restore("session") is None  # never half-applied
+        assert store.restore("session") == {"phase": "commit"}
+
+    def test_torn_stage_refuses_commit(self):
+        nvm = NVMModel()
+        supply = PowerSupply(windows=(3 * nvm.write_cycles_per_byte,))
+        store = CheckpointStore(supply, nvm)
+        with pytest.raises(PowerLossError):
+            store.stage("session", {"phase": "respond", "epoch": 0})
+        supply.restart()
+        with pytest.raises(ValueError, match="torn"):
+            store.commit("session")
+
+
+class TestNonceVault:
+    def test_nonce_round_trip_per_epoch(self):
+        vault = NonceVault(stable_store())
+        vault.commit_nonce(0, 0x1234)
+        assert vault.committed_nonce(0) == 0x1234
+        assert vault.committed_nonce(1) is None
+
+    def test_consumed_marker_freezes_the_response(self):
+        vault = NonceVault(stable_store())
+        vault.commit_nonce(0, 0x1234)
+        vault.commit_response(0, 0x77)
+        assert vault.consumed_response(0) == 0x77
+        with pytest.raises(NonceConsumedError):
+            vault.assert_unconsumed(0)
+        with pytest.raises(NonceConsumedError):
+            vault.commit_response(0, 0x78)  # a second s can never land
+
+    def test_fresh_epoch_is_unconsumed(self):
+        vault = NonceVault(stable_store())
+        vault.commit_response(0, 0x77)
+        vault.assert_unconsumed(1)  # does not raise
