@@ -34,9 +34,13 @@ from ..campaign.chaos import (CHAOS_CRASH_EXIT_CODE, ChaosConfig,
 from ..campaign.store import _atomic_write_bytes, file_digest
 from ..channel import LossProfile, derive_channel_seed
 from ..obs import runtime as _obs_runtime
+from ..obs.alerts import ALERTS_NAME, default_rulebook, write_alert_log
 from ..obs.metrics import MetricRegistry, strip_wall_metrics
+from ..obs.stream import (TELEMETRY_NAME, make_event, run_pipeline,
+                          spread_drain_events, write_telemetry)
 from ..protocols.session import RetransmissionPolicy
-from .defense import DefenseConfig, WakeUpRadio, defense_config
+from .defense import (DEFENSE_SETS, DefenseConfig, WakeUpRadio,
+                      defense_config)
 from .engine import (ADVERSARY_NAMES, SESSION_KINDS, run_attack_session)
 from .errors import AdversaryError
 
@@ -201,7 +205,12 @@ def simulate_attack_cohort(spec: AttackSpec, cohort_index: int, *,
         results.append(result)
         if crash_after is not None and len(results) >= crash_after:
             # Die the way a killed worker does: torn temp file,
-            # no result, the tag abandoned mid-flood.
+            # no result, the tag abandoned mid-flood.  The flight
+            # recorder dumps first — the black box is the only
+            # telemetry that survives the kill.
+            _obs_runtime.flight_dump(
+                "chaos-kill", cohort=cohort_index,
+                sessions_completed=len(results))
             if crash_tmp_path is not None:
                 try:
                     with open(crash_tmp_path, "wb") as f:
@@ -216,6 +225,20 @@ def simulate_attack_cohort(spec: AttackSpec, cohort_index: int, *,
     tag_uj = adversary_uj = 0.0
     epochs = frames = replays = stale = wake_refusals = 0
     budget_refusals = 0
+    source = f"tag-{cohort_index:05d}"
+    window_s = telemetry_window_s(spec)
+    telemetry = []
+    for result in results:
+        telemetry.append(
+            make_event(result.started_at, source, result.session_index,
+                       session_uj=result.tag_uj,
+                       budget_refusals=result.budget_refusals,
+                       replay_rejections=result.replay_rejections))
+        # The battery's view: the same charge, pro-rated over the
+        # windows the session actually occupied.
+        telemetry.extend(spread_drain_events(
+            result.started_at, source, result.session_index,
+            result.tag_uj, result.elapsed_s, window_s))
     for result in results:
         if result.outcome not in by_outcome:
             raise AdversaryError(
@@ -259,6 +282,7 @@ def simulate_attack_cohort(spec: AttackSpec, cohort_index: int, *,
         "peak_window_uj": round(budget.peak_window_uj, 6)
         if budget is not None else round(tag_uj, 6),
         "elapsed_virtual_s": round(clock, 6),
+        "telemetry": telemetry,
         "metrics": strip_wall_metrics(registry.snapshot()),
     }
 
@@ -315,6 +339,30 @@ def run_attack_cohort(spec_dict: dict, directory: str,
     }
 
 
+def telemetry_window_s(spec: AttackSpec) -> float:
+    """The soak's telemetry window: the defense's budget window when a
+    cap is configured, the stock ``budget-cap`` window otherwise."""
+    defense = spec.defense_config()
+    if defense.budget_enabled:
+        return defense.budget_window_s
+    return DEFENSE_SETS["budget-cap"]["budget_window_s"]
+
+
+def attack_rulebook(spec: AttackSpec):
+    """The soak's alert rulebook: the defense's own budget knobs when
+    a cap is configured, the stock ``budget-cap`` sizing otherwise —
+    so an *undefended* soak is still watched by the thresholds the
+    defended posture would have enforced (detection needs no defense
+    and no attacker oracle, only telemetry)."""
+    defense = spec.defense_config()
+    if defense.budget_enabled:
+        cap, window = defense.budget_cap_uj, defense.budget_window_s
+    else:
+        stock = DEFENSE_SETS["budget-cap"]
+        cap, window = stock["budget_cap_uj"], stock["budget_window_s"]
+    return default_rulebook(cap_uj=cap, window_s=window)
+
+
 # ----------------------------------------------------------------------
 # the coordinator
 # ----------------------------------------------------------------------
@@ -342,6 +390,8 @@ class AttackReport:
     peak_window_uj: float = 0.0
     wake_refusals: int = 0
     budget_refusals: int = 0
+    alert_firings: int = 0
+    session_uj_p99: Optional[float] = None
     summary_path: str = ""
     wall_s: float = 0.0
 
@@ -371,6 +421,10 @@ class AttackReport:
             f"  defenses  {self.wake_refusals} wakes refused, "
             f"{self.budget_refusals} budget refusals, peak window "
             f"{self.peak_window_uj:.1f} uJ",
+            f"  telemetry {self.alert_firings} alert firing(s), "
+            f"session p99 "
+            + (f"{self.session_uj_p99:.1f} uJ"
+               if self.session_uj_p99 is not None else "-"),
             f"  retries   {self.retried_attempts} worker attempts "
             f"beyond the first",
             f"  wall      {self.wall_s:.1f} s",
@@ -419,6 +473,7 @@ def run_attack_soak(directory: str, spec: AttackSpec, *,
 
     merged = MetricRegistry()
     cohort_summaries = []
+    telemetry_events = []
     report = AttackReport(
         outcome="degraded" if quarantined else "clean",
         spec_digest=spec.digest(),
@@ -436,8 +491,9 @@ def run_attack_soak(directory: str, spec: AttackSpec, *,
         with open(path, "r", encoding="utf-8") as f:
             payload = json.load(f)
         merged.merge_snapshot(payload["metrics"])
+        telemetry_events.extend(payload.get("telemetry", ()))
         cohort_summaries.append({k: v for k, v in payload.items()
-                                 if k != "metrics"})
+                                 if k not in ("metrics", "telemetry")})
         report.sessions += payload["sessions"]
         for key in ATTACK_OUTCOMES:
             report.outcomes[key] += payload["outcomes"].get(key, 0)
@@ -455,6 +511,20 @@ def run_attack_soak(directory: str, spec: AttackSpec, *,
     report.amplification = round(
         report.tag_energy_uj / report.adversary_energy_uj, 6) \
         if report.adversary_energy_uj > 0 else 0.0
+
+    # Live telemetry: fold every cohort's ordered event stream through
+    # the aggregator + default rulebook.  Events are pure functions of
+    # (spec, cohort) and the fold order is total, so telemetry.json
+    # and alerts.json are byte-identical across worker counts too.
+    rules = attack_rulebook(spec)
+    live, alert_records = run_pipeline(telemetry_events, rules,
+                                       window_s=rules[0].window_s)
+    write_telemetry(os.path.join(directory, TELEMETRY_NAME), live)
+    alert_log = write_alert_log(
+        os.path.join(directory, ALERTS_NAME), rules, alert_records)
+    session_uj = live["series"].get("session_uj", {})
+    report.alert_firings = alert_log["firings"]
+    report.session_uj_p99 = session_uj.get("p99")
 
     summary = {
         "schema_version": _SCHEMA_VERSION,
@@ -475,6 +545,16 @@ def run_attack_soak(directory: str, spec: AttackSpec, *,
             "adversary_energy_uj": report.adversary_energy_uj,
             "amplification": report.amplification,
             "peak_window_uj": round(report.peak_window_uj, 6),
+        },
+        "telemetry": {
+            "events": live["events"],
+            "session_uj": {key: session_uj.get(key)
+                           for key in ("count", "p50", "p95", "p99",
+                                       "max")},
+            "alerts": {
+                "firings": alert_log["firings"],
+                "by_rule": alert_log["firings_by_rule"],
+            },
         },
         "metrics": strip_wall_metrics(merged.snapshot()),
     }

@@ -559,6 +559,16 @@ class ShardSupervisor:
             return True
         if slot.deadline is not None and time.monotonic() >= slot.deadline:
             self._kill(slot)
+            # The worker is gone and took its telemetry with it; the
+            # coordinator dumps its own black box with the failure
+            # context so the hang leaves a post-mortem artifact (see
+            # repro.obs.flightrec).
+            from ..obs import runtime as _obs_runtime
+
+            _obs_runtime.flight_dump(
+                "watchdog", tag=f"watchdog-{slot.shard:05d}",
+                shard=slot.shard, attempt=slot.attempt,
+                timeout_s=self.shard_timeout)
             self._failed(slot.shard, slot.attempt, TRANSIENT,
                          f"watchdog: no result within "
                          f"{self.shard_timeout:.1f}s; worker killed",

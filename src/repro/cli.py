@@ -39,7 +39,8 @@ __all__ = ["main", "cmd_info", "cmd_energy", "cmd_area", "cmd_listing",
            "cmd_campaign_attack", "cmd_campaign_doctor",
            "cmd_dse_explore", "cmd_dse_pareto", "cmd_dse_report",
            "cmd_protocol_run", "cmd_protocol_soak",
-           "cmd_obs_report", "cmd_obs_diff",
+           "cmd_obs_report", "cmd_obs_diff", "cmd_obs_tail",
+           "cmd_obs_alerts", "cmd_obs_trend",
            "cmd_server_enroll", "cmd_server_run", "cmd_server_soak",
            "cmd_attack_run", "cmd_attack_soak",
            "cmd_power_run", "cmd_power_soak",
@@ -321,16 +322,22 @@ def cmd_campaign_doctor(directory: str, clear: bool = False,
                         last: int = 10) -> str:
     """Inspect (and optionally repair) a campaign's failure state.
 
-    Prints the failure-log tally, the ``last`` most recent events and
-    the quarantine roster; ``--clear`` releases quarantined shards so
-    the next ``acquire`` retries them.
+    Prints the failure-log tally, the ``last`` most recent events,
+    the quarantine roster and any crash flight-recorder dumps the
+    traced run left behind; ``--clear`` releases quarantined shards
+    so the next ``acquire`` retries them.
     """
+    import os as _os
+
     from .campaign.supervisor import FailureLog, Quarantine
+    from .obs.flightrec import load_flight_dumps
+    from .obs.runtime import OBS_DIRNAME
 
     log = FailureLog(directory)
     quarantine = Quarantine(directory)
+    flights = load_flight_dumps(_os.path.join(directory, OBS_DIRNAME))
     lines = [f"campaign {directory}: doctor report"]
-    if not log.exists and not quarantine.entries():
+    if not log.exists and not quarantine.entries() and not flights:
         lines.append("  no recorded failures — campaign is healthy")
         return "\n".join(lines)
     events = log.events()
@@ -372,6 +379,16 @@ def cmd_campaign_doctor(directory: str, clear: bool = False,
             )
     else:
         lines.append("  quarantine: empty")
+    if flights:
+        lines.append(f"  {len(flights)} flight-recorder dump(s) "
+                     "(last spans before each death):")
+        for file_name, payload in flights:
+            context = ", ".join(f"{k}={v}" for k, v in
+                                sorted(payload.get("context", {}).items()))
+            lines.append(
+                f"    {file_name}: {payload['reason']}"
+                + (f" ({context})" if context else "")
+                + f" — {len(payload.get('records', []))} record(s)")
     return "\n".join(lines)
 
 
@@ -743,6 +760,127 @@ def cmd_obs_diff(path_a: str, path_b: str, patterns=None,
     return output, EXIT_FAILED if regressions else EXIT_OK
 
 
+def _telemetry_file(directory: str, name: str) -> str:
+    """``<dir>/<name>`` or ``<dir>/obs/<name>`` — soaks write their
+    telemetry next to the summary, traced runs under ``obs/``."""
+    import os as _os
+
+    from .obs.runtime import OBS_DIRNAME
+
+    for candidate in (directory, _os.path.join(directory, OBS_DIRNAME)):
+        path = _os.path.join(candidate, name)
+        if _os.path.exists(path):
+            return path
+    raise FileNotFoundError(
+        f"no {name} under {directory} (directly or in "
+        f"'{OBS_DIRNAME}/') — was the soak run with telemetry "
+        "(any attack/server soak writes it)?")
+
+
+def cmd_obs_tail(directory: str, as_json: bool = False) -> "tuple[str, int]":
+    """Render a run's live telemetry snapshot; ``(report, code)``.
+
+    Shows every telemetry series with its count/sum/min/max, the
+    derived p50/p95/p99 and the peak per-source window, then lists
+    any crash flight-recorder dumps.  ``EXIT_FAILED`` (via the
+    dispatcher) when the run recorded no telemetry.
+    """
+    import json as _json
+    import os as _os
+
+    from .obs.flightrec import load_flight_dumps
+    from .obs.runtime import OBS_DIRNAME
+    from .obs.stream import TELEMETRY_NAME
+
+    path = _telemetry_file(directory, TELEMETRY_NAME)
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = _json.load(f)
+    if as_json:
+        return _json.dumps(snapshot, indent=1, sort_keys=True), EXIT_OK
+    lines = [
+        f"obs tail: {path}",
+        f"  {snapshot.get('events', 0)} event(s) from "
+        f"{len(snapshot.get('sources', []))} source(s), "
+        f"window {snapshot.get('window_s')} s",
+    ]
+    for name, entry in sorted(snapshot.get("series", {}).items()):
+
+        def fmt(key):
+            value = entry.get(key)
+            return "-" if value is None else f"{value:g}"
+
+        lines.append(
+            f"  {name:<24} n={entry['count']:<6} sum={fmt('sum'):<12}"
+            f"p50={fmt('p50'):<10}p95={fmt('p95'):<10}"
+            f"p99={fmt('p99'):<10}max={fmt('max')}")
+        peak = entry.get("peak_window")
+        if peak is not None:
+            lines.append(
+                f"    peak window {peak['window']}: "
+                f"{peak['sum']:g} from {peak['source']}")
+    dumps = []
+    for candidate in (directory, _os.path.join(directory, OBS_DIRNAME)):
+        dumps = load_flight_dumps(candidate)
+        if dumps:
+            break
+    if dumps:
+        lines.append(f"  {len(dumps)} flight-recorder dump(s):")
+        for file_name, payload in dumps:
+            lines.append(
+                f"    {file_name}: {payload['reason']}, "
+                f"{len(payload.get('records', []))} record(s) "
+                f"(of {payload.get('recorded', 0)} recorded)")
+    else:
+        lines.append("  no flight-recorder dumps — no worker died")
+    return "\n".join(lines), EXIT_OK
+
+
+def cmd_obs_alerts(directory: str,
+                   as_json: bool = False) -> "tuple[str, int]":
+    """Render a run's alert log; ``(report, exit_code)``.
+
+    ``EXIT_OK`` when every rule stayed silent, ``EXIT_DEGRADED`` when
+    any alert fired (CI treats a firing like a degraded soak), and
+    ``EXIT_FAILED`` (via the dispatcher) when no alert log exists.
+    """
+    import json as _json
+
+    from .obs.alerts import ALERTS_NAME, load_alert_log, render_alert_log
+
+    path = _telemetry_file(directory, ALERTS_NAME)
+    payload = load_alert_log(path)
+    code = EXIT_DEGRADED if payload.get("firings", 0) else EXIT_OK
+    if as_json:
+        return _json.dumps(payload, indent=1, sort_keys=True), code
+    return f"obs alerts: {path}\n" + render_alert_log(payload), code
+
+
+def cmd_obs_trend(results_dir: str, label=None, write: bool = True,
+                  as_json: bool = False) -> "tuple[str, int]":
+    """Fold ``BENCH_*.json`` into the trend log; ``(report, code)``.
+
+    Idempotent: a bench whose figures did not change since the last
+    fold gains no history entry, so re-running after an unchanged
+    bench refresh leaves the trend file byte-identical.
+    """
+    import json as _json
+    import os as _os
+
+    from .obs import trend as obs_trend
+
+    if not _os.path.isdir(results_dir):
+        raise FileNotFoundError(f"no results directory {results_dir}")
+    trend, folded = obs_trend.fold_trend(results_dir, label=label)
+    if write:
+        obs_trend.write_trend(results_dir, trend)
+    if as_json:
+        return _json.dumps(trend, indent=1, sort_keys=True), EXIT_OK
+    output = obs_trend.render_trend(trend)
+    output += ("\n  folded new entry for: " + ", ".join(folded)
+               if folded else "\n  no figure changed — trend untouched")
+    return output, EXIT_OK
+
+
 # ----------------------------------------------------------------------
 # server verbs
 # ----------------------------------------------------------------------
@@ -850,17 +988,23 @@ def cmd_server_run(spec, metrics_port=None, serve_seconds: float = 0.0,
     import time as _time
 
     from .obs.metrics import MetricRegistry
+    from .obs.stream import StreamAggregator, run_pipeline
     from .server import MetricsServer
-    from .server.soak import simulate_cohort
+    from .server.soak import simulate_cohort, soak_rulebook
 
     registry = MetricRegistry()
+    rules = soak_rulebook(spec)
+    stream = StreamAggregator(window_s=rules[0].window_s)
     exporter = None
     lines = []
     if metrics_port is not None:
-        exporter = MetricsServer(registry, port=metrics_port).start()
+        exporter = MetricsServer(registry, port=metrics_port,
+                                 stream=stream).start()
         print(f"serving metrics at {exporter.url}", flush=True)
     try:
         payload = simulate_cohort(spec, 0, registry=registry)
+        live, alert_records = run_pipeline(
+            payload.get("telemetry", ()), rules, aggregator=stream)
         outcomes = payload["outcomes"]
         lines.append(
             f"served {payload['sessions']} session(s): "
@@ -877,6 +1021,13 @@ def cmd_server_run(spec, metrics_port=None, serve_seconds: float = 0.0,
         lines.append(
             f"  energy: tag {payload['tag_energy_uj']:.1f} uJ, "
             f"reader {payload['reader_energy_uj']:.1f} uJ"
+        )
+        firings = sorted({r["rule"] for r in alert_records
+                          if r["state"] == "firing"})
+        lines.append(
+            f"  telemetry: {live['events']} event(s), "
+            + (f"ALERTS FIRING: {', '.join(firings)}" if firings
+               else "no alert fired")
         )
         if not quiet and exporter is not None and serve_seconds > 0:
             lines.append(f"  serving /metrics for another "
@@ -1365,6 +1516,35 @@ def main(argv=None) -> int:
                        help="exit 1 when any metric rose by more than "
                             "this percentage")
 
+    otail = overbs.add_parser(
+        "tail", help="live telemetry snapshot + flight-recorder dumps"
+    )
+    otail.add_argument("--dir", required=True,
+                       help="soak/run directory holding telemetry.json")
+    otail.add_argument("--json", action="store_true",
+                       help="raw snapshot JSON")
+
+    oalerts = overbs.add_parser(
+        "alerts", help="alert log of one soak (exit 3 when any fired)"
+    )
+    oalerts.add_argument("--dir", required=True,
+                         help="soak/run directory holding alerts.json")
+    oalerts.add_argument("--json", action="store_true",
+                         help="raw alert-log JSON")
+
+    otrend = overbs.add_parser(
+        "trend", help="fold BENCH_*.json into the bench trend log"
+    )
+    otrend.add_argument("--results", default="results",
+                        help="results directory (default: results/)")
+    otrend.add_argument("--label", default=None,
+                        help="name for newly folded entries "
+                             "(e.g. a git rev)")
+    otrend.add_argument("--no-write", action="store_true",
+                        help="render only; do not update the trend file")
+    otrend.add_argument("--json", action="store_true",
+                        help="raw trend JSON")
+
     server = sub.add_parser(
         "server", help="fleet-scale private-identification service"
     )
@@ -1621,10 +1801,19 @@ def _obs_main(args) -> int:
                                  (args.require_metrics or "").split(",")
                                  if s],
             )
-        else:
+        elif args.verb == "diff":
             output, code = cmd_obs_diff(
                 args.a, args.b, patterns=args.filter,
                 max_regression=args.max_regression,
+            )
+        elif args.verb == "tail":
+            output, code = cmd_obs_tail(args.dir, as_json=args.json)
+        elif args.verb == "alerts":
+            output, code = cmd_obs_alerts(args.dir, as_json=args.json)
+        else:
+            output, code = cmd_obs_trend(
+                args.results, label=args.label,
+                write=not args.no_write, as_json=args.json,
             )
     except FileNotFoundError as exc:
         print(f"obs error: {exc}", file=sys.stderr)

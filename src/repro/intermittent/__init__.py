@@ -29,6 +29,7 @@ from .engine import (
     IntermittentResult,
     IntermittentSession,
     IntermittentSpec,
+    count_nonce_reuse,
     run_intermittent_session,
 )
 from .errors import (
@@ -68,6 +69,7 @@ __all__ = [
     "adversarial_schedules",
     "derive_supply_value",
     "probe_timeline",
+    "count_nonce_reuse",
     "run_intermittent_session",
     "run_with_schedule",
 ]

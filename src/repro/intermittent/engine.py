@@ -533,6 +533,26 @@ class IntermittentSession:
         return hashlib.sha256(payload).hexdigest()
 
 
+def count_nonce_reuse(wire) -> int:
+    """Nonce reuses visible on one session's wire transcript.
+
+    A reuse is the same epoch nonce answering two *different*
+    challenges — i.e. more than one distinct ``s`` payload under one
+    epoch.  A checkpointing tag that resumes re-emits the
+    byte-identical ``s`` (distinct count stays 1, whatever the cut
+    schedule), so this count is placement-invariant and zero whenever
+    the commit-before-use vault invariant holds; the naive RAM-only
+    tag under fresh challenges counts its leak here (see
+    :mod:`repro.adversary.fieldcut`).  This is the ``nonce_reuse``
+    telemetry series the stock rulebook's invariant rule watches.
+    """
+    distinct: Dict[int, set] = {}
+    for _sender, epoch, label, payload in wire:
+        if label == "s":
+            distinct.setdefault(epoch, set()).add(bytes(payload))
+    return sum(len(values) - 1 for values in distinct.values())
+
+
 def run_intermittent_session(
     spec: IntermittentSpec,
     session_index: int = 0,
@@ -576,4 +596,12 @@ def run_intermittent_session(
     from ..obs.integration import record_intermittent_result
 
     record_intermittent_result(rt.registry, result)
+    if result.abort_reason:
+        # The session died for good (power-cycle budget exhausted):
+        # dump the black box so the post-mortem sees the final spans.
+        rt.flight_dump("power-loss",
+                       tag=f"session-{session_index:05d}",
+                       session=session_index,
+                       abort_reason=result.abort_reason,
+                       power_cycles=result.power_cycles)
     return result

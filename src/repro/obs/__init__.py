@@ -13,7 +13,11 @@ reproduction.  Three pillars, one API:
   counters/gauges/fixed-bucket histograms with a Prometheus-text
   exporter and diffable JSON snapshots;
 * **profiling** (:mod:`.profile`) — opt-in perf_counter timers on the
-  hot paths, feeding the same histograms.
+  hot paths, feeding the same histograms;
+* **live telemetry** (:mod:`.stream`, :mod:`.alerts`,
+  :mod:`.flightrec`) — ordered seeded metric deltas folded in virtual
+  time, a deterministic alert-rule engine with hysteresis, and a
+  bounded crash flight recorder dumped on power loss or chaos kill.
 
 Nothing here depends on anything outside the stdlib; the rest of the
 package depends on it (guarded, so tracing off costs one global
@@ -23,6 +27,12 @@ propagation, :mod:`.report` reads a finished run back, and
 status`` and ``protocol soak``.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    default_rulebook,
+)
+from .flightrec import FlightRecorder
 from .metrics import (
     Counter,
     Gauge,
@@ -32,6 +42,7 @@ from .metrics import (
     diff_snapshots,
     strip_wall_metrics,
 )
+from .quantile import estimate_quantile
 from .runtime import (
     ObsRuntime,
     configure,
@@ -41,13 +52,26 @@ from .runtime import (
     shard_scope,
     shutdown,
 )
+from .stream import (
+    StreamAggregator,
+    make_event,
+    render_stream_exposition,
+    run_pipeline,
+    sort_events,
+    spread_drain_events,
+)
 from .tracing import Span, SpanWriter, Tracer, derive_span_id, \
     derive_trace_id
 
 __all__ = [
+    "AlertEngine", "AlertRule", "default_rulebook",
+    "FlightRecorder",
     "Counter", "Gauge", "Histogram", "MetricError", "MetricRegistry",
     "diff_snapshots", "strip_wall_metrics",
+    "estimate_quantile",
     "ObsRuntime", "configure", "current", "enabled", "session",
     "shard_scope", "shutdown",
+    "StreamAggregator", "make_event", "render_stream_exposition",
+    "run_pipeline", "sort_events", "spread_drain_events",
     "Span", "SpanWriter", "Tracer", "derive_span_id", "derive_trace_id",
 ]

@@ -223,6 +223,19 @@ class Histogram(_Metric):
             return 0.0
         return state.sum / state.count
 
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Estimated q-quantile of one series (upper-bound
+        interpolation; error bounded by one bucket width — see
+        :mod:`repro.obs.quantile`).  None when the series is empty."""
+        from .quantile import estimate_quantile
+
+        state = self.state(**labels)
+        if state is None or state.count == 0:
+            return None
+        return estimate_quantile(
+            self.buckets, state.bucket_counts, state.count,
+            state.min, state.max, q)
+
 
 class MetricRegistry:
     """Get-or-create home of every metric in one process (or shard)."""

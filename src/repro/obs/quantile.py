@@ -1,0 +1,184 @@
+"""Fixed-bucket quantile estimation for obs histograms.
+
+The metric layer's histograms (:class:`repro.obs.metrics.Histogram`)
+store non-cumulative counts over fixed upper-bound buckets plus exact
+``min``/``max``/``sum``/``count`` — deliberately no raw samples, so a
+million-session soak costs a few hundred bytes of state.  Percentiles
+are therefore *estimates*, reconstructed by upper-bound interpolation:
+
+1. the target rank is ``ceil(q * count)`` (the smallest sample index
+   whose cumulative probability reaches ``q``);
+2. walk the cumulative bucket counts to the bucket containing that
+   rank; the overflow bucket (samples above the last upper bound) is
+   bounded by the exact observed ``max``;
+3. interpolate linearly between the bucket's lower and upper edge at
+   the rank's fractional position, then clamp to the exact observed
+   ``[min, max]``.
+
+**Error bound** (documented, tested): the true sample at the target
+rank lies inside the same bucket, so the estimate is off by at most
+one bucket width — ``hi - lo`` of the bucket the rank lands in (for
+the overflow bucket, ``max - last_upper_bound``).  Estimates are
+exact when the bucket degenerates (``min == max``, single-sample
+buckets at the clamp edges) and never leave ``[min, max]``.
+
+Everything here is pure arithmetic on snapshot-shaped data, so live
+aggregators, reports and Prometheus exposition all derive the same
+numbers from the same bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PERCENTILES", "estimate_quantile", "percentiles_from_counts",
+           "percentiles_from_item", "snapshot_percentiles",
+           "render_quantile_exposition"]
+
+#: The default percentile set every renderer ships: median, tail, deep
+#: tail — the three the alert rulebook and the soak summaries quote.
+PERCENTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def _percentile_key(q: float) -> str:
+    """``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p99.9"``."""
+    scaled = q * 100.0
+    if abs(scaled - round(scaled)) < 1e-9:
+        return f"p{int(round(scaled))}"
+    return f"p{scaled:g}"
+
+
+def estimate_quantile(buckets: Sequence[float],
+                      bucket_counts: Sequence[int],
+                      count: int,
+                      minimum: Optional[float],
+                      maximum: Optional[float],
+                      q: float) -> Optional[float]:
+    """The q-quantile estimate of one histogram series, or None when
+    the series is empty.
+
+    ``buckets`` are the upper bounds (no ``+Inf``); ``bucket_counts``
+    are non-cumulative and may sum to less than ``count`` — the
+    difference is the implicit overflow bucket, whose upper edge is
+    the exact ``maximum``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if count <= 0 or minimum is None or maximum is None:
+        return None
+    if minimum == maximum:
+        return float(minimum)
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    lower = float(minimum)
+    for upper, n in zip(buckets, bucket_counts):
+        if n:
+            if cumulative + n >= rank:
+                lo = max(lower, float(minimum))
+                hi = min(float(upper), float(maximum))
+                if hi <= lo:
+                    return max(float(minimum), min(float(maximum), lo))
+                fraction = (rank - cumulative) / n
+                return lo + fraction * (hi - lo)
+            cumulative += n
+        lower = float(upper)
+    # Overflow bucket: between the last upper bound and the exact max.
+    overflow = count - cumulative
+    if overflow <= 0:
+        return float(maximum)
+    lo = max(float(buckets[-1]) if buckets else float(minimum),
+             float(minimum))
+    hi = float(maximum)
+    if hi <= lo:
+        return hi
+    fraction = (rank - cumulative) / overflow
+    return min(hi, lo + fraction * (hi - lo))
+
+
+def percentiles_from_counts(buckets: Sequence[float],
+                            bucket_counts: Sequence[int],
+                            count: int,
+                            minimum: Optional[float],
+                            maximum: Optional[float],
+                            qs: Sequence[float] = PERCENTILES,
+                            ) -> Dict[str, Optional[float]]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` (values rounded to a
+    stable 6 decimals so serialized summaries are byte-stable)."""
+    out: Dict[str, Optional[float]] = {}
+    for q in qs:
+        value = estimate_quantile(buckets, bucket_counts, count,
+                                  minimum, maximum, q)
+        out[_percentile_key(q)] = None if value is None \
+            else round(value, 6)
+    return out
+
+
+def percentiles_from_item(item: dict, buckets: Sequence[float],
+                          qs: Sequence[float] = PERCENTILES,
+                          ) -> Dict[str, Optional[float]]:
+    """Percentiles of one snapshot histogram value entry."""
+    return percentiles_from_counts(
+        buckets, item.get("bucket_counts", ()), item.get("count", 0),
+        item.get("min"), item.get("max"), qs)
+
+
+def snapshot_percentiles(snapshot: dict,
+                         qs: Sequence[float] = PERCENTILES) -> dict:
+    """Every histogram family's percentiles, per label set.
+
+    Returns ``{family: [{"labels": {...}, "count": n, "p50": ...},
+    ...]}`` — the shape ``obs report`` renders and the JSON report
+    embeds.
+    """
+    out: Dict[str, list] = {}
+    for name, entry in sorted(snapshot.get("metrics", {}).items()):
+        if entry.get("kind") != "histogram":
+            continue
+        rows = []
+        for item in entry.get("values", []):
+            row = {"labels": item["labels"], "count": item["count"]}
+            row.update(percentiles_from_item(item, entry["buckets"], qs))
+            rows.append(row)
+        if rows:
+            out[name] = rows
+    return out
+
+
+def render_quantile_exposition(snapshot: dict,
+                               qs: Sequence[float] = PERCENTILES) -> str:
+    """Derived-quantile gauge samples in Prometheus text format.
+
+    For every histogram family ``repro_x_uj`` this emits a synthetic
+    gauge family ``repro_x_uj_q{quantile="0.99",...}`` so a live
+    scrape of ``/metrics`` carries p50/p95/p99 without the scraper
+    re-implementing the interpolation.  Series order and float
+    formatting are deterministic.
+    """
+    from .metrics import _escape_label_value
+
+    lines: List[str] = []
+    for name, entry in sorted(snapshot.get("metrics", {}).items()):
+        if entry.get("kind") != "histogram":
+            continue
+        family = f"{name}_q"
+        emitted_header = False
+        for item in entry.get("values", []):
+            for q in qs:
+                value = estimate_quantile(
+                    entry["buckets"], item.get("bucket_counts", ()),
+                    item.get("count", 0), item.get("min"),
+                    item.get("max"), q)
+                if value is None:
+                    continue
+                if not emitted_header:
+                    lines.append(f"# HELP {family} estimated quantiles "
+                                 f"of {name} (upper-bound interpolation)")
+                    lines.append(f"# TYPE {family} gauge")
+                    emitted_header = True
+                pairs = [(k, _escape_label_value(str(v)))
+                         for k, v in sorted(item["labels"].items())]
+                pairs.append(("quantile", f"{q:g}"))
+                inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+                lines.append(f"{family}{{{inner}}} {value!r}")
+    return "\n".join(lines) + ("\n" if lines else "")

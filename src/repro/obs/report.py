@@ -27,11 +27,17 @@ from .manifest import load_manifest
 from .metrics import MetricRegistry, diff_snapshots, strip_wall_metrics
 from .runtime import METRICS_NAME, OBS_DIRNAME, SPANS_NAME
 
-__all__ = ["resolve_obs_dir", "load_spans", "load_metrics",
+__all__ = ["SPAN_UJ_FAMILY", "resolve_obs_dir", "load_spans",
+           "load_metrics", "span_energy_family",
            "canonical_span_tree", "canonical_span_bytes",
            "canonical_metrics_bytes", "energy_rollup", "name_rollup",
            "render_report", "report_json", "check_required",
            "render_diff"]
+
+#: Synthetic counter family the diff gate sees: total µJ per span
+#: name, folded in from the span log so ``obs diff --max-regression``
+#: covers energy, not only cycle counters.
+SPAN_UJ_FAMILY = "repro_obs_span_uj_total"
 
 
 def resolve_obs_dir(path: str) -> str:
@@ -82,13 +88,52 @@ def load_metrics(obs_dir: str) -> Optional[dict]:
     return MetricRegistry.load_snapshot(path)
 
 
+def span_energy_family(spans: List[dict]) -> Optional[dict]:
+    """The :data:`SPAN_UJ_FAMILY` entry for a span log, or None.
+
+    One counter series per span name carrying that name's total µJ
+    from :func:`energy_rollup` — snapshot-shaped, so it diffs, merges
+    and renders exactly like a family the registry recorded itself.
+    """
+    energy = energy_rollup(spans)["by_name"]
+    values = [
+        {"labels": {"name": name},
+         "value": round(entry["total_uj"], 6)}
+        for name, entry in sorted(energy.items())
+    ]
+    if not values:
+        return None
+    return {
+        "kind": "counter",
+        "help": "total uJ attributed to spans of this name "
+                "(synthesized from the span log)",
+        "values": values,
+    }
+
+
 def _snapshot_from(path: str) -> dict:
-    """A metrics snapshot from a run dir, an obs dir, or a .json file."""
+    """A metrics snapshot from a run dir, an obs dir, or a .json file.
+
+    Directory inputs get the synthetic per-span energy family folded
+    in from the span log, so the ``--max-regression`` gate covers µJ
+    totals per span name alongside the recorded counters.  File
+    inputs are served verbatim — a checked-in baseline snapshot must
+    already carry the family (regenerate it with ``obs report
+    --json`` / :func:`_snapshot_from` on the baseline run).
+    """
     if os.path.isfile(path):
         return MetricRegistry.load_snapshot(path)
-    snapshot = load_metrics(resolve_obs_dir(path))
+    obs_dir = resolve_obs_dir(path)
+    snapshot = load_metrics(obs_dir)
     if snapshot is None:
         raise FileNotFoundError(f"no {METRICS_NAME} under {path}")
+    if SPAN_UJ_FAMILY not in snapshot.get("metrics", {}):
+        family = span_energy_family(load_spans(obs_dir))
+        if family is not None:
+            metrics = dict(snapshot["metrics"])
+            metrics[SPAN_UJ_FAMILY] = family
+            snapshot = dict(snapshot)
+            snapshot["metrics"] = metrics
     return snapshot
 
 
@@ -220,9 +265,12 @@ def top_slowest(spans: List[dict], n: int = 10) -> List[dict]:
 # ----------------------------------------------------------------------
 
 def report_json(run_dir: str, top: int = 10) -> dict:
+    from .quantile import snapshot_percentiles
+
     obs_dir = resolve_obs_dir(run_dir)
     spans = load_spans(obs_dir)
     energy = energy_rollup(spans)
+    metrics = load_metrics(obs_dir)
     return {
         "obs_dir": obs_dir,
         "manifest": load_manifest(obs_dir),
@@ -240,7 +288,8 @@ def report_json(run_dir: str, top: int = 10) -> dict:
             }
             for record in top_slowest(spans, top)
         ],
-        "metrics": load_metrics(obs_dir),
+        "metrics": metrics,
+        "percentiles": snapshot_percentiles(metrics) if metrics else {},
     }
 
 
@@ -294,6 +343,24 @@ def render_report(run_dir: str, top: int = 10) -> str:
         lines.append(f"  metrics: {len(metrics['metrics'])} famil"
                      f"{'y' if len(metrics['metrics']) == 1 else 'ies'} "
                      f"in {os.path.join(data['obs_dir'], METRICS_NAME)}")
+    percentiles = data.get("percentiles") or {}
+    if percentiles:
+        lines.append("  histogram percentiles "
+                     "(upper-bound interpolation, error <= one bucket):")
+        for family in sorted(percentiles):
+            for row in percentiles[family]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(row["labels"].items()))
+                name = family + (f"{{{labels}}}" if labels else "")
+
+                def q(key):
+                    value = row.get(key)
+                    return "-" if value is None else f"{value:.6g}"
+
+                lines.append(
+                    f"    {name:<44} p50 {q('p50'):>10}  "
+                    f"p95 {q('p95'):>10}  p99 {q('p99'):>10}  "
+                    f"(n={row['count']})")
     return "\n".join(lines)
 
 

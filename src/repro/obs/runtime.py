@@ -33,15 +33,16 @@ import os
 from contextlib import contextmanager
 from typing import Optional
 
+from .flightrec import FlightRecorder, flight_path
 from .manifest import build_manifest, write_manifest
 from .metrics import MetricRegistry
 from .tracing import SpanWriter, Tracer, derive_trace_id
 
 __all__ = ["ObsRuntime", "configure", "current", "enabled", "shutdown",
            "session", "shard_scope", "shard_span_path",
-           "shard_metrics_path", "OBS_DIRNAME", "SPANS_NAME",
-           "METRICS_NAME", "PROMETHEUS_NAME", "ENV_DIR", "ENV_DETAIL",
-           "ENV_PROFILE", "ENV_TRACE_ID"]
+           "shard_metrics_path", "flight_dump", "OBS_DIRNAME",
+           "SPANS_NAME", "METRICS_NAME", "PROMETHEUS_NAME", "ENV_DIR",
+           "ENV_DETAIL", "ENV_PROFILE", "ENV_TRACE_ID"]
 
 OBS_DIRNAME = "obs"
 SPANS_NAME = "spans.jsonl"
@@ -69,16 +70,27 @@ class ObsRuntime:
 
     def __init__(self, obs_dir: str, tracer: Tracer,
                  registry: MetricRegistry, role: str = "run",
-                 detail: int = 2, profile: bool = False):
+                 detail: int = 2, profile: bool = False,
+                 flight: "Optional[FlightRecorder]" = None):
         self.obs_dir = obs_dir
         self.tracer = tracer
         self.registry = registry
         self.role = role
         self.detail = detail
         self.profile = profile
+        self.flight = flight if flight is not None else FlightRecorder()
+        tracer.on_record = self.flight.record
 
     def span(self, name: str, **kwargs):
         return self.tracer.span(name, **kwargs)
+
+    def flight_dump(self, reason: str, tag: Optional[str] = None,
+                    **context) -> str:
+        """Dump this runtime's black box as ``flight-<tag>.json``."""
+        self.tracer.flush()
+        return self.flight.dump(
+            flight_path(self.obs_dir, tag or self.role), reason,
+            context)
 
     def close(self) -> None:
         self.tracer.close()
@@ -229,6 +241,21 @@ def shard_scope(shard_index: int):
         scoped.registry.write_snapshot(
             shard_metrics_path(obs_dir, shard_index)
         )
+    except BaseException as exc:
+        # The shard body died: dump the black box before unwinding so
+        # the coordinator (and `obs tail`) can see the final spans.
+        scoped.flight_dump("exception", error=type(exc).__name__)
+        raise
     finally:
         _runtime = parent
         scoped.close()
+
+
+def flight_dump(reason: str, tag: Optional[str] = None,
+                **context) -> Optional[str]:
+    """Dump the active runtime's flight ring (None when tracing is
+    off) — the one-liner crash paths call on the way down."""
+    runtime = current()
+    if runtime is None:
+        return None
+    return runtime.flight_dump(reason, tag=tag, **context)

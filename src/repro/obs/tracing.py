@@ -155,10 +155,13 @@ class Tracer:
     """
 
     def __init__(self, trace_id: str, writer: SpanWriter,
-                 detail: int = 2):
+                 detail: int = 2, on_record=None):
         self.trace_id = trace_id
         self.writer = writer
         self.detail = detail
+        #: optional hook fed every finished record (the runtime points
+        #: this at a FlightRecorder ring; see repro.obs.flightrec).
+        self.on_record = on_record
 
     @contextmanager
     def span(self, name: str, key=None, level: int = 1,
@@ -202,7 +205,10 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         span.end_s = time.perf_counter()
-        self.writer.write(span.to_record())
+        record = span.to_record()
+        self.writer.write(record)
+        if self.on_record is not None:
+            self.on_record(record)
 
     def flush(self) -> None:
         self.writer.flush()

@@ -1,0 +1,173 @@
+"""Bench trajectory: fold ``BENCH_*.json`` files into one trend log.
+
+The benchmark suite writes machine-readable headline figures to
+``results/BENCH_<name>.json``, but each file only holds the *latest*
+run — a regression that lands between two bench refreshes is invisible
+unless someone diffs git history by hand.  This module folds every
+``BENCH_*.json`` under a results directory into a single
+``BENCH_trend.json`` trajectory:
+
+* :func:`headline_figures` projects one bench payload to its scalar
+  headline figures — every top-level number, plus per-field sums over
+  a ``cells`` table (so grid benches contribute stable aggregates
+  rather than a figure per cell);
+* :func:`fold_trend` appends one history entry per bench **only when
+  the figures changed** — folding twice over the same results is a
+  no-op, so the trend file is deterministic and needs no wall-clock
+  timestamps (pass ``label`` — a git rev, a date — to name an entry);
+* :func:`render_trend` renders the latest figures per bench with
+  percent deltas against the previous history entry.
+
+``python -m repro obs trend`` is the CLI wrapper; CI and release
+checklists run it after a bench refresh so the checked-in trend file
+records the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import atomic_write_bytes
+
+__all__ = ["TREND_NAME", "TREND_SCHEMA", "bench_name",
+           "headline_figures", "load_trend", "fold_trend",
+           "render_trend", "write_trend"]
+
+TREND_NAME = "BENCH_trend.json"
+TREND_SCHEMA = 1
+
+_BENCH_PREFIX = "BENCH_"
+
+
+def bench_name(file_name: str) -> Optional[str]:
+    """``BENCH_adversary.json -> "adversary"``; None for non-bench
+    files and for the trend log itself."""
+    if not (file_name.startswith(_BENCH_PREFIX)
+            and file_name.endswith(".json")):
+        return None
+    if file_name == TREND_NAME:
+        return None
+    return file_name[len(_BENCH_PREFIX):-len(".json")]
+
+
+def headline_figures(payload: dict) -> Dict[str, float]:
+    """The scalar headline figures of one bench payload.
+
+    Top-level ints/floats pass through; a ``cells`` list contributes
+    ``cells`` (the row count) and ``cells.<field>`` sums for every
+    numeric cell field, so grid benches fold to a fixed-size figure
+    set regardless of grid shape.  Floats are rounded to 6 decimals
+    so the trend file is byte-stable.
+    """
+    figures: Dict[str, float] = {}
+    for key, value in payload.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            figures[key] = round(float(value), 6)
+    cells = payload.get("cells")
+    if isinstance(cells, list) and cells:
+        figures["cells"] = float(len(cells))
+        sums: Dict[str, float] = {}
+        for cell in cells:
+            if not isinstance(cell, dict):
+                continue
+            for key, value in cell.items():
+                if isinstance(value, bool) \
+                        or not isinstance(value, (int, float)):
+                    continue
+                sums[key] = sums.get(key, 0.0) + float(value)
+        for key in sorted(sums):
+            figures[f"cells.{key}"] = round(sums[key], 6)
+    return dict(sorted(figures.items()))
+
+
+def load_trend(results_dir: str) -> dict:
+    """The existing trend log, or a fresh empty one."""
+    path = os.path.join(results_dir, TREND_NAME)
+    if not os.path.exists(path):
+        return {"schema": TREND_SCHEMA, "benches": {}}
+    with open(path, "r", encoding="utf-8") as f:
+        trend = json.load(f)
+    if trend.get("schema") != TREND_SCHEMA:
+        raise ValueError(
+            f"trend schema v{trend.get('schema')} unsupported "
+            f"(reader is v{TREND_SCHEMA})")
+    return trend
+
+
+def fold_trend(results_dir: str,
+               label: Optional[str] = None) -> Tuple[dict, List[str]]:
+    """Fold every ``BENCH_*.json`` into the trend; ``(trend, folded)``.
+
+    ``folded`` names the benches whose figures changed (and therefore
+    gained a history entry); an unchanged bench keeps its history
+    untouched, so the fold is idempotent.
+    """
+    trend = load_trend(results_dir)
+    benches = trend.setdefault("benches", {})
+    folded: List[str] = []
+    for file_name in sorted(os.listdir(results_dir)):
+        name = bench_name(file_name)
+        if name is None:
+            continue
+        try:
+            with open(os.path.join(results_dir, file_name), "r",
+                      encoding="utf-8") as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        figures = headline_figures(payload)
+        if not figures:
+            continue
+        history = benches.setdefault(name, {"history": []})["history"]
+        if history and history[-1]["figures"] == figures:
+            continue
+        entry: dict = {"figures": figures}
+        if label is not None:
+            entry["label"] = str(label)
+        history.append(entry)
+        folded.append(name)
+    return trend, folded
+
+
+def write_trend(results_dir: str, trend: dict) -> str:
+    path = os.path.join(results_dir, TREND_NAME)
+    atomic_write_bytes(path, json.dumps(trend, indent=1,
+                                        sort_keys=True).encode())
+    return path
+
+
+def render_trend(trend: dict) -> str:
+    """Latest figures per bench, with deltas vs the previous entry."""
+    benches = trend.get("benches", {})
+    if not benches:
+        return "bench trend: no benches folded yet"
+    lines = [f"bench trend: {len(benches)} bench(es)"]
+    for name in sorted(benches):
+        history = benches[name].get("history", [])
+        if not history:
+            continue
+        latest = history[-1]
+        previous = history[-2] if len(history) > 1 else None
+        label = latest.get("label")
+        lines.append(
+            f"  {name}: {len(history)} entr"
+            f"{'y' if len(history) == 1 else 'ies'}"
+            + (f" (latest: {label})" if label else ""))
+        prev_figures = previous["figures"] if previous else {}
+        for key, value in latest["figures"].items():
+            delta = ""
+            if key in prev_figures:
+                before = prev_figures[key]
+                if before:
+                    pct = (value - before) / abs(before) * 100.0
+                    delta = f"  ({pct:+.2f}% vs prev)"
+                elif value != before:
+                    delta = f"  (was {before:g})"
+            lines.append(f"    {key:<32}{value:>16g}{delta}")
+    return "\n".join(lines)

@@ -383,6 +383,10 @@ class PowerSessionRecord:
     compute_uj: float
     radio_uj: float
     outcome_digest: str
+    #: on-the-wire nonce reuses (see
+    #: :func:`repro.intermittent.count_nonce_reuse`) —
+    #: placement-invariant, zero while the vault invariant holds.
+    nonce_reuse: int = 0
 
     @property
     def total_uj(self) -> float:
@@ -422,6 +426,40 @@ class PowerSoakReport:
     def total_torn_discards(self) -> int:
         return sum(r.torn_discards for r in self.records)
 
+    @property
+    def total_nonce_reuse(self) -> int:
+        return sum(r.nonce_reuse for r in self.records)
+
+    def telemetry_events(self) -> List[dict]:
+        """Ordered telemetry: one event per session on the ordinal
+        virtual clock (sessions are independent simulations, so the
+        session ordinal is the fleet's only shared timeline)."""
+        from ..obs.stream import make_event
+
+        return [make_event(float(r.session_index), "power",
+                           r.session_index,
+                           session_uj=r.total_uj,
+                           nonce_reuse=r.nonce_reuse)
+                for r in sorted(self.records,
+                                key=lambda r: r.session_index)]
+
+    def alert_records(self) -> List[dict]:
+        """The stock *invariant* rules evaluated over the soak stream.
+
+        Only placement-invariant series participate in the verdict
+        (``nonce_reuse``; energy figures legitimately vary with where
+        the cuts land), so the log — like :meth:`summary_payload` — is
+        byte-identical across cut seeds and worker counts.
+        """
+        from ..obs.alerts import AlertEngine, default_rulebook
+
+        rules = tuple(rule for rule in default_rulebook()
+                      if rule.kind == "invariant")
+        engine = AlertEngine(rules)
+        for event in self.telemetry_events():
+            engine.observe(event)
+        return engine.finalize()
+
     def outcome_digest(self) -> str:
         """Order-independent digest over every session's outcome."""
         h = hashlib.sha256()
@@ -452,6 +490,9 @@ class PowerSoakReport:
                          for r in sorted(self.records,
                                          key=lambda r: r.session_index)},
             "outcome_digest": self.outcome_digest(),
+            "nonce_reuse": self.total_nonce_reuse,
+            "alert_firings": len([r for r in self.alert_records()
+                                  if r["state"] == "firing"]),
         }
 
     def summary(self) -> str:
@@ -485,6 +526,9 @@ class PowerSoakReport:
             f"accepted {self.accepted}/{sessions}",
             f"  power cycles survived: {self.total_power_cycles} "
             f"(torn staged records discarded: {self.total_torn_discards})",
+            f"  nonce reuse on the wire: {self.total_nonce_reuse} "
+            + ("(invariant held)" if self.total_nonce_reuse == 0
+               else "(INVARIANT BROKEN — alert fired)"),
             f"  ladder steps: {int(productive)} productive, "
             f"{int(wasted)} re-executed after cuts",
             f"  energy: {uj['sum']:.1f} uJ total "
@@ -508,7 +552,7 @@ def _run_power_slice(spec: PowerSoakSpec,
     never emit spans — the coordinator is the only aggregation path,
     keeping the registry independent of worker count.
     """
-    from ..intermittent import IntermittentSession
+    from ..intermittent import IntermittentSession, count_nonce_reuse
 
     ispec = spec.intermittent_spec()
     records = []
@@ -530,6 +574,7 @@ def _run_power_slice(spec: PowerSoakSpec,
             compute_uj=result.compute_uj,
             radio_uj=result.radio_uj,
             outcome_digest=result.outcome_digest,
+            nonce_reuse=count_nonce_reuse(result.wire),
         ))
     return records
 

@@ -4,8 +4,11 @@ Standard library only: a :class:`ThreadingHTTPServer` on a daemon
 thread serving the Prometheus text exposition of a
 :class:`~repro.obs.metrics.MetricRegistry` — the existing ``repro_*``
 families plus the server's ``repro_server_*`` ones, whatever the
-registry holds.  ``GET /metrics`` scrapes, ``GET /healthz`` probes,
-anything else is 404.
+registry holds — with derived ``*_q`` quantile gauges appended for
+every histogram family and, when a live
+:class:`~repro.obs.stream.StreamAggregator` is attached, its
+``repro_stream_*`` telemetry series.  ``GET /metrics`` scrapes,
+``GET /healthz`` probes, anything else is 404.
 
 The registry is mutated by the simulation thread while scrapes render
 on the HTTP thread; rendering walks dicts that may grow mid-walk, so
@@ -26,6 +29,7 @@ _RENDER_RETRIES = 5
 
 class _Handler(BaseHTTPRequestHandler):
     registry = None                    # set by the enclosing server
+    stream = None                      # optional live StreamAggregator
 
     def do_GET(self):                  # noqa: N802 — http.server API
         if self.path == "/metrics":
@@ -42,9 +46,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, "unknown path; try /metrics\n")
 
     def _render(self) -> Optional[str]:
+        from ..obs.quantile import render_quantile_exposition
+        from ..obs.stream import render_stream_exposition
+
         for _ in range(_RENDER_RETRIES):
             try:
-                return self.registry.render_prometheus()
+                body = self.registry.render_prometheus()
+                # Derived tail quantiles for every histogram family,
+                # so the scraper never re-implements interpolation.
+                body += render_quantile_exposition(
+                    self.registry.snapshot())
+                if self.stream is not None:
+                    body += render_stream_exposition(
+                        self.stream.snapshot())
+                return body
             except RuntimeError:       # dict grew during iteration
                 continue
         return None
@@ -70,9 +85,10 @@ class MetricsServer:
     """
 
     def __init__(self, registry, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, stream=None):
         self.registry = registry
         self.host = host
+        self.stream = stream
         self._requested_port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -91,7 +107,8 @@ class MetricsServer:
         if self._httpd is not None:
             return self
         handler = type("_BoundHandler", (_Handler,),
-                       {"registry": self.registry})
+                       {"registry": self.registry,
+                        "stream": self.stream})
         self._httpd = ThreadingHTTPServer(
             (self.host, self._requested_port), handler)
         self._httpd.daemon_threads = True

@@ -38,7 +38,10 @@ from ..campaign.chaos import (CHAOS_CRASH_EXIT_CODE, ChaosConfig,
 from ..campaign.store import _atomic_write_bytes, file_digest
 from ..channel import LossProfile, derive_channel_seed
 from ..obs import runtime as _obs_runtime
+from ..obs.alerts import ALERTS_NAME, default_rulebook, write_alert_log
 from ..obs.metrics import MetricRegistry, strip_wall_metrics
+from ..obs.stream import (TELEMETRY_NAME, make_event, run_pipeline,
+                          spread_drain_events, write_telemetry)
 from ..protocols.session import RetransmissionPolicy
 from .enrollment import EnrollmentStore
 from .errors import (AdmissionRejectedError, ReplayQuarantinedError,
@@ -47,7 +50,8 @@ from .reader import IdentificationServer, ServerConfig
 from .simloop import SimLoop
 
 __all__ = ["SoakSpec", "SoakReport", "run_soak", "run_cohort",
-           "simulate_cohort", "SUMMARY_NAME", "SESSION_OUTCOMES"]
+           "simulate_cohort", "soak_rulebook", "SUMMARY_NAME",
+           "SESSION_OUTCOMES"]
 
 SUMMARY_NAME = "summary.json"
 _SCHEMA_VERSION = 1
@@ -210,11 +214,15 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
     base = cohort_index * spec.sessions
     concluded = 0
 
+    source = f"cohort-{cohort_index:05d}"
+
     async def drive() -> List:
         nonlocal concluded
         server.start()
         futures = []
+        submit_vts = {}
         shed_indices = []
+        shed_events = []
         shed_reasons = {"overload": 0, "throttled": 0,
                         "quarantined": 0}
         for i in range(spec.sessions):
@@ -223,25 +231,37 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
                 await loop.sleep(_arrival_gap(spec.seed, index,
                                               spec.arrival_rate))
             try:
+                submit_vts[index] = loop.now
                 futures.append(server.submit(
                     index, source=spec.source_for(index),
                     adversarial=spec.is_adversarial(index)))
             except ReplayQuarantinedError:
                 shed_indices.append(index)
                 shed_reasons["quarantined"] += 1
+                shed_events.append(make_event(loop.now, source, index,
+                                              shed=1))
             except SourceThrottledError:
                 shed_indices.append(index)
                 shed_reasons["throttled"] += 1
+                shed_events.append(make_event(loop.now, source, index,
+                                              shed=1))
             except AdmissionRejectedError:
                 shed_indices.append(index)
                 shed_reasons["overload"] += 1
+                shed_events.append(make_event(loop.now, source, index,
+                                              shed=1))
         outcomes = []
         for future in futures:
             outcomes.append(await future)
             concluded += 1
             if crash_after is not None and concluded >= crash_after:
                 # Die the way a killed worker does: torn temp file,
-                # no result, simulation abandoned mid-session.
+                # no result, simulation abandoned mid-session.  The
+                # flight recorder dumps first — the black box is the
+                # only telemetry that survives the kill.
+                _obs_runtime.flight_dump(
+                    "chaos-kill", cohort=cohort_index,
+                    sessions_concluded=concluded)
                 if crash_tmp_path is not None:
                     try:
                         with open(crash_tmp_path, "wb") as f:
@@ -250,10 +270,24 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
                         pass
                 os._exit(CHAOS_CRASH_EXIT_CODE)
         await server.close()
-        return outcomes, shed_indices, shed_reasons
+        return outcomes, submit_vts, shed_events, shed_indices, \
+            shed_reasons
 
-    outcomes, shed_indices, shed_reasons = \
+    outcomes, submit_vts, shed_events, shed_indices, shed_reasons = \
         loop.run_until_complete(drive())
+
+    # One telemetry event per concluded session (plus the battery's
+    # pro-rated per-window drain view) and one per shed arrival;
+    # events are pure functions of (spec, cohort_index).
+    telemetry = list(shed_events)
+    for outcome in outcomes:
+        vt = submit_vts[outcome.index]
+        telemetry.append(make_event(
+            vt, source, outcome.index,
+            session_uj=outcome.tag_energy_uj))
+        telemetry.extend(spread_drain_events(
+            vt, source, outcome.index, outcome.tag_energy_uj,
+            outcome.elapsed_s))
 
     by_outcome: Dict[str, int] = {k: 0 for k in SESSION_OUTCOMES}
     totals = {
@@ -299,6 +333,7 @@ def simulate_cohort(spec: SoakSpec, cohort_index: int, *,
             "requests": server.scheduler.requests_total,
             "batches": server.scheduler.batches_total,
         },
+        "telemetry": telemetry,
         "metrics": strip_wall_metrics(registry.snapshot()),
     }
 
@@ -359,6 +394,26 @@ def run_cohort(spec_dict: dict, directory: str, cohort_index: int,
     }
 
 
+#: The fleet soak's p99 alert line, in µJ.  A private-identification
+#: session costs more than the attack lab's handshake — the tag walks
+#: the full response ladder while the reader scans records — and the
+#: soak's configured ``frame_loss`` stretches honest retransmission
+#: tails further: measured honest p99 runs 111–230 µJ across seeds at
+#: 10–25 % loss, against the ~324 µJ median an amplification-class
+#: flood drags per session.  260 sits above every measured honest
+#: tail and below flood drag; lossier channels than 25 % are outside
+#: the calibrated envelope.
+FLEET_P99_UJ = 260.0
+
+
+def soak_rulebook(spec: SoakSpec):
+    """The fleet soak's alert rulebook: the stock book with the p99
+    line resized for the identification workload (see
+    :data:`FLEET_P99_UJ`); everything else keeps the lab calibration
+    from :func:`repro.obs.alerts.default_rulebook`."""
+    return default_rulebook(p99_uj=FLEET_P99_UJ)
+
+
 # ----------------------------------------------------------------------
 # the coordinator
 # ----------------------------------------------------------------------
@@ -386,6 +441,8 @@ class SoakReport:
     peak_in_flight: int = 0
     tag_energy_uj: float = 0.0
     reader_energy_uj: float = 0.0
+    alert_firings: int = 0
+    session_uj_p99: Optional[float] = None
     summary_path: str = ""
     wall_s: float = 0.0
 
@@ -413,6 +470,10 @@ class SoakReport:
             f"(per cohort)",
             f"  energy    tag {self.tag_energy_uj:.1f} uJ, "
             f"reader {self.reader_energy_uj:.1f} uJ",
+            f"  telemetry {self.alert_firings} alert firing(s), "
+            f"session p99 "
+            + (f"{self.session_uj_p99:.1f} uJ"
+               if self.session_uj_p99 is not None else "-"),
             f"  retries   {self.retried_attempts} worker attempts "
             f"beyond the first",
             f"  wall      {self.wall_s:.1f} s",
@@ -470,6 +531,7 @@ def run_soak(directory: str, spec: SoakSpec, *,
 
     merged = MetricRegistry()
     cohort_summaries = []
+    telemetry_events = []
     report = SoakReport(
         outcome="degraded" if quarantined else "clean",
         spec_digest=spec.digest(),
@@ -484,8 +546,9 @@ def run_soak(directory: str, spec: SoakSpec, *,
         with open(path, "r", encoding="utf-8") as f:
             payload = json.load(f)
         merged.merge_snapshot(payload["metrics"])
+        telemetry_events.extend(payload.get("telemetry", ()))
         aggregates = {k: v for k, v in payload.items()
-                      if k != "metrics"}
+                      if k not in ("metrics", "telemetry")}
         cohort_summaries.append(aggregates)
         report.sessions += payload["sessions"]
         report.accepted += payload["outcomes"].get("accepted", 0)
@@ -504,6 +567,20 @@ def run_soak(directory: str, spec: SoakSpec, *,
             report.tag_energy_uj + payload["tag_energy_uj"], 6)
         report.reader_energy_uj = round(
             report.reader_energy_uj + payload["reader_energy_uj"], 6)
+
+    # Live telemetry: fold every cohort's ordered event stream through
+    # the aggregator + the fleet rulebook.  Events are pure functions
+    # of (spec, cohort) and the fold order is total, so telemetry.json
+    # and alerts.json are byte-identical across worker counts too.
+    rules = soak_rulebook(spec)
+    live, alert_records = run_pipeline(telemetry_events, rules,
+                                       window_s=rules[0].window_s)
+    write_telemetry(os.path.join(directory, TELEMETRY_NAME), live)
+    alert_log = write_alert_log(
+        os.path.join(directory, ALERTS_NAME), rules, alert_records)
+    session_uj = live["series"].get("session_uj", {})
+    report.alert_firings = alert_log["firings"]
+    report.session_uj_p99 = session_uj.get("p99")
 
     summary = {
         "schema_version": _SCHEMA_VERSION,
@@ -525,6 +602,16 @@ def run_soak(directory: str, spec: SoakSpec, *,
             "peak_in_flight": report.peak_in_flight,
             "tag_energy_uj": report.tag_energy_uj,
             "reader_energy_uj": report.reader_energy_uj,
+        },
+        "telemetry": {
+            "events": live["events"],
+            "session_uj": {key: session_uj.get(key)
+                           for key in ("count", "p50", "p95", "p99",
+                                       "max")},
+            "alerts": {
+                "firings": alert_log["firings"],
+                "by_rule": alert_log["firings_by_rule"],
+            },
         },
         "metrics": strip_wall_metrics(merged.snapshot()),
     }

@@ -14,6 +14,8 @@ from repro.adversary import (
 )
 from repro.adversary.soak import SUMMARY_NAME
 from repro.campaign.chaos import ChaosConfig
+from repro.obs.alerts import ALERTS_NAME
+from repro.obs.stream import TELEMETRY_NAME
 
 
 @pytest.fixture(scope="module")
@@ -79,9 +81,10 @@ class TestByteIdenticalSummaries:
             tmp_path / "chaos", attack_spec, workers=2,
             chaos=ChaosConfig.parse("crash=0.4", seed=5))
         assert chaos_report.outcome == "clean"
-        summary = (tmp_path / "w1" / SUMMARY_NAME).read_bytes()
-        assert (tmp_path / "w4" / SUMMARY_NAME).read_bytes() == summary
-        assert (tmp_path / "chaos" / SUMMARY_NAME).read_bytes() == summary
+        for name in (SUMMARY_NAME, TELEMETRY_NAME, ALERTS_NAME):
+            baseline = (tmp_path / "w1" / name).read_bytes()
+            assert (tmp_path / "w4" / name).read_bytes() == baseline
+            assert (tmp_path / "chaos" / name).read_bytes() == baseline
 
     def test_summary_shape(self, tmp_path, attack_spec):
         report = run_attack_soak(tmp_path / "s", attack_spec, workers=1)
@@ -108,6 +111,52 @@ class TestByteIdenticalSummaries:
         assert defended.wake_refusals > 0
         assert baseline.wake_refusals == 0
         assert defended.outcomes["refused"] > 0
+
+
+class TestTelemetryDetection:
+    """Detection from telemetry alone: no defense, no attacker oracle.
+
+    The per-session energy signature is the tell — flood sessions drag
+    retransmission tails the honest workload never shows, so the p99
+    rule fires on an undefended soak while the all-honest baseline
+    stays silent at the same thresholds."""
+
+    FLOOD = AttackSpec(adversary="bogus-flood", defense="none",
+                       sessions=12, cohorts=1, legit_fraction=0.2,
+                       seed=2013)
+
+    def test_flood_fires_the_p99_rule_with_window_attribution(
+            self, tmp_path):
+        report = run_attack_soak(tmp_path / "f", self.FLOOD, workers=1)
+        assert report.alert_firings >= 1
+        assert report.session_uj_p99 > 110.0
+        alerts = json.loads((tmp_path / "f" / ALERTS_NAME).read_text())
+        fired = [r for r in alerts["records"]
+                 if r["state"] == "firing"
+                 and r["rule"] == "energy_session_p99"]
+        assert fired
+        assert all(r["window"] >= 0 for r in fired)
+        assert all(r["value"] > r["threshold"] for r in fired)
+        summary = json.loads(
+            (tmp_path / "f" / SUMMARY_NAME).read_text())
+        assert summary["telemetry"]["alerts"]["firings"] == \
+            report.alert_firings
+        assert "energy_session_p99" in \
+            summary["telemetry"]["alerts"]["by_rule"]
+
+    def test_clean_baseline_stays_silent(self, tmp_path):
+        clean = dataclasses.replace(self.FLOOD, legit_fraction=1.0)
+        report = run_attack_soak(tmp_path / "c", clean, workers=1)
+        assert report.alert_firings == 0
+        assert report.session_uj_p99 is not None
+        assert report.session_uj_p99 < 110.0
+        telemetry = json.loads(
+            (tmp_path / "c" / TELEMETRY_NAME).read_text())
+        sessions = self.FLOOD.sessions * self.FLOOD.cohorts
+        assert telemetry["series"]["session_uj"]["count"] == sessions
+        summary = json.loads(
+            (tmp_path / "c" / SUMMARY_NAME).read_text())
+        assert summary["telemetry"]["alerts"]["by_rule"] == {}
 
 
 class TestChaosQuarantine:

@@ -7,6 +7,7 @@ from repro.intermittent import (
     PowerCutSchedule,
     PowerSupply,
     ResumeExhaustedError,
+    count_nonce_reuse,
     run_intermittent_session,
     run_with_schedule,
 )
@@ -104,3 +105,37 @@ class TestOutcomeDigest:
     def test_digest_differs_across_sessions(self):
         assert baseline(session_index=0).outcome_digest != \
             baseline(session_index=1).outcome_digest
+
+
+class TestCountNonceReuse:
+    """The ``nonce_reuse`` telemetry counter, on synthetic wires.
+
+    A reuse is one epoch nonce answering two *different* challenges —
+    more than one distinct ``s`` payload under one epoch.  Duplicate
+    retransmissions of the identical payload are not reuse."""
+
+    def test_two_distinct_s_payloads_same_epoch_is_one_reuse(self):
+        wire = [("tag", 3, "s", b"\x01\x02"),
+                ("tag", 3, "s", b"\x03\x04")]
+        assert count_nonce_reuse(wire) == 1
+
+    def test_byte_identical_retransmission_is_not_reuse(self):
+        wire = [("tag", 3, "s", b"\x01\x02"),
+                ("tag", 3, "s", b"\x01\x02"),
+                ("tag", 3, "s", b"\x01\x02")]
+        assert count_nonce_reuse(wire) == 0
+
+    def test_distinct_epochs_are_independent(self):
+        wire = [("tag", 3, "s", b"\x01\x02"),
+                ("tag", 4, "s", b"\x03\x04")]
+        assert count_nonce_reuse(wire) == 0
+
+    def test_non_s_labels_are_ignored(self):
+        wire = [("reader", 3, "c", b"\x01"),
+                ("reader", 3, "c", b"\x02"),
+                ("tag", 3, "R", b"\x03"),
+                ("tag", 3, "R", b"\x04")]
+        assert count_nonce_reuse(wire) == 0
+
+    def test_real_session_wire_is_clean(self):
+        assert count_nonce_reuse(baseline().wire) == 0

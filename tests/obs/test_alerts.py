@@ -1,0 +1,177 @@
+"""The alert engine: hysteresis, window closing, typed records."""
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertOrderingError,
+    AlertRule,
+    AlertRuleError,
+    default_rulebook,
+    load_alert_log,
+    render_alert_log,
+    write_alert_log,
+)
+from repro.obs.stream import make_event, sort_events
+
+
+def _feed(engine, events):
+    for event in sort_events(events):
+        engine.observe(event)
+    return engine.finalize()
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AlertRuleError):
+            AlertRule(name="r", series="s", kind="vibes")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(AlertRuleError):
+            AlertRule(name="r", series="s", kind="threshold",
+                      threshold=1.0, severity="mauve")
+
+    def test_non_positive_threshold_rejected(self):
+        with pytest.raises(AlertRuleError):
+            AlertRule(name="r", series="s", kind="threshold")
+
+    def test_invariant_needs_no_threshold(self):
+        AlertRule(name="r", series="s", kind="invariant")
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlertRule(name="r", series="s", kind="invariant")
+        with pytest.raises(AlertRuleError):
+            AlertEngine([rule, rule])
+
+
+class TestThresholdHysteresis:
+    RULE = AlertRule(name="hot", series="uj", kind="threshold",
+                     threshold=100.0, clear_ratio=0.8, sustain=2)
+
+    def _values(self, values):
+        events = [make_event(i * 0.1, "s", i, uj=v)
+                  for i, v in enumerate(values)]
+        return _feed(AlertEngine([self.RULE]), events)
+
+    def test_fires_only_after_sustain_breaches(self):
+        assert self._values([150.0]) == []
+        records = self._values([150.0, 150.0])
+        assert [r["state"] for r in records] == ["firing"]
+
+    def test_band_value_resets_the_streak(self):
+        # breach, band (between 80 and 100), breach — never 2 in a row.
+        assert self._values([150.0, 90.0, 150.0]) == []
+
+    def test_clears_only_below_clear_ratio(self):
+        records = self._values([150.0, 150.0, 90.0, 70.0])
+        assert [r["state"] for r in records] == ["firing", "cleared"]
+        assert records[1]["value"] == 70.0
+
+    def test_one_firing_while_sustained(self):
+        records = self._values([150.0] * 6)
+        assert [r["state"] for r in records] == ["firing"]
+
+
+class TestWindowKinds:
+    def test_window_sum_fires_on_window_close(self):
+        rule = AlertRule(name="drain", series="uj", kind="window_sum",
+                         threshold=100.0, window_s=1.0)
+        records = _feed(AlertEngine([rule]), [
+            make_event(0.1, "s", 0, uj=60.0),
+            make_event(0.2, "s", 1, uj=60.0),   # window 0 sum = 120
+            make_event(1.1, "s", 2, uj=10.0),   # closes window 0
+        ])
+        firing = [r for r in records if r["state"] == "firing"]
+        assert len(firing) == 1
+        assert firing[0]["window"] == 0
+        assert firing[0]["value"] == 120.0
+
+    def test_finalize_closes_the_open_window(self):
+        rule = AlertRule(name="drain", series="uj", kind="window_sum",
+                         threshold=100.0, window_s=1.0)
+        records = _feed(AlertEngine([rule]),
+                        [make_event(0.1, "s", 0, uj=150.0)])
+        assert [r["state"] for r in records] == ["firing"]
+
+    def test_rate_of_change_compares_adjacent_windows(self):
+        rule = AlertRule(name="spike", series="shed",
+                         kind="rate_of_change", threshold=3.0,
+                         window_s=1.0)
+        records = _feed(AlertEngine([rule]), [
+            make_event(0.1, "s", 0, shed=1.0),
+            make_event(1.1, "s", 1, shed=2.0),    # x2: quiet
+            make_event(2.1, "s", 2, shed=10.0),   # x5: spike
+            make_event(3.1, "s", 3, shed=0.0),    # closes the window
+        ])
+        firing = [r for r in records if r["state"] == "firing"]
+        assert len(firing) == 1
+        assert firing[0]["window"] == 2
+
+    def test_sources_are_independent(self):
+        rule = AlertRule(name="drain", series="uj", kind="window_sum",
+                         threshold=100.0, window_s=1.0)
+        records = _feed(AlertEngine([rule]), [
+            make_event(0.1, "a", 0, uj=150.0),
+            make_event(0.2, "b", 0, uj=10.0),
+        ])
+        assert [(r["source"], r["state"]) for r in records] == \
+            [("a", "firing")]
+
+
+class TestInvariantAndOrdering:
+    def test_invariant_fires_once_on_first_violation(self):
+        rule = AlertRule(name="nonce", series="nonce_reuse",
+                         kind="invariant")
+        records = _feed(AlertEngine([rule]), [
+            make_event(0.1, "s", 0, nonce_reuse=0.0),
+            make_event(0.2, "s", 1, nonce_reuse=2.0),
+            make_event(0.3, "s", 2, nonce_reuse=1.0),
+        ])
+        assert [r["state"] for r in records] == ["firing"]
+        assert records[0]["value"] == 2.0
+
+    def test_out_of_order_events_rejected(self):
+        engine = AlertEngine(default_rulebook())
+        engine.observe(make_event(1.0, "s", 0, session_uj=1.0))
+        with pytest.raises(AlertOrderingError):
+            engine.observe(make_event(0.5, "s", 1, session_uj=1.0))
+
+    def test_observe_after_finalize_rejected(self):
+        engine = AlertEngine(())
+        engine.finalize()
+        with pytest.raises(AlertOrderingError):
+            engine.observe(make_event(0.0, "s", 0, uj=1.0))
+
+
+class TestRulebookAndLog:
+    def test_default_rulebook_shape(self):
+        rules = default_rulebook()
+        by_name = {rule.name: rule for rule in rules}
+        assert set(by_name) == {
+            "window_drain_exceeds_cap", "energy_session_p99",
+            "shed_rate_spike", "nonce_reuse_invariant",
+        }
+        assert by_name["window_drain_exceeds_cap"].threshold == 600.0
+        assert by_name["energy_session_p99"].threshold == 110.0
+        assert by_name["nonce_reuse_invariant"].kind == "invariant"
+
+    def test_log_round_trip_and_render(self, tmp_path):
+        rules = default_rulebook()
+        records = _feed(AlertEngine(rules), [
+            make_event(0.1, "tag", 0, nonce_reuse=1.0),
+        ])
+        path = str(tmp_path / "alerts.json")
+        payload = write_alert_log(path, rules, records)
+        assert load_alert_log(path) == payload
+        assert payload["firings"] == 1
+        assert payload["firings_by_rule"] == \
+            {"nonce_reuse_invariant": 1}
+        text = render_alert_log(payload)
+        assert "nonce_reuse_invariant" in text
+        assert "firing totals:" in text
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "alerts.json"
+        path.write_text('{"schema": 999}')
+        with pytest.raises(AlertRuleError):
+            load_alert_log(str(path))

@@ -101,6 +101,75 @@ class TestDoctorProvenance:
         assert "s)" in out and ", ran " in out
 
 
+class TestObsTailAlertsTrend:
+    """The telemetry verbs: tail, alerts (exit contract), trend."""
+
+    @pytest.fixture(scope="class")
+    def flood_soak(self, tmp_path_factory):
+        from repro.adversary import AttackSpec, run_attack_soak
+
+        directory = str(tmp_path_factory.mktemp("flood") / "soak")
+        spec = AttackSpec(adversary="bogus-flood", defense="none",
+                          sessions=12, cohorts=1, legit_fraction=0.2,
+                          seed=2013)
+        run_attack_soak(directory, spec, workers=1)
+        return directory
+
+    @pytest.fixture(scope="class")
+    def clean_soak(self, tmp_path_factory):
+        from repro.adversary import AttackSpec, run_attack_soak
+
+        directory = str(tmp_path_factory.mktemp("clean") / "soak")
+        spec = AttackSpec(adversary="bogus-flood", defense="none",
+                          sessions=12, cohorts=1, legit_fraction=1.0,
+                          seed=2013)
+        run_attack_soak(directory, spec, workers=1)
+        return directory
+
+    def test_tail_renders_the_series_table(self, flood_soak, capsys):
+        assert main(["obs", "tail", "--dir", flood_soak]) == 0
+        out = capsys.readouterr().out
+        assert "session_uj" in out and "drain_uj" in out
+        assert "p99=" in out
+        assert "no flight-recorder dumps" in out
+
+    def test_tail_json_is_the_telemetry_snapshot(self, flood_soak,
+                                                 capsys):
+        assert main(["obs", "tail", "--dir", flood_soak,
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "session_uj" in data["series"]
+
+    def test_tail_without_telemetry_fails_cleanly(self, tmp_path,
+                                                  capsys):
+        assert main(["obs", "tail", "--dir", str(tmp_path)]) == 1
+        assert "obs error:" in capsys.readouterr().err
+
+    def test_alerts_exit_3_when_the_flood_is_detected(self, flood_soak,
+                                                      capsys):
+        assert main(["obs", "alerts", "--dir", flood_soak]) == 3
+        out = capsys.readouterr().out
+        assert "energy_session_p99" in out
+
+    def test_alerts_exit_0_on_the_clean_baseline(self, clean_soak,
+                                                 capsys):
+        assert main(["obs", "alerts", "--dir", clean_soak]) == 0
+        out = capsys.readouterr().out
+        assert "every rule stayed silent" in out
+
+    def test_trend_folds_and_is_idempotent(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_a.json").write_text(
+            json.dumps({"speedup": 2.0}))
+        assert main(["obs", "trend", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "folded new entry" in out
+        assert (results / "BENCH_trend.json").exists()
+        assert main(["obs", "trend", "--results", str(results)]) == 0
+        assert "trend untouched" in capsys.readouterr().out
+
+
 class TestProtocolObs:
     def test_soak_writes_and_reports_protocol_spans(self, tmp_path,
                                                     capsys):

@@ -1,0 +1,82 @@
+"""The crash flight recorder: bounded ring, deterministic dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.flightrec import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    flight_path,
+    list_flight_dumps,
+    load_flight_dumps,
+    strip_record,
+)
+
+
+def _span(i):
+    return {"name": "trace", "span": f"s{i:04d}", "parent": None,
+            "cycles": i, "uj": float(i), "start_s": 12.5 + i,
+            "end_s": 13.0 + i, "pid": 4242}
+
+
+class TestRing:
+    def test_ring_keeps_the_last_capacity_records(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(_span(i))
+        assert recorder.recorded == 10
+        assert len(recorder) == 3
+        assert [r["span"] for r in recorder.snapshot()] == \
+            ["s0007", "s0008", "s0009"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_snapshot_strips_wall_clock_and_pid(self):
+        stripped = strip_record(_span(1))
+        assert "start_s" not in stripped
+        assert "end_s" not in stripped
+        assert "pid" not in stripped
+        assert stripped["cycles"] == 1
+
+
+class TestDumps:
+    def test_dump_load_round_trip(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record(_span(i))
+        path = flight_path(str(tmp_path), "shard-00002")
+        recorder.dump(path, "chaos-kill", context={"shard": 2})
+        dumps = load_flight_dumps(str(tmp_path))
+        assert [name for name, _ in dumps] == ["flight-shard-00002.json"]
+        payload = dumps[0][1]
+        assert payload["schema"] == FLIGHT_SCHEMA
+        assert payload["reason"] == "chaos-kill"
+        assert payload["context"] == {"shard": 2}
+        assert payload["recorded"] == 6
+        assert len(payload["records"]) == 4
+
+    def test_dump_is_byte_deterministic(self, tmp_path):
+        for run in ("a", "b"):
+            recorder = FlightRecorder(capacity=8)
+            for i in range(5):
+                recorder.record(_span(i))
+            recorder.dump(flight_path(str(tmp_path / run), "w"),
+                          "watchdog", context={"shard": 0})
+        assert (tmp_path / "a" / "flight-w.json").read_bytes() == \
+            (tmp_path / "b" / "flight-w.json").read_bytes()
+
+    def test_torn_dump_skipped(self, tmp_path):
+        (tmp_path / "flight-torn.json").write_text('{"schema": 1, ')
+        FlightRecorder().dump(flight_path(str(tmp_path), "ok"),
+                              "exception")
+        assert list_flight_dumps(str(tmp_path)) == \
+            ["flight-ok.json", "flight-torn.json"]
+        assert [name for name, _ in load_flight_dumps(str(tmp_path))] \
+            == ["flight-ok.json"]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert list_flight_dumps(str(tmp_path / "nope")) == []
+        assert load_flight_dumps(str(tmp_path / "nope")) == []

@@ -1,0 +1,129 @@
+"""Snapshot merging and exposition escaping, adversarially.
+
+Three properties CI leans on: merged counter/histogram state is
+invariant to the order shard snapshots arrive in, Prometheus label
+escaping survives a parse round-trip, and histograms merge correctly
+when several shards report the *same* label set.
+"""
+
+import itertools
+import json
+import re
+
+from repro.obs.metrics import (
+    MetricRegistry,
+    _escape_label_value,
+)
+
+BUCKETS = (1.0, 10.0, 100.0)
+
+
+def _shard_snapshot(shard, samples):
+    registry = MetricRegistry()
+    counter = registry.counter("repro_x_total", "t")
+    histogram = registry.histogram("repro_x_uj", "t", buckets=BUCKETS)
+    for sample in samples:
+        counter.inc(1, worker="tag")
+        histogram.observe(sample, worker="tag")
+        histogram.observe(sample * 2, worker=f"shard-{shard}")
+    return registry.snapshot()
+
+
+class TestShardOrderInvariance:
+    def test_merge_is_order_invariant_for_counters_and_histograms(self):
+        shards = [
+            _shard_snapshot(0, [0.5, 5.0, 50.0]),
+            _shard_snapshot(1, [2.0, 20.0]),
+            _shard_snapshot(2, [0.1, 999.0, 7.0]),
+        ]
+        merged = []
+        for order in itertools.permutations(range(3)):
+            registry = MetricRegistry()
+            for index in order:
+                registry.merge_snapshot(shards[index])
+            merged.append(json.dumps(registry.snapshot(),
+                                     sort_keys=True))
+        assert len(set(merged)) == 1
+
+    def test_duplicate_label_sets_accumulate_not_overwrite(self):
+        a = _shard_snapshot(0, [0.5, 5.0])
+        b = _shard_snapshot(0, [50.0])      # same shard labels again
+        registry = MetricRegistry()
+        registry.merge_snapshot(a)
+        registry.merge_snapshot(b)
+        snapshot = registry.snapshot()
+        histogram = snapshot["metrics"]["repro_x_uj"]
+        tag_rows = [item for item in histogram["values"]
+                    if item["labels"] == {"worker": "tag"}]
+        assert len(tag_rows) == 1            # one series, not two
+        row = tag_rows[0]
+        assert row["count"] == 3
+        assert row["sum"] == 55.5
+        assert row["min"] == 0.5 and row["max"] == 50.0
+        assert sum(row["bucket_counts"]) == 3
+        counter = snapshot["metrics"]["repro_x_total"]["values"]
+        assert counter == [{"labels": {"worker": "tag"}, "value": 3.0}]
+
+    def test_merged_bucket_counts_are_elementwise_sums(self):
+        a = _shard_snapshot(0, [0.5])        # bucket 0
+        b = _shard_snapshot(0, [5.0, 50.0])  # buckets 1 and 2
+        registry = MetricRegistry()
+        registry.merge_snapshot(a)
+        registry.merge_snapshot(b)
+        row = next(
+            item for item in
+            registry.snapshot()["metrics"]["repro_x_uj"]["values"]
+            if item["labels"] == {"worker": "tag"})
+        assert row["bucket_counts"] == [1, 1, 1]
+
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value):
+    # Left-to-right, like a real exposition parser: sequential
+    # str.replace calls corrupt inputs such as '\\' + 'n'.
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            follow = value[i + 1]
+            if follow == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if follow in ('"', "\\"):
+                out.append(follow)
+                i += 2
+                continue
+        out.append(value[i])
+        i += 1
+    return "".join(out)
+
+
+class TestEscapingRoundTrip:
+    NASTY = ['plain', 'with"quote', 'back\\slash', 'new\nline',
+             'all\\three\n"at once"', '\\', '\\n']
+
+    def test_escape_then_parse_recovers_the_value(self):
+        for value in self.NASTY:
+            escaped = _escape_label_value(value)
+            assert "\n" not in escaped
+            line = f'repro_x_total{{worker="{escaped}"}} 1'
+            match = _LABEL_RE.search(line)
+            assert match is not None, line
+            assert _unescape(match.group(2)) == value
+
+    def test_exposition_lines_parse_for_nasty_labels(self):
+        registry = MetricRegistry()
+        counter = registry.counter("repro_x_total", "t")
+        for value in self.NASTY:
+            counter.inc(1, worker=value)
+        text = registry.render_prometheus()
+        parsed = set()
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            match = _LABEL_RE.search(line)
+            if match:
+                parsed.add(_unescape(match.group(2)))
+        assert parsed == set(self.NASTY)

@@ -1,0 +1,129 @@
+"""Fixed-bucket quantile estimation: the documented error bound."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.quantile import (
+    PERCENTILES,
+    estimate_quantile,
+    percentiles_from_counts,
+    render_quantile_exposition,
+    snapshot_percentiles,
+)
+
+BUCKETS = (1.0, 3.0, 10.0, 30.0, 100.0)
+
+
+def _fold(samples, buckets=BUCKETS):
+    counts = [0] * len(buckets)
+    for sample in samples:
+        for i, le in enumerate(buckets):
+            if sample <= le:
+                counts[i] += 1
+                break
+    return counts
+
+
+def _true_quantile(samples, q):
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _bucket_width(samples, buckets, q):
+    """The width of the bucket the true q-rank sample lands in."""
+    true = _true_quantile(samples, q)
+    lower = min(samples)
+    for upper in buckets:
+        if true <= upper:
+            return upper - lower
+        lower = upper
+    return max(samples) - buckets[-1]
+
+
+class TestEstimate:
+    def test_empty_series_is_none(self):
+        assert estimate_quantile(BUCKETS, [0] * 5, 0, None, None,
+                                 0.5) is None
+
+    def test_degenerate_series_is_exact(self):
+        assert estimate_quantile(BUCKETS, [0, 3, 0, 0, 0], 3,
+                                 2.5, 2.5, 0.99) == 2.5
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_quantile(BUCKETS, [1], 1, 1.0, 1.0, 1.5)
+
+    def test_error_bounded_by_one_bucket_width(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            samples = [rng.uniform(0.1, 150.0) for _ in
+                       range(rng.randrange(3, 60))]
+            counts = _fold(samples)
+            for q in PERCENTILES:
+                estimate = estimate_quantile(
+                    BUCKETS, counts, len(samples),
+                    min(samples), max(samples), q)
+                true = _true_quantile(samples, q)
+                width = _bucket_width(samples, BUCKETS, q)
+                assert abs(estimate - true) <= width + 1e-9, \
+                    (q, samples)
+
+    def test_estimate_never_leaves_min_max(self):
+        rng = random.Random(11)
+        samples = [rng.uniform(0.5, 200.0) for _ in range(40)]
+        counts = _fold(samples)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            estimate = estimate_quantile(BUCKETS, counts, len(samples),
+                                         min(samples), max(samples), q)
+            assert min(samples) <= estimate <= max(samples)
+
+    def test_overflow_bucket_bounded_by_observed_max(self):
+        # Every sample above the last upper bound.
+        samples = [120.0, 140.0, 160.0]
+        counts = _fold(samples)
+        assert sum(counts) == 0
+        estimate = estimate_quantile(BUCKETS, counts, 3, 120.0, 160.0,
+                                     0.99)
+        assert 100.0 < estimate <= 160.0
+
+
+class TestRenderers:
+    def test_percentiles_from_counts_keys_and_rounding(self):
+        samples = [0.5, 2.0, 8.0, 25.0, 90.0]
+        out = percentiles_from_counts(BUCKETS, _fold(samples),
+                                      len(samples), min(samples),
+                                      max(samples))
+        assert set(out) == {"p50", "p95", "p99"}
+        for value in out.values():
+            assert value == round(value, 6)
+
+    def test_snapshot_percentiles_only_histograms(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("repro_x_uj", "test",
+                                       buckets=BUCKETS)
+        counter = registry.counter("repro_x_total", "test")
+        counter.inc(3)
+        for sample in (0.5, 5.0, 50.0):
+            histogram.observe(sample)
+        out = snapshot_percentiles(registry.snapshot())
+        assert set(out) == {"repro_x_uj"}
+        row = out["repro_x_uj"][0]
+        assert row["count"] == 3
+        assert row["p50"] is not None
+
+    def test_exposition_escapes_label_values(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("repro_x_uj", "test",
+                                       buckets=BUCKETS)
+        histogram.observe(2.0, label='we"ird\\value\n')
+        text = render_quantile_exposition(registry.snapshot())
+        assert "repro_x_uj_q{" in text
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert "\n " not in text  # no raw newline inside a sample line
+
+    def test_exposition_empty_without_histograms(self):
+        assert render_quantile_exposition({"metrics": {}}) == ""

@@ -1,0 +1,154 @@
+"""Streaming telemetry: fold-order invariance is the headline."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.alerts import default_rulebook
+from repro.obs.stream import (
+    FLEET_SOURCE,
+    StreamAggregator,
+    make_event,
+    render_stream_exposition,
+    run_pipeline,
+    sort_events,
+    spread_drain_events,
+)
+
+
+def _shuffled_copies(events, copies=4, seed=3):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(copies):
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        out.append(shuffled)
+    return out
+
+
+def _snapshot_bytes(events):
+    aggregator = StreamAggregator()
+    for event in sort_events(events):
+        aggregator.fold(event)
+    return json.dumps(aggregator.snapshot(), sort_keys=True).encode()
+
+
+@pytest.fixture()
+def fleet_events():
+    rng = random.Random(17)
+    events = []
+    for source in ("tag-00000", "tag-00001", "tag-00002"):
+        for session in range(20):
+            events.append(make_event(
+                rng.uniform(0.0, 5.0), source, session,
+                session_uj=rng.uniform(1.0, 400.0),
+                shed=rng.choice((0, 0, 0, 1))))
+    return events
+
+
+class TestEvents:
+    def test_floats_rounded_once_at_creation(self):
+        event = make_event(1.23456789012345, "s", 0,
+                           session_uj=0.1234567891234)
+        assert event["vt"] == round(1.23456789012345, 9)
+        assert event["series"]["session_uj"] == \
+            round(0.1234567891234, 9)
+
+    def test_sort_is_a_total_order(self, fleet_events):
+        a = sort_events(fleet_events)
+        b = sort_events(list(reversed(fleet_events)))
+        assert a == b
+
+
+class TestAggregator:
+    def test_fold_is_shuffle_invariant(self, fleet_events):
+        baseline = _snapshot_bytes(fleet_events)
+        for shuffled in _shuffled_copies(fleet_events):
+            assert _snapshot_bytes(shuffled) == baseline
+
+    def test_window_sums_and_peak(self):
+        aggregator = StreamAggregator(window_s=1.0)
+        for event in sort_events([
+            make_event(0.1, "a", 0, uj=10.0),
+            make_event(0.2, "a", 1, uj=20.0),
+            make_event(1.5, "a", 2, uj=5.0),
+            make_event(0.3, "b", 0, uj=25.0),
+        ]):
+            aggregator.fold(event)
+        entry = aggregator.snapshot()["series"]["uj"]
+        assert entry["peak_window"] == \
+            {"window": 0, "sum": 30.0, "source": "a"}
+
+    def test_quantiles_track_histogram(self):
+        aggregator = StreamAggregator()
+        for i in range(100):
+            aggregator.fold(make_event(i * 0.01, "s", i,
+                                       session_uj=float(i + 1)))
+        p50 = aggregator.quantile("session_uj", 0.5)
+        assert 40.0 <= p50 <= 60.0
+        assert aggregator.quantile("missing", 0.5) is None
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreamAggregator(window_s=0.0)
+
+
+class TestSpreadDrain:
+    def test_zero_energy_emits_nothing(self):
+        assert spread_drain_events(1.0, "s", 0, 0.0, 2.0) == []
+
+    def test_instant_session_is_one_event(self):
+        events = spread_drain_events(1.25, "s", 0, 50.0, 0.0)
+        assert len(events) == 1
+        assert events[0]["series"]["drain_uj"] == 50.0
+
+    def test_energy_conserved_across_windows(self):
+        events = spread_drain_events(0.3, "s", 0, 100.0, 1.7,
+                                     window_s=0.5)
+        total = sum(e["series"]["drain_uj"] for e in events)
+        assert total == pytest.approx(100.0, abs=1e-6)
+        # 0.3..2.0 spans windows 0..3 of width 0.5.
+        assert len(events) == 4
+
+    def test_share_proportional_to_overlap(self):
+        events = spread_drain_events(0.0, "s", 0, 100.0, 1.0,
+                                     window_s=0.5)
+        assert [e["series"]["drain_uj"] for e in events] == [50.0, 50.0]
+        assert [e["vt"] for e in events] == [0.0, 0.5]
+
+
+class TestPipeline:
+    def test_derives_tail_series_at_boundaries(self, fleet_events):
+        live, _ = run_pipeline(fleet_events, ())
+        assert "session_uj_p99" in live["series"]
+        assert FLEET_SOURCE in live["sources"]
+
+    def test_pipeline_is_worker_shuffle_invariant(self, fleet_events):
+        rules = default_rulebook()
+        baseline = run_pipeline(fleet_events, rules)
+        for shuffled in _shuffled_copies(fleet_events):
+            assert run_pipeline(shuffled, rules) == baseline
+
+    def test_external_aggregator_receives_the_fold(self, fleet_events):
+        aggregator = StreamAggregator(window_s=0.5)
+        live, _ = run_pipeline(fleet_events, (), aggregator=aggregator)
+        assert aggregator.snapshot() == live
+
+
+class TestExposition:
+    def test_stream_families_and_stats(self, fleet_events):
+        live, _ = run_pipeline(fleet_events, ())
+        text = render_stream_exposition(live)
+        assert "# TYPE repro_stream_session_uj gauge" in text
+        assert 'repro_stream_session_uj{stat="p99"}' in text
+        assert 'stat="peak_window_sum"' in text
+
+    def test_label_values_escaped(self):
+        aggregator = StreamAggregator()
+        aggregator.fold(make_event(0.0, 'we"ird\\src', 0, uj=1.0))
+        text = render_stream_exposition(aggregator.snapshot())
+        assert '\\"' in text and "\\\\" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_stream_exposition({"series": {}}) == ""

@@ -1,0 +1,91 @@
+"""The bench-trajectory aggregator: idempotent folds, change entries."""
+
+import json
+
+from repro.obs.trend import (
+    TREND_NAME,
+    bench_name,
+    fold_trend,
+    headline_figures,
+    load_trend,
+    render_trend,
+    write_trend,
+)
+
+
+def _write_bench(directory, name, payload):
+    (directory / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True))
+
+
+class TestHeadlineFigures:
+    def test_scalars_pass_cells_aggregate(self):
+        figures = headline_figures({
+            "seed": 7, "speedup": 12.5, "label": "ignored",
+            "flag": True,
+            "cells": [{"uj": 1.5, "n": 2, "name": "a"},
+                      {"uj": 2.5, "n": 3, "name": "b"}],
+        })
+        assert figures == {
+            "seed": 7.0, "speedup": 12.5, "cells": 2.0,
+            "cells.uj": 4.0, "cells.n": 5.0,
+        }
+
+    def test_bench_name_parsing(self):
+        assert bench_name("BENCH_server.json") == "server"
+        assert bench_name(TREND_NAME) is None
+        assert bench_name("results.txt") is None
+        assert bench_name("BENCH_x.txt") is None
+
+
+class TestFold:
+    def test_first_fold_creates_history(self, tmp_path):
+        _write_bench(tmp_path, "a", {"speedup": 2.0})
+        trend, folded = fold_trend(str(tmp_path))
+        assert folded == ["a"]
+        assert trend["benches"]["a"]["history"] == \
+            [{"figures": {"speedup": 2.0}}]
+
+    def test_refold_of_unchanged_results_is_idempotent(self, tmp_path):
+        _write_bench(tmp_path, "a", {"speedup": 2.0})
+        trend, _ = fold_trend(str(tmp_path))
+        write_trend(str(tmp_path), trend)
+        before = (tmp_path / TREND_NAME).read_bytes()
+        trend, folded = fold_trend(str(tmp_path))
+        assert folded == []
+        write_trend(str(tmp_path), trend)
+        assert (tmp_path / TREND_NAME).read_bytes() == before
+
+    def test_changed_figures_append_an_entry(self, tmp_path):
+        _write_bench(tmp_path, "a", {"speedup": 2.0})
+        write_trend(str(tmp_path), fold_trend(str(tmp_path))[0])
+        _write_bench(tmp_path, "a", {"speedup": 3.0})
+        trend, folded = fold_trend(str(tmp_path), label="rev2")
+        assert folded == ["a"]
+        history = trend["benches"]["a"]["history"]
+        assert len(history) == 2
+        assert history[1] == {"figures": {"speedup": 3.0},
+                              "label": "rev2"}
+
+    def test_torn_bench_file_skipped(self, tmp_path):
+        (tmp_path / "BENCH_torn.json").write_text('{"speedup": ')
+        _write_bench(tmp_path, "ok", {"speedup": 1.0})
+        _, folded = fold_trend(str(tmp_path))
+        assert folded == ["ok"]
+
+    def test_missing_trend_file_loads_empty(self, tmp_path):
+        assert load_trend(str(tmp_path)) == {"schema": 1, "benches": {}}
+
+
+class TestRender:
+    def test_render_shows_deltas_vs_previous(self, tmp_path):
+        _write_bench(tmp_path, "a", {"speedup": 2.0})
+        write_trend(str(tmp_path), fold_trend(str(tmp_path))[0])
+        _write_bench(tmp_path, "a", {"speedup": 3.0})
+        trend, _ = fold_trend(str(tmp_path))
+        text = render_trend(trend)
+        assert "a: 2 entries" in text
+        assert "+50.00% vs prev" in text
+
+    def test_render_empty(self):
+        assert "no benches" in render_trend({"benches": {}})

@@ -80,3 +80,38 @@ class TestReport:
         report = run_power_soak(SPEC, workers=1)
         assert report.summary_payload()["identities"] == \
             [i + 1 for i in range(SPEC.sessions)]
+
+
+class TestNonceInvariant:
+    """The ``nonce_reuse == 0`` invariant, watched from telemetry."""
+
+    def test_payload_carries_the_invariant_verdict(self):
+        payload = run_power_soak(SPEC, workers=1).summary_payload()
+        assert payload["nonce_reuse"] == 0
+        assert payload["alert_firings"] == 0
+
+    def test_summary_renders_the_invariant(self):
+        report = run_power_soak(SPEC, workers=1)
+        assert "invariant held" in report.summary()
+        assert "INVARIANT BROKEN" not in report.summary()
+
+    def test_telemetry_events_are_ordered_and_typed(self):
+        report = run_power_soak(SPEC, workers=1)
+        events = report.telemetry_events()
+        assert len(events) == SPEC.sessions
+        assert [e["vt"] for e in events] == \
+            sorted(e["vt"] for e in events)
+        for event in events:
+            assert event["source"] == "power"
+            assert event["series"]["nonce_reuse"] == 0.0
+            assert event["series"]["session_uj"] > 0.0
+
+    def test_alert_records_fire_on_a_doctored_record(self):
+        import dataclasses
+        report = run_power_soak(SPEC, workers=1)
+        report.records[2] = dataclasses.replace(report.records[2],
+                                                nonce_reuse=1)
+        records = report.alert_records()
+        assert [r["state"] for r in records] == ["firing"]
+        assert records[0]["rule"] == "nonce_reuse_invariant"
+        assert report.summary_payload()["alert_firings"] == 1

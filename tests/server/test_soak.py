@@ -10,6 +10,8 @@ import json
 import pytest
 
 from repro.campaign.chaos import ChaosConfig
+from repro.obs.alerts import ALERTS_NAME
+from repro.obs.stream import TELEMETRY_NAME
 from repro.server import ServerError, SoakSpec, run_soak
 from repro.server.soak import SUMMARY_NAME, simulate_cohort
 
@@ -80,9 +82,29 @@ class TestByteIdenticalSummaries:
                                 chaos=ChaosConfig.parse("crash=0.4",
                                                         seed=1))
         assert chaos_report.outcome == "clean"
-        summary_1 = (dir_1 / SUMMARY_NAME).read_bytes()
-        assert (dir_4 / SUMMARY_NAME).read_bytes() == summary_1
-        assert (dir_chaos / SUMMARY_NAME).read_bytes() == summary_1
+        for name in (SUMMARY_NAME, TELEMETRY_NAME, ALERTS_NAME):
+            baseline = (dir_1 / name).read_bytes()
+            assert (dir_4 / name).read_bytes() == baseline
+            assert (dir_chaos / name).read_bytes() == baseline
+
+    def test_clean_soak_raises_no_alerts(self, tmp_path, soak_spec):
+        """An honest fleet under ordinary loss must not trip the
+        default rulebook — zero false positives is the baseline the
+        detection claims stand on."""
+        report = run_soak(tmp_path / "quiet", soak_spec, workers=1)
+        assert report.alert_firings == 0
+        summary = json.loads(
+            (tmp_path / "quiet" / SUMMARY_NAME).read_text())
+        block = summary["telemetry"]
+        assert block["alerts"] == {"firings": 0, "by_rule": {}}
+        assert block["events"] > 0
+        assert set(block["session_uj"]) == \
+            {"count", "p50", "p95", "p99", "max"}
+        assert block["session_uj"]["count"] == report.sessions
+        telemetry = json.loads(
+            (tmp_path / "quiet" / TELEMETRY_NAME).read_text())
+        assert telemetry["series"]["session_uj"]["count"] == \
+            report.sessions
 
     def test_summary_shape(self, tmp_path, soak_spec):
         report = run_soak(tmp_path / "s", soak_spec, workers=1)
