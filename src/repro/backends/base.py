@@ -1,0 +1,211 @@
+"""The common backend protocol: cycles, activity, area, seal/open.
+
+A :class:`CryptoBackend` is the symmetric-side counterpart of the ECC
+coprocessor model: a functional primitive (seal/open really encrypt
+and authenticate bytes) that *also* reports what the hardware engine
+underneath would have done — how many cycles it ran and how much
+switching activity it generated, in the same toggle units the
+Hamming-distance leakage model assigns to the ECC datapath.  That
+shared unit is what lets :mod:`repro.dse` price an ECC point
+multiplication and a Simon AEAD message with one calibrated
+per-toggle energy constant.
+
+The backend *axis* of a design space is a list of labels parsed by
+:func:`parse_backend_point`:
+
+* ``"ecc"`` — the paper's public-key design (one handshake per
+  message),
+* ``"simon-aead"`` / ``"sha1-aead"`` — symmetric-only designs (no
+  asymmetric handshake, no private identification),
+* ``"hybrid:<k>"`` (or ``"hybrid:<engine>:<k>"``) — the amortized
+  design: one ECC handshake per ``k`` messages derives a session key
+  for the symmetric engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["AeadTagError", "BackendPoint", "CryptoBackend",
+           "EngineTrace", "OpenResult", "SealResult",
+           "SYMMETRIC_BACKEND_NAMES", "get_backend",
+           "parse_backend_point", "register_backend"]
+
+#: Symmetric engine names the backend axis accepts (static so the DSE
+#: spec can validate without importing the engines).
+SYMMETRIC_BACKEND_NAMES = ("simon-aead", "sha1-aead")
+
+
+class AeadTagError(Exception):
+    """Authentication tag mismatch on :meth:`CryptoBackend.open`.
+
+    Carries the :class:`EngineTrace` of the failed attempt — a
+    rejected frame still costs the receiver real cycles and energy,
+    which is exactly the asymmetry battery-depletion adversaries
+    exploit.
+    """
+
+    def __init__(self, message: str, trace: "EngineTrace"):
+        super().__init__(message)
+        self.trace = trace
+
+
+@dataclass(frozen=True)
+class EngineTrace:
+    """What one engine pass did: cycles and switching activity.
+
+    ``consumed`` is summed Hamming distance between consecutive
+    register states — the same toggle unit
+    :class:`~repro.power.models.CmosLeakageModel` assigns to the ECC
+    datapath, so one :class:`~repro.power.energy.EnergyModel` prices
+    both worlds.
+    """
+
+    cycles: int
+    consumed: float
+
+    def __add__(self, other: "EngineTrace") -> "EngineTrace":
+        return EngineTrace(self.cycles + other.cycles,
+                           self.consumed + other.consumed)
+
+    @classmethod
+    def zero(cls) -> "EngineTrace":
+        return cls(0, 0.0)
+
+
+@dataclass(frozen=True)
+class SealResult:
+    """An authenticated-encrypted message plus its engine bill."""
+
+    ciphertext: bytes
+    tag: bytes
+    trace: EngineTrace
+
+
+@dataclass(frozen=True)
+class OpenResult:
+    """A verified-and-decrypted message plus its engine bill."""
+
+    plaintext: bytes
+    trace: EngineTrace
+
+
+class CryptoBackend:
+    """One symmetric engine behind the common protocol.
+
+    Subclasses set ``name`` / ``key_bytes`` / ``nonce_bytes`` /
+    ``tag_bytes`` and implement :meth:`area_ge`, :meth:`seal` and
+    :meth:`open`.  ``seal``/``open`` are deterministic functions of
+    their arguments (the caller owns nonce uniqueness), and every
+    block operation they run is metered into the returned
+    :class:`EngineTrace`.
+    """
+
+    name: str = ""
+    key_bytes: int = 0
+    nonce_bytes: int = 0
+    tag_bytes: int = 0
+
+    def area_ge(self) -> float:
+        """Gate-equivalent area of the engine."""
+        raise NotImplementedError
+
+    def seal(self, key: bytes, nonce: bytes, plaintext: bytes,
+             aad: bytes = b"") -> SealResult:
+        raise NotImplementedError
+
+    def open(self, key: bytes, nonce: bytes, ciphertext: bytes,
+             tag: bytes, aad: bytes = b"") -> OpenResult:
+        raise NotImplementedError
+
+    def message_trace(self, plaintext_bytes: int,
+                      aad_bytes: int = 0) -> EngineTrace:
+        """The engine bill of sealing one canonical message.
+
+        Deterministic (fixed derived key/nonce/payload), so the DSE
+        measurement cache can store it under a stable digest.
+        """
+        from ..primitives.sha1 import sha1
+
+        def stream(label: str, n: int) -> bytes:
+            out = b""
+            counter = 0
+            while len(out) < n:
+                out += sha1(f"repro.backends/{self.name}/{label}/"
+                            f"{counter}".encode())
+                counter += 1
+            return out[:n]
+
+        result = self.seal(stream("key", self.key_bytes),
+                           stream("nonce", self.nonce_bytes),
+                           stream("message", plaintext_bytes),
+                           stream("aad", aad_bytes))
+        return result.trace
+
+
+#: name -> backend factory; populated by :func:`register_backend`.
+_REGISTRY: dict = {}
+
+
+def register_backend(cls):
+    """Class decorator: expose a backend under its ``name``."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """Instantiate a symmetric backend by name."""
+    if not _REGISTRY:
+        from . import aead  # noqa: F401  (registers on import)
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown backend {name!r} (know {known})") \
+            from None
+
+
+@dataclass(frozen=True)
+class BackendPoint:
+    """One parsed entry of a design space's backend axis."""
+
+    label: str            # the axis entry as written, e.g. "hybrid:16"
+    kind: str             # "ecc" | "symmetric" | "hybrid"
+    engine: Optional[str]  # symmetric engine name (None for pure ECC)
+    epoch: Optional[int]  # messages per handshake (hybrid only)
+
+
+def parse_backend_point(label: str) -> BackendPoint:
+    """Parse one backend-axis label; raises ``ValueError`` when bad."""
+    if label == "ecc":
+        return BackendPoint(label=label, kind="ecc", engine=None,
+                            epoch=None)
+    if label in SYMMETRIC_BACKEND_NAMES:
+        return BackendPoint(label=label, kind="symmetric", engine=label,
+                            epoch=None)
+    if label.startswith("hybrid:"):
+        parts = label.split(":")[1:]
+        engine = SYMMETRIC_BACKEND_NAMES[0]
+        if len(parts) == 2:
+            engine, parts = parts[0], parts[1:]
+        if len(parts) != 1:
+            raise ValueError(
+                f"bad hybrid backend {label!r} "
+                f"(want hybrid:<epoch> or hybrid:<engine>:<epoch>)")
+        if engine not in SYMMETRIC_BACKEND_NAMES:
+            known = ", ".join(SYMMETRIC_BACKEND_NAMES)
+            raise ValueError(
+                f"unknown engine in {label!r} (know {known})")
+        try:
+            epoch = int(parts[0])
+        except ValueError:
+            raise ValueError(
+                f"bad epoch in {label!r} (want an integer)") from None
+        if epoch < 1:
+            raise ValueError(f"epoch in {label!r} must be >= 1")
+        return BackendPoint(label=label, kind="hybrid", engine=engine,
+                            epoch=epoch)
+    known = ", ".join(("ecc",) + SYMMETRIC_BACKEND_NAMES
+                      + ("hybrid:<epoch>",))
+    raise ValueError(f"unknown backend {label!r} (know {known})")

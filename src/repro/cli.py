@@ -470,6 +470,8 @@ def _dse_spec_from_args(args) -> "object":
         frequencies_hz=floats(args.freq),
         countermeasures=tuple(
             s for s in args.countermeasures.split(",") if s),
+        backends=tuple(
+            s for s in getattr(args, "backends", "").split(",") if s),
         curve=args.curve,
         seed=args.seed,
         whitebox=args.whitebox,
@@ -613,8 +615,11 @@ def cmd_dse_report(directory: str, as_json: bool = False) -> tuple:
 
 
 def _dse_rows_table(rows) -> list:
+    per_message = any("energy_uj_per_message" in row for row in rows)
     header = (f"{'point':<30}{'GE':>7}{'ms':>9}{'uW':>9}"
-              f"{'uJ':>8}{'GExuJ':>10}{'sec':>6}  flags")
+              f"{'uJ':>8}{'GExuJ':>10}{'sec':>6}"
+              + (f"{'uJ/msg':>9}" if per_message else "")
+              + "  flags")
     lines = [header, "-" * len(header)]
     for row in rows:
         flags = []
@@ -622,11 +627,16 @@ def _dse_rows_table(rows) -> list:
             flags.append("PARETO")
         if not row.get("feasible", True):
             flags.append("infeasible:" + ",".join(row["violations"]))
+        suffix = ""
+        if per_message:
+            value = row.get("energy_uj_per_message")
+            suffix = f"{value:>9.3f}" if value is not None \
+                else f"{'-':>9}"
         lines.append(
             f"{row['id']:<30}{row['area_ge']:>7.0f}"
             f"{row['latency_s'] * 1e3:>9.1f}{row['power_uw']:>9.1f}"
             f"{row['energy_uj']:>8.2f}{row['area_energy']:>10.0f}"
-            f"{row['security']:>6.2f}  {' '.join(flags)}"
+            f"{row['security']:>6.2f}{suffix}  {' '.join(flags)}"
         )
     return lines
 
@@ -701,6 +711,65 @@ def cmd_protocol_soak(protocol: str = "peeters-hermans",
     if report.fully_available:
         code = EXIT_OK
     elif floor >= min_availability:
+        code = EXIT_DEGRADED
+    else:
+        code = EXIT_FAILED
+    return report.summary(), code
+
+
+def cmd_protocol_amortize(protocol: str = "peeters-hermans",
+                          backend: str = "simon-aead",
+                          curve: str = "TOY-B17", epoch: int = 16,
+                          messages: int = 64, sessions: int = 8,
+                          seed: int = 2013, sweep=None,
+                          workers=None, distance: float = 0.5,
+                          min_delivery: float = 0.95,
+                          directory=None, quiet: bool = False,
+                          obs_dir=None,
+                          obs_profile: bool = False) -> "tuple[str, int]":
+    """Run the epoch-amortized sweep; ``(report, exit_code)``.
+
+    Exit-code contract (the soak one): ``0`` when every message at
+    every loss rate was delivered; ``3`` (degraded) when some were
+    lost but every sweep point stayed at or above ``min_delivery``;
+    ``1`` below the floor.  With ``directory`` the worker-invariant
+    ``summary.json`` is written there (the CI ``cmp`` artifact).
+    """
+    import json as _json
+
+    from .campaign.store import _atomic_write_bytes
+    from .obs.integration import fleet_spec_digest
+    from .protocols.amortized import AmortizedSpec, run_amortized_soak
+    from .protocols.fleet import DEFAULT_SWEEP
+
+    spec = AmortizedSpec(
+        protocol=protocol, backend=backend, curve=curve,
+        epoch_messages=epoch, messages=messages, sessions=sessions,
+        seed=seed, sweep=tuple(sweep or DEFAULT_SWEEP),
+        distance_m=distance)
+    progress = None
+    if not quiet:
+        def progress(done, total):
+            print(f"\r  slices {done}/{total}", end="",
+                  file=sys.stderr, flush=True)
+    with _obs_session(obs_dir, kind="protocol-amortize", seed=seed,
+                      config_digest=fleet_spec_digest(spec),
+                      profile=obs_profile,
+                      argv=["protocol", "amortize",
+                            "--backend", backend]):
+        report = run_amortized_soak(spec, workers=workers,
+                                    progress=progress)
+    if not quiet:
+        print(file=sys.stderr)
+    if directory:
+        os.makedirs(str(directory), exist_ok=True)
+        _atomic_write_bytes(
+            os.path.join(str(directory), "summary.json"),
+            _json.dumps(report.summary_payload(), indent=1,
+                        sort_keys=True).encode())
+    if report.fully_delivered:
+        code = EXIT_OK
+    elif report.min_delivery_rate >= min_delivery:
         code = EXIT_DEGRADED
     else:
         code = EXIT_FAILED
@@ -1373,6 +1442,12 @@ def main(argv=None) -> int:
     explore.add_argument("--countermeasures", default="full,none",
                          help="comma-separated countermeasure sets "
                               "(full, no-rpc, unbalanced-mux, none)")
+    explore.add_argument("--backends", default="",
+                         help="comma-separated crypto-backend axis "
+                              "(ecc, simon-aead, sha1-aead, "
+                              "hybrid:<epoch>, "
+                              "hybrid:<engine>:<epoch>); empty keeps "
+                              "the classic ECC-only space")
     explore.add_argument("--curve", default="K-163",
                          help="named curve (K-163, B-163, TOY-B17)")
     explore.add_argument("--seed", type=int, default=0)
@@ -1392,7 +1467,8 @@ def main(argv=None) -> int:
                          default="area_energy,power,security",
                          help="comma-separated objectives (area, cycles, "
                               "latency, power, energy, area_energy, "
-                              "security)")
+                              "security; energy_per_message with "
+                              "--backends)")
     explore.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: cores, max 8)")
     explore.add_argument("--quiet", action="store_true")
@@ -1478,6 +1554,45 @@ def main(argv=None) -> int:
                        help="trace the soak into this directory")
     psoak.add_argument("--obs-profile", action="store_true",
                        help="also time the hot paths (needs --obs-dir)")
+
+    pamort = pverbs.add_parser(
+        "amortize",
+        help="epoch-amortized sessions: one handshake per epoch, "
+             "symmetric AEAD per message",
+    )
+    pamort.add_argument("--protocol", default="peeters-hermans",
+                        choices=("peeters-hermans", "schnorr"))
+    pamort.add_argument("--backend", default="simon-aead",
+                        choices=("simon-aead", "sha1-aead"))
+    pamort.add_argument("--curve", default="TOY-B17")
+    pamort.add_argument("--epoch", type=int, default=16,
+                        help="messages per handshake (the "
+                             "forward-secrecy window)")
+    pamort.add_argument("--messages", type=int, default=64,
+                        help="messages per session")
+    pamort.add_argument("--sessions", type=int, default=8,
+                        help="sessions per sweep point")
+    pamort.add_argument("--seed", type=int, default=2013)
+    pamort.add_argument("--sweep", default=None,
+                        help="comma-separated frame-loss rates "
+                             "(default 0,0.05,0.1,0.2)")
+    pamort.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: cores, max "
+                             "8; 0 = in-process)")
+    pamort.add_argument("--distance", type=float, default=0.5)
+    pamort.add_argument("--min-delivery", type=float, default=0.95,
+                        help="delivery floor below which the run "
+                             "FAILS (above it but short of 100%% = "
+                             "degraded)")
+    pamort.add_argument("--dir", default=None,
+                        help="write the worker-invariant "
+                             "summary.json here")
+    pamort.add_argument("--quiet", action="store_true")
+    pamort.add_argument("--obs-dir", default=None,
+                        help="trace the run into this directory")
+    pamort.add_argument("--obs-profile", action="store_true",
+                        help="also time the hot paths (needs "
+                             "--obs-dir)")
 
     obs = sub.add_parser(
         "obs", help="observability reports over a traced run"
@@ -1832,6 +1947,20 @@ def _protocol_main(args) -> int:
                 sessions=args.sessions, seed=args.seed,
                 distance=args.distance, events=args.events,
                 obs_dir=args.obs_dir, obs_profile=args.obs_profile,
+            )
+        elif args.verb == "amortize":
+            sweep = None
+            if args.sweep:
+                sweep = [float(s) for s in args.sweep.split(",") if s]
+            output, code = cmd_protocol_amortize(
+                protocol=args.protocol, backend=args.backend,
+                curve=args.curve, epoch=args.epoch,
+                messages=args.messages, sessions=args.sessions,
+                seed=args.seed, sweep=sweep, workers=args.workers,
+                distance=args.distance,
+                min_delivery=args.min_delivery, directory=args.dir,
+                quiet=args.quiet, obs_dir=args.obs_dir,
+                obs_profile=args.obs_profile,
             )
         else:
             sweep = None

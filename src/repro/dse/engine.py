@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Optional
 
+from ..backends.evaluation import HANDSHAKE_POINT_MULTIPLICATIONS
 from ..campaign.acquire import default_workers
 from ..campaign.store import _atomic_write_bytes
 from ..campaign.supervisor import (
@@ -102,6 +103,73 @@ def _checkpoint_pricing(spec: DesignSpaceSpec, interval: int,
     }
 
 
+def _symmetric_only_rows(spec: DesignSpaceSpec, model: EnergyModel,
+                         backend_points: list, sym_data: dict) -> list:
+    """Rows for the symmetric-only backend points.
+
+    A symmetric-only design has no ECC coprocessor, so it is priced
+    off the (digit, countermeasure) grid: one row per (engine, Vdd,
+    frequency).  Its security posture is scored with the benefit of
+    the doubt on side channels (the reference cell's countermeasure
+    flags) — even so, an unbounded key lifetime opens the
+    ``key-compromise`` door and the missing Peeters-Hermans handshake
+    opens ``tracking``, which is why a pure symmetric design can never
+    meet the paper's security floor of 1.0.  The defense and
+    checkpoint axes are ECC-posture knobs and do not multiply these
+    rows.
+    """
+    rows = []
+    reference_config = None
+    for bp in backend_points:
+        if bp.kind != "symmetric":
+            continue
+        sym = sym_data.get(bp.engine)
+        if sym is None:
+            continue  # quarantined engine cell (skip_missing path)
+        if reference_config is None:
+            reference_config = spec.coprocessor_config(
+                spec.reference_job())
+        for vdd in spec.vdd_volts:
+            score = score_design(
+                reference_config, vdd=vdd,
+                session={"rekey_epoch": None,
+                         "private_identification": False})
+            for frequency_hz in spec.frequencies_hz:
+                op = OperatingPoint(frequency_hz=frequency_hz, vdd=vdd)
+                report = model.report_activity(
+                    sym["consumed"], sym["cycles"], op)
+                area_ge = sym["area"]["total"]
+                energy_uj = report.energy_joules * 1e6
+                row = {
+                    "id": (f"{bp.label}-{vdd:g}V-"
+                           f"{_hz_label(frequency_hz)}"),
+                    "backend": bp.label,
+                    "digit_size": 0,
+                    "countermeasures": "n/a",
+                    "vdd": vdd,
+                    "frequency_hz": frequency_hz,
+                    "area_ge": area_ge,
+                    "cycles": sym["cycles"],
+                    "latency_s": report.duration_seconds,
+                    "power_uw": report.power_watts * 1e6,
+                    "energy_uj": energy_uj,
+                    "energy_uj_per_message": energy_uj,
+                    "area_energy": area_ge * energy_uj,
+                    "security": score.value,
+                    "security_open": list(score.open_doors),
+                    "pareto": False,
+                }
+                row["violations"] = constraint_violations(
+                    row,
+                    max_latency_s=spec.max_latency_s,
+                    max_area_ge=spec.max_area_ge,
+                    min_security=spec.min_security,
+                )
+                row["feasible"] = not row["violations"]
+                rows.append(row)
+    return rows
+
+
 def analyze_space(directory: str, spec: DesignSpaceSpec,
                   skip_missing: bool = False) -> tuple:
     """Price the cached measurements into (rows, front).
@@ -121,6 +189,17 @@ def analyze_space(directory: str, spec: DesignSpaceSpec,
     ept = energy_per_toggle_for_activity(ref_data["consumed"],
                                          ref_data["cycles"])
     model = EnergyModel(ept)
+
+    backend_points = spec.backend_points()
+    sym_data = {}
+    for engine_name, sym_job in spec.symmetric_jobs().items():
+        data = load_measurement(directory, spec.config_digest(sym_job))
+        if data is None and not skip_missing:
+            raise MissingMeasurementError(
+                f"no cached measurement for the {engine_name} engine — "
+                f"run `repro dse explore` first")
+        if data is not None:
+            sym_data[engine_name] = data
 
     rows = []
     for job in spec.grid_jobs():
@@ -151,6 +230,19 @@ def analyze_space(directory: str, spec: DesignSpaceSpec,
                                          findings=findings,
                                          defenses=defense,
                                          checkpoint=checkpoint)
+                    # One score per ECC-carrying backend point: the
+                    # session posture (rekey epoch) is the only thing
+                    # that differs, and it is frequency-independent.
+                    point_scores = {}
+                    for bp in backend_points:
+                        if bp.kind == "symmetric":
+                            continue
+                        epoch = 1 if bp.kind == "ecc" else bp.epoch
+                        point_scores[bp.label] = score_design(
+                            config, vdd=vdd, findings=findings,
+                            defenses=defense, checkpoint=checkpoint,
+                            session={"rekey_epoch": epoch,
+                                     "private_identification": True})
                     for frequency_hz in spec.frequencies_hz:
                         point = OperatingPoint(
                             frequency_hz=frequency_hz, vdd=vdd)
@@ -190,14 +282,71 @@ def analyze_space(directory: str, spec: DesignSpaceSpec,
                             row["area_energy"] = (area_ge
                                                   * row["energy_uj"])
                             row["id"] = f"{row['id']}-ck{interval}"
-                        row["violations"] = constraint_violations(
-                            row,
-                            max_latency_s=spec.max_latency_s,
-                            max_area_ge=spec.max_area_ge,
-                            min_security=spec.min_security,
-                        )
-                        row["feasible"] = not row["violations"]
-                        rows.append(row)
+                        if not backend_points:
+                            row["violations"] = constraint_violations(
+                                row,
+                                max_latency_s=spec.max_latency_s,
+                                max_area_ge=spec.max_area_ge,
+                                min_security=spec.min_security,
+                            )
+                            row["feasible"] = not row["violations"]
+                            rows.append(row)
+                            continue
+                        # Backend axis: re-price this operating point
+                        # once per ECC-carrying backend point.  The
+                        # handshake is the Peeters-Hermans pair of
+                        # point multiplications; a hybrid amortizes it
+                        # over its epoch and adds the symmetric
+                        # engine's per-message bill at the same
+                        # operating point (same calibrated per-toggle
+                        # energy — that is the whole point of
+                        # EngineTrace sharing the toggle unit).
+                        handshake_uj = (HANDSHAKE_POINT_MULTIPLICATIONS
+                                        * row["energy_uj"])
+                        for bp in backend_points:
+                            if bp.kind == "symmetric":
+                                continue
+                            if bp.engine is not None \
+                                    and bp.engine not in sym_data:
+                                continue  # quarantined engine cell
+                            priced = dict(row)
+                            pscore = point_scores[bp.label]
+                            priced["security"] = pscore.value
+                            priced["security_open"] = list(
+                                pscore.open_doors)
+                            priced["backend"] = bp.label
+                            priced["id"] = (
+                                f"{row['id']}-"
+                                f"{bp.label.replace(':', '-')}")
+                            if bp.kind == "ecc":
+                                priced["energy_uj_per_message"] = \
+                                    handshake_uj
+                            else:
+                                sym = sym_data[bp.engine]
+                                sym_report = model.report_activity(
+                                    sym["consumed"], sym["cycles"],
+                                    point)
+                                message_uj = (sym_report.energy_joules
+                                              * 1e6)
+                                priced["energy_uj_per_message"] = (
+                                    handshake_uj / bp.epoch
+                                    + message_uj)
+                                priced["area_ge"] = (
+                                    row["area_ge"]
+                                    + sym["area"]["total"])
+                                priced["area_energy"] = (
+                                    priced["area_ge"]
+                                    * priced["energy_uj"])
+                            priced["violations"] = constraint_violations(
+                                priced,
+                                max_latency_s=spec.max_latency_s,
+                                max_area_ge=spec.max_area_ge,
+                                min_security=spec.min_security,
+                            )
+                            priced["feasible"] = not priced["violations"]
+                            rows.append(priced)
+    rows.extend(_symmetric_only_rows(spec, model, backend_points,
+                                     sym_data))
     feasible = [row for row in rows if row["feasible"]]
     front = pareto_front(feasible, spec.objectives)
     for row in front:
@@ -229,11 +378,16 @@ class ExplorationResult:
             f"feasible: {feasible}   Pareto-optimal: {len(self.front)}",
         ]
         for row in self.front:
+            per_message = ""
+            if "energy_uj_per_message" in row:
+                per_message = (f", "
+                               f"{row['energy_uj_per_message']:.3f} "
+                               f"uJ/msg")
             lines.append(
                 f"  * {row['id']}: {row['area_ge']:.0f} GE, "
                 f"{row['latency_s'] * 1e3:.1f} ms, "
                 f"{row['power_uw']:.1f} uW, {row['energy_uj']:.2f} uJ, "
-                f"security {row['security']:.3f}")
+                f"security {row['security']:.3f}{per_message}")
         if self.quarantined:
             lines.append(
                 "quarantined cells: "

@@ -74,7 +74,6 @@ def _measure_observed(spec: DesignSpaceSpec, directory: str,
                       job: MeasurementJob, obs) -> dict:
     started = time.perf_counter()
     digest = spec.config_digest(job)
-    config = spec.coprocessor_config(job)
 
     span_ctx = None
     if obs is not None:
@@ -82,35 +81,42 @@ def _measure_observed(spec: DesignSpaceSpec, directory: str,
         # communicated — so worker and coordinator agree on it.
         root_id = derive_span_id(obs.tracer.trace_id, None,
                                  "dse.explore", 0)
+        span_attrs = {"digest": digest}
+        if job.backend != "ecc":
+            span_attrs["backend"] = job.backend
+        else:
+            span_attrs["digit"] = job.digit_size
+            span_attrs["countermeasures"] = job.countermeasures
         span_ctx = obs.tracer.span(
-            "point", key=job.index, parent_id=root_id,
-            digit=job.digit_size, countermeasures=job.countermeasures,
-            digest=digest,
+            "point", key=job.index, parent_id=root_id, **span_attrs,
         )
     with span_ctx if span_ctx is not None else _null_context() as span:
-        measured = MeasuredDesign.measure(config)
-        whitebox = None
-        if spec.whitebox:
-            whitebox = _whitebox_findings(spec, config, digest)
+        if job.backend != "ecc":
+            payload = _measure_backend_payload(spec, job, digest)
+        else:
+            config = spec.coprocessor_config(job)
+            measured = MeasuredDesign.measure(config)
+            whitebox = None
+            if spec.whitebox:
+                whitebox = _whitebox_findings(spec, config, digest)
+            payload = {
+                "schema": spec.schema_version,
+                "digest": digest,
+                "curve": spec.curve,
+                "digit_size": job.digit_size,
+                "countermeasures": job.countermeasures,
+                "cycles": measured.cycles,
+                "consumed": measured.consumed,
+                "area": design_area(config).as_dict(),
+                "whitebox": whitebox,
+            }
         if span is not None:
-            span.set(cycles=measured.cycles)
+            span.set(cycles=payload["cycles"])
         if obs is not None:
             obs.registry.counter(
                 "repro_dse_measurements_total",
                 "design-point simulations executed",
             ).inc()
-
-    payload = {
-        "schema": spec.schema_version,
-        "digest": digest,
-        "curve": spec.curve,
-        "digit_size": job.digit_size,
-        "countermeasures": job.countermeasures,
-        "cycles": measured.cycles,
-        "consumed": measured.consumed,
-        "area": design_area(config).as_dict(),
-        "whitebox": whitebox,
-    }
     data = json.dumps(payload, indent=1, sort_keys=True).encode()
     relpath = measurement_relpath(digest)
     path = os.path.join(directory, relpath)
@@ -122,6 +128,29 @@ def _measure_observed(spec: DesignSpaceSpec, directory: str,
         "file": relpath,
         "artifacts": [[relpath, hashlib.sha256(data).hexdigest()]],
         "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def _measure_backend_payload(spec: DesignSpaceSpec,
+                             job: MeasurementJob, digest: str) -> dict:
+    """One symmetric-engine measurement: seal the canonical message.
+
+    Same cache shape as an ECC cell — ``(consumed, cycles, area)`` —
+    so :func:`load_measurement` validates both without caring which
+    kind of engine produced the bytes.
+    """
+    from ..backends.evaluation import measure_backend
+
+    measured = measure_backend(job.backend)
+    return {
+        "schema": spec.schema_version,
+        "digest": digest,
+        "backend": job.backend,
+        "message_bytes": measured.message_bytes,
+        "cycles": measured.cycles,
+        "consumed": measured.consumed,
+        "area": {"total": measured.area_ge},
+        "whitebox": None,
     }
 
 

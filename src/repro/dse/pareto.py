@@ -22,6 +22,7 @@ OBJECTIVES = {
     "latency": ("latency_s", 1),
     "power": ("power_uw", 1),
     "energy": ("energy_uj", 1),
+    "energy_per_message": ("energy_uj_per_message", 1),
     "area_energy": ("area_energy", 1),
     "security": ("security", -1),
 }

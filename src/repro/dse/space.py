@@ -30,6 +30,7 @@ from typing import Optional
 from ..adversary.defense import DEFENSE_SETS
 from ..arch.control import BalancedEncoding, UnbalancedEncoding
 from ..arch.coprocessor import CoprocessorConfig, InvalidDigitSizeError
+from ..backends.base import parse_backend_point
 from ..ec.curves import get_curve
 from .errors import SpaceValidationError
 from .pareto import OBJECTIVES
@@ -56,14 +57,19 @@ _ENCODINGS = {"balanced": BalancedEncoding, "unbalanced": UnbalancedEncoding}
 @dataclass(frozen=True)
 class MeasurementJob:
     """One simulation the explorer needs: a (digit, countermeasures)
-    cell.  ``on_grid`` is False only for a synthetic calibration job
-    added when the reference design is not itself one of the cells."""
+    cell, or — when the backend axis is active — one symmetric-engine
+    workload.  ``on_grid`` is False for the synthetic calibration job
+    added when the reference design is not itself one of the cells,
+    and for symmetric-engine jobs (their rows are derived separately
+    from the ECC grid).  ``backend`` is ``"ecc"`` for every classic
+    cell, so pre-axis jobs and their digests are unchanged."""
 
     index: int
     digit_size: int
     countermeasures: str
     is_reference: bool = False
     on_grid: bool = True
+    backend: str = "ecc"
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,7 @@ class DesignSpaceSpec:
     countermeasures: tuple = ("full", "none")
     defenses: tuple = ()
     checkpoint_intervals: tuple = ()
+    backends: tuple = ()
     curve: str = "K-163"
     seed: int = 0
     whitebox: bool = False
@@ -137,11 +144,25 @@ class DesignSpaceSpec:
                 raise SpaceValidationError(
                     "checkpoint intervals must be positive integers, "
                     f"got {interval!r}")
+        backends = tuple(self.backends)
+        object.__setattr__(self, "backends", backends)
+        if len(set(backends)) != len(backends):
+            raise SpaceValidationError(
+                f"backends has duplicates: {backends}")
+        for label in backends:
+            try:
+                parse_backend_point(label)
+            except ValueError as exc:
+                raise SpaceValidationError(str(exc)) from None
         for objective in self.objectives:
             if objective not in OBJECTIVES:
                 known = ", ".join(sorted(OBJECTIVES))
                 raise SpaceValidationError(
                     f"unknown objective {objective!r}; known: {known}")
+        if "energy_per_message" in self.objectives and not backends:
+            raise SpaceValidationError(
+                "objective 'energy_per_message' needs the backend axis "
+                "(only backend rows carry a per-message energy)")
         try:
             domain = get_curve(self.curve)
         except KeyError as exc:
@@ -165,6 +186,8 @@ class DesignSpaceSpec:
             extra["defenses"] = list(self.defenses)
         if self.checkpoint_intervals:
             extra["checkpoint_intervals"] = list(self.checkpoint_intervals)
+        if self.backends:
+            extra["backends"] = list(self.backends)
         return {
             **extra,
             "digit_sizes": list(self.digit_sizes),
@@ -187,7 +210,7 @@ class DesignSpaceSpec:
         kwargs = dict(data)
         for name in ("digit_sizes", "vdd_volts", "frequencies_hz",
                      "countermeasures", "objectives", "defenses",
-                     "checkpoint_intervals"):
+                     "checkpoint_intervals", "backends"):
             if name in kwargs:
                 kwargs[name] = tuple(kwargs[name])
         return cls(**kwargs)
@@ -224,7 +247,32 @@ class DesignSpaceSpec:
                 index=len(jobs), digit_size=4, countermeasures="full",
                 is_reference=True, on_grid=False,
             ))
+        # Symmetric engines the backend axis needs, one measurement
+        # each — appended after every ECC cell so pre-axis job indices
+        # (and the cells already cached under them) never move.
+        for engine in self._symmetric_engines():
+            jobs.append(MeasurementJob(
+                index=len(jobs), digit_size=0, countermeasures="n/a",
+                on_grid=False, backend=engine,
+            ))
         return jobs
+
+    def backend_points(self) -> list:
+        """The parsed backend axis (empty for a classic ECC space)."""
+        return [parse_backend_point(label) for label in self.backends]
+
+    def _symmetric_engines(self) -> list:
+        """Distinct symmetric engines the axis prices, in axis order."""
+        engines = []
+        for point in self.backend_points():
+            if point.engine is not None and point.engine not in engines:
+                engines.append(point.engine)
+        return engines
+
+    def symmetric_jobs(self) -> dict:
+        """engine name -> its :class:`MeasurementJob`."""
+        return {job.backend: job for job in self.measurement_jobs()
+                if job.backend != "ecc"}
 
     def reference_job(self) -> MeasurementJob:
         for job in self.measurement_jobs():
@@ -252,6 +300,20 @@ class DesignSpaceSpec:
         cache survives changes to the grid, the constraints, and the
         objectives.
         """
+        if job.backend != "ecc":
+            # A symmetric engine's workload depends on nothing but the
+            # engine and the canonical message size — not the curve,
+            # grid or constraints — so one cached cell serves every
+            # space that prices that engine.
+            from ..backends.evaluation import MESSAGE_BYTES
+
+            payload = json.dumps({
+                "kind": "dse-backend-measurement",
+                "schema": self.schema_version,
+                "backend": job.backend,
+                "message_bytes": MESSAGE_BYTES,
+            }, sort_keys=True).encode()
+            return hashlib.sha256(payload).hexdigest()[:16]
         whitebox = None
         if self.whitebox:
             whitebox = {"traces": self.whitebox_traces, "seed": self.seed}
@@ -268,9 +330,18 @@ class DesignSpaceSpec:
     @property
     def grid_size(self) -> int:
         """Rows of the evaluated grid (cells x operating points,
-        multiplied by the defense postures and checkpoint intervals
-        when those axes are active)."""
-        return (len(self.grid_jobs())
-                * len(self.vdd_volts) * len(self.frequencies_hz)
-                * max(1, len(self.defenses))
-                * max(1, len(self.checkpoint_intervals)))
+        multiplied by the defense postures, checkpoint intervals and
+        backend points when those axes are active; symmetric-only
+        backends add one row per operating point instead of one per
+        ECC cell)."""
+        base_cells = (len(self.grid_jobs())
+                      * max(1, len(self.defenses))
+                      * max(1, len(self.checkpoint_intervals)))
+        points = len(self.vdd_volts) * len(self.frequencies_hz)
+        if not self.backends:
+            return base_cells * points
+        ecc_like = sum(1 for p in self.backend_points()
+                       if p.kind != "symmetric")
+        symmetric = sum(1 for p in self.backend_points()
+                        if p.kind == "symmetric")
+        return base_cells * points * ecc_like + symmetric * points

@@ -23,6 +23,7 @@ from typing import Optional
 from .metrics import MetricRegistry
 
 __all__ = ["record_store", "record_fleet_report", "record_intermittent_result",
+           "record_amortized_report", "amortized_point_stats",
            "fleet_spec_digest", "fleet_point_stats", "snapshot_value",
            "snapshot_histogram"]
 
@@ -161,6 +162,106 @@ def record_fleet_report(registry: MetricRegistry,
             energy.inc(record.responder_uj, loss=loss, role="responder")
         availability.set(point.availability, loss=loss)
     return registry
+
+
+# ----------------------------------------------------------------------
+# amortized report -> registry (the `protocol amortize` aggregation)
+# ----------------------------------------------------------------------
+
+def record_amortized_report(registry: MetricRegistry,
+                            report) -> MetricRegistry:
+    """Fold an AmortizedReport's sweep points into ``registry``.
+
+    The energy counter's ``component`` label is the exact µJ
+    decomposition the obs spans carry (``handshake`` /
+    ``message_compute`` / ``message_radio``), so the rendered table,
+    the exported metrics and the span tree all sum to the same total.
+    """
+    sessions = registry.counter("repro_backends_sessions_total",
+                                "amortized sessions by sweep point")
+    messages = registry.counter("repro_backends_messages_total",
+                                "messages by sweep point and outcome")
+    handshakes = registry.counter("repro_backends_handshakes_total",
+                                  "asymmetric handshakes by outcome")
+    attempts = registry.counter("repro_backends_attempts_total",
+                                "data-frame transmissions, retries "
+                                "included")
+    energy = registry.counter("repro_backends_energy_uj_total",
+                              "microjoules spent, by component")
+    window = registry.gauge("repro_backends_key_window_messages",
+                            "worst-case messages under one session "
+                            "key")
+    delivery = registry.gauge("repro_backends_delivery_rate",
+                              "fraction of messages delivered")
+    for point in sorted(report.points, key=lambda p: p.frame_loss):
+        loss = _loss_label(point.frame_loss)
+        worst = 0
+        for record in point.records:
+            sessions.inc(loss=loss)
+            if record.delivered:
+                messages.inc(record.delivered, loss=loss,
+                             outcome="delivered")
+            if record.failed:
+                messages.inc(record.failed, loss=loss,
+                             outcome="failed")
+            if record.keys_used:
+                handshakes.inc(record.keys_used, loss=loss,
+                               outcome="keyed")
+            if record.handshakes_failed:
+                handshakes.inc(record.handshakes_failed, loss=loss,
+                               outcome="failed")
+            attempts.inc(record.attempts, loss=loss)
+            energy.inc(record.handshake_uj, loss=loss,
+                       component="handshake")
+            energy.inc(record.message_compute_uj, loss=loss,
+                       component="message_compute")
+            energy.inc(record.message_radio_uj, loss=loss,
+                       component="message_radio")
+            worst = max(worst, record.worst_key_window)
+        window.set(worst, loss=loss)
+        delivery.set(point.delivery_rate, loss=loss)
+    return registry
+
+
+def amortized_point_stats(snapshot: dict, frame_loss: float) -> dict:
+    """One sweep point's summary figures, read back from a snapshot."""
+    loss = _loss_label(frame_loss)
+    delivered = snapshot_value(snapshot,
+                               "repro_backends_messages_total",
+                               loss=loss, outcome="delivered")
+    failed = snapshot_value(snapshot, "repro_backends_messages_total",
+                            loss=loss, outcome="failed")
+    total = delivered + failed
+    keys = snapshot_value(snapshot, "repro_backends_handshakes_total",
+                          loss=loss, outcome="keyed")
+    handshake_uj = snapshot_value(snapshot,
+                                  "repro_backends_energy_uj_total",
+                                  loss=loss, component="handshake")
+    message_uj = (
+        snapshot_value(snapshot, "repro_backends_energy_uj_total",
+                       loss=loss, component="message_compute")
+        + snapshot_value(snapshot, "repro_backends_energy_uj_total",
+                         loss=loss, component="message_radio"))
+    uj_per_message = ((handshake_uj + message_uj) / delivered
+                      if delivered else float("inf"))
+    mean_handshake = handshake_uj / keys if keys else float("inf")
+    # Baseline: pure ECC pays one full handshake plus the same data
+    # frame per message (the frame bill is common to both designs).
+    baseline = (mean_handshake + message_uj / delivered
+                if delivered and keys else float("inf"))
+    extension = (baseline / uj_per_message
+                 if uj_per_message not in (0.0, float("inf"))
+                 and baseline != float("inf") else 0.0)
+    return {
+        "delivered": int(delivered),
+        "messages": int(total),
+        "delivery_rate": delivered / total if total else 0.0,
+        "keys_used": int(keys),
+        "handshake_uj": handshake_uj,
+        "message_uj": message_uj,
+        "uj_per_message": uj_per_message,
+        "extension_factor": extension,
+    }
 
 
 # ----------------------------------------------------------------------

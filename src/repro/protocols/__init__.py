@@ -23,6 +23,15 @@ from .peeters_hermans import (
     PeetersHermansTag,
     run_identification,
 )
+from .amortized import (
+    AmortizedPoint,
+    AmortizedRecord,
+    AmortizedReport,
+    AmortizedSpec,
+    derive_session_key,
+    run_amortized_session,
+    run_amortized_soak,
+)
 from .fleet import FleetReport, FleetSpec, SweepPoint, run_fleet
 from .session import (
     PayloadRejectedError,
@@ -98,4 +107,11 @@ __all__ = [
     "SweepPoint",
     "FleetReport",
     "run_fleet",
+    "AmortizedSpec",
+    "AmortizedRecord",
+    "AmortizedPoint",
+    "AmortizedReport",
+    "run_amortized_session",
+    "run_amortized_soak",
+    "derive_session_key",
 ]

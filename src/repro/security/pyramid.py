@@ -18,7 +18,9 @@ __all__ = ["AbstractionLevel", "Threat", "Countermeasure", "SecurityPyramid",
            "default_pyramid", "pyramid_for_config",
            "BATTERY_DEPLETION_THREAT", "defense_countermeasures",
            "pyramid_with_defenses", "POWER_INTERRUPTION_THREAT",
-           "intermittent_countermeasures", "pyramid_with_intermittent"]
+           "intermittent_countermeasures", "pyramid_with_intermittent",
+           "KEY_COMPROMISE_THREAT", "session_countermeasures",
+           "pyramid_with_session"]
 
 
 class AbstractionLevel(enum.IntEnum):
@@ -297,6 +299,58 @@ def pyramid_with_intermittent(config, posture) -> SecurityPyramid:
     pyramid = pyramid_for_config(config)
     pyramid.add_threat(POWER_INTERRUPTION_THREAT)
     for cm in intermittent_countermeasures(posture):
+        pyramid.add_countermeasure(cm)
+    return pyramid
+
+
+#: The session-amortization threat (opt-in like the two above): once
+#: a design derives symmetric session keys, a captured key exposes
+#: every message sealed under it.  The forward-secrecy *window* — how
+#: many messages one key covers — is the design knob; an unbounded
+#: window (symmetric-only, never rekeying) leaves the door open.
+KEY_COMPROMISE_THREAT = Threat(
+    "key-compromise",
+    "a captured session key exposes every message in its window")
+
+
+def session_countermeasures(posture) -> list:
+    """Countermeasures implied by a session-amortization posture.
+
+    ``posture`` is duck-typed (an
+    :class:`~repro.protocols.amortized.AmortizedSpec`, a plain
+    namespace, or anything with a ``rekey_epoch``).  A *finite*
+    rekeying epoch is primary — it bounds what any captured key can
+    expose to one forward-secrecy window, and each epoch key is
+    derived from a fresh asymmetric handshake rather than chained
+    from its predecessor.  Erasing retired epoch keys is supporting
+    hygiene: it shrinks the capture surface but cannot bound a live
+    key's window by itself.
+    """
+    measures = []
+    epoch = getattr(posture, "rekey_epoch", None)
+    if isinstance(epoch, int) and not isinstance(epoch, bool) \
+            and epoch >= 1:
+        measures.append(Countermeasure(
+            "epoch-bounded session rekeying (forward-secrecy window)",
+            AbstractionLevel.PROTOCOL,
+            ("key-compromise",),
+            "repro.protocols.amortized"))
+    if getattr(posture, "erase_keys", False):
+        measures.append(Countermeasure(
+            "retired epoch-key erasure",
+            AbstractionLevel.PROTOCOL,
+            ("key-compromise",),
+            "repro.protocols.amortized",
+            primary=False))
+    return measures
+
+
+def pyramid_with_session(config, posture) -> SecurityPyramid:
+    """:func:`pyramid_for_config` extended with the key-compromise
+    threat and whatever rekeying posture the design deploys."""
+    pyramid = pyramid_for_config(config)
+    pyramid.add_threat(KEY_COMPROMISE_THREAT)
+    for cm in session_countermeasures(posture):
         pyramid.add_countermeasure(cm)
     return pyramid
 

@@ -27,9 +27,10 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..power.technology import TechnologyParams, UMC_130NM
-from .pyramid import (BATTERY_DEPLETION_THREAT, PAPER_THREATS,
-                      POWER_INTERRUPTION_THREAT, defense_countermeasures,
-                      intermittent_countermeasures, pyramid_for_config)
+from .pyramid import (BATTERY_DEPLETION_THREAT, KEY_COMPROMISE_THREAT,
+                      PAPER_THREATS, POWER_INTERRUPTION_THREAT,
+                      defense_countermeasures, intermittent_countermeasures,
+                      pyramid_for_config, session_countermeasures)
 
 __all__ = ["ATTACK_THREATS", "SecurityScore", "score_design"]
 
@@ -88,6 +89,17 @@ def _resolve_defenses(defenses):
     return defenses
 
 
+def _resolve_session(session):
+    """Accept a dict of knobs (``rekey_epoch``,
+    ``private_identification``, ``erase_keys``) or an
+    AmortizedSpec-shaped object (duck-typed like the resolvers
+    above)."""
+    if isinstance(session, dict):
+        from types import SimpleNamespace
+        return SimpleNamespace(**session)
+    return session
+
+
 def _resolve_checkpoint(checkpoint):
     """Accept ``True`` (the default checkpointing posture), a dict of
     knobs, or an IntermittentSpec-shaped object (duck-typed like
@@ -108,6 +120,7 @@ def score_design(config,
                  technology: TechnologyParams = UMC_130NM,
                  defenses=None,
                  checkpoint=None,
+                 session=None,
                  ) -> SecurityScore:
     """Score one design point.
 
@@ -140,6 +153,19 @@ def score_design(config,
         the scored set and is closed only by a *primary* checkpointing
         countermeasure (the commit-before-use nonce vault); None keeps
         prior scores byte-identical.
+    session:
+        Optional session-amortization posture — a dict of knobs
+        (``rekey_epoch``: messages per asymmetric handshake, None for
+        a design that never rekeys; ``private_identification``:
+        whether each epoch still runs the Peeters-Hermans private
+        handshake; ``erase_keys``) or an
+        :class:`~repro.protocols.amortized.AmortizedSpec`-shaped
+        object.  When given, the ``key-compromise`` threat joins the
+        scored set and is closed only by a *primary* bounded
+        forward-secrecy window (a finite rekeying epoch); a posture
+        without private identification also opens the paper's
+        ``tracking`` threat (a fixed symmetric identity is linkable).
+        None keeps prior scores byte-identical.
     """
     pyramid = pyramid_for_config(config)
     open_doors = {t.name for t in pyramid.uncovered_threats()}
@@ -167,6 +193,14 @@ def score_design(config,
         if not any(cm.primary
                    for cm in intermittent_countermeasures(posture)):
             open_doors.add(POWER_INTERRUPTION_THREAT.name)
+    if session is not None:
+        posture = _resolve_session(session)
+        order.append(KEY_COMPROMISE_THREAT.name)
+        if not any(cm.primary
+                   for cm in session_countermeasures(posture)):
+            open_doors.add(KEY_COMPROMISE_THREAT.name)
+        if not getattr(posture, "private_identification", True):
+            open_doors.add("tracking")
     return SecurityScore(
         closed=tuple(n for n in order if n not in open_doors),
         open_doors=tuple(n for n in order if n in open_doors),
